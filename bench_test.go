@@ -1,0 +1,423 @@
+// Package repro's root benchmark harness: one benchmark family per
+// experiment in EXPERIMENTS.md (E1-E13), each regenerating the
+// corresponding figure or theorem of Korhonen & Suomela, "Towards a
+// complexity theory for the congested clique" (SPAA 2018). The primary
+// metric reported everywhere is "rounds" — the model's cost measure —
+// alongside wall-clock time of the simulation itself.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/counting"
+	"repro/internal/domset"
+	"repro/internal/fgc"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/matmul"
+	"repro/internal/mst"
+	"repro/internal/nondet"
+	"repro/internal/paths"
+	"repro/internal/reduction"
+	"repro/internal/routing"
+	"repro/internal/subgraph"
+	"repro/internal/vcover"
+)
+
+// benchRounds runs one simulated execution per iteration and reports the
+// round count as a custom metric.
+func benchRounds(b *testing.B, n, wpp int, f clique.NodeFunc) {
+	b.Helper()
+	var lastRounds, lastWords int64
+	for i := 0; i < b.N; i++ {
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp}, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastRounds = int64(res.Stats.Rounds)
+		lastWords = res.Stats.WordsSent
+	}
+	b.ReportMetric(float64(lastRounds), "rounds")
+	b.ReportMetric(float64(lastWords), "words")
+}
+
+// ---------------------------------------------------------------------
+// E1 / Figure 1: round scaling of the implemented problems.
+
+func BenchmarkFig1_BooleanMM3D(b *testing.B) {
+	for _, n := range []int{27, 64, 125} {
+		g := graph.Gnp(n, 0.5, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 8, func(nd *clique.Node) {
+				row := matmul.AdjacencyRow(g, nd.ID())
+				matmul.Mul3D(nd, matmul.Boolean{}, row, row)
+			})
+		})
+	}
+}
+
+func BenchmarkFig1_BooleanMMNaive(b *testing.B) {
+	for _, n := range []int{27, 64, 125} {
+		g := graph.Gnp(n, 0.5, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 8, func(nd *clique.Node) {
+				row := matmul.AdjacencyRow(g, nd.ID())
+				matmul.MulNaive(nd, matmul.Boolean{}, row, row)
+			})
+		})
+	}
+}
+
+func BenchmarkFig1_APSP(b *testing.B) {
+	for _, n := range []int{27, 64} {
+		g := graph.GnpWeighted(n, 0.3, 40, false, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 8, func(nd *clique.Node) {
+				paths.APSP(nd, g.W[nd.ID()], matmul.Mul3D)
+			})
+		})
+	}
+}
+
+func BenchmarkFig1_Triangle(b *testing.B) {
+	for _, n := range []int{27, 64, 125} {
+		g := graph.Gnp(n, 0.15, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 8, func(nd *clique.Node) {
+				subgraph.DetectTriangle(nd, g.Row(nd.ID()))
+			})
+		})
+	}
+}
+
+func BenchmarkFig1_TransitiveClosure(b *testing.B) {
+	n := 27
+	g := graph.Gnp(n, 0.1, 5)
+	benchRounds(b, n, 8, func(nd *clique.Node) {
+		row := make([]int64, n)
+		g.Neighbors(nd.ID(), func(u int) { row[u] = 1 })
+		paths.TransitiveClosure(nd, row, matmul.Mul3D)
+	})
+}
+
+func BenchmarkFig1_SSSP(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		g := graph.GnpWeighted(n, 0.2, 30, false, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 1, func(nd *clique.Node) {
+				paths.SSSP(nd, g.W[nd.ID()], 0)
+			})
+		})
+	}
+}
+
+func BenchmarkFig1_MaxISFullGather(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		g := graph.Gnp(n, 0.92, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 1, func(nd *clique.Node) {
+				gather.MaxIndependentSetSize(nd, g.Row(nd.ID()))
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E2 / Figure 2, Theorem 10: the IS-via-DS reduction, simulated.
+
+func BenchmarkFig2_ISviaDS(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		g := graph.Gnp(n, 0.5, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 16, func(nd *clique.Node) {
+				reduction.FindISViaDS(nd, g.Row(nd.ID()), 2)
+			})
+		})
+	}
+}
+
+func BenchmarkFig2_DirectDSBaseline(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		g := graph.Gnp(n, 0.5, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 16, func(nd *clique.Node) {
+				domset.Find(nd, g.Row(nd.ID()), 2)
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E3 / Theorem 2 and E6 / Theorem 4 and E9 / Theorem 8: counting bounds.
+
+func BenchmarkThm2_CountingBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{64, 256, 1024} {
+			bw := clique.WordBits(n)
+			counting.MaxHardRounds(n, bw, 32*bw)
+		}
+	}
+}
+
+func BenchmarkThm4_NondetBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for Tn := 4; Tn <= 64; Tn *= 2 {
+			counting.Theorem4Params(1<<12, Tn)
+		}
+	}
+}
+
+func BenchmarkThm8_LogHierarchyBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{1, 4, 16, 64} {
+			counting.Theorem8Params(256, k, 512)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E4 / Lemma 1: the exhaustive micro diagonalisation.
+
+func BenchmarkLemma1_MicroDiagonalisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := counting.Diagonalise(2)
+		if !res.HardExists {
+			b.Fatal("no hard function found")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E5 / Theorem 3: transcript certificates and the normal form.
+
+func BenchmarkThm3_NormalForm(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		g, _ := graph.PlantedColoring(n, 3, 0.7, uint64(n))
+		alg := nondet.KColoringVerifier(3)
+		z := nondet.KColoringProver(g, 3)
+		if z == nil {
+			b.Fatal("prover failed")
+		}
+		certs, err := nondet.TranscriptCertificate(clique.Config{N: n}, g, alg, z)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bVerifier := nondet.NormalForm(alg, 1, nondet.WordSpace(3))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var bits int
+			for i := 0; i < b.N; i++ {
+				verdict, err := nondet.RunVerifier(clique.Config{N: n}, g, bVerifier, certs)
+				if err != nil || !verdict.Accepted {
+					b.Fatal("normal form rejected honest certificate")
+				}
+				bits = certs.SizeBits(n)
+			}
+			b.ReportMetric(float64(bits), "certbits")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E7 / Theorem 6: compiled edge labelling verification stays O(1).
+
+func BenchmarkThm6_EdgeLabelling(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 1, func(nd *clique.Node) {
+				// One consistency round over incident labels, the
+				// verification skeleton of the canonical problems.
+				me := nd.ID()
+				for v := 0; v < n; v++ {
+					if v != me {
+						nd.Send(v, uint64((me+v)%7))
+					}
+				}
+				nd.Tick()
+				for v := 0; v < n; v++ {
+					if v == me {
+						continue
+					}
+					if w := nd.Recv(v); len(w) != 1 || w[0] != uint64((me+v)%7) {
+						nd.Fail("label mismatch")
+					}
+				}
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E8 / Theorem 7: the Sigma_2 collapse protocol.
+
+func BenchmarkThm7_SigmaTwo(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		g := graph.Gnp(n, 0.4, uint64(n))
+		alg := hierarchy.SigmaTwoUniversal(graph.HasTriangle)
+		z1 := hierarchy.HonestGuess(g)
+		z2 := hierarchy.CatchingChallenge(n, 0, 0, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 1, func(nd *clique.Node) {
+				alg(nd, g.Row(nd.ID()), [][]uint64{z1[nd.ID()], z2[nd.ID()]})
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E10 / Theorem 9 and E11 / Theorem 11: the paper's new upper bounds.
+
+func BenchmarkThm9_kDS(b *testing.B) {
+	for _, k := range []int{2, 3} {
+		for _, n := range []int{27, 64, 125} {
+			g, _ := graph.PlantedDominatingSet(n, k, 0.1, uint64(n))
+			b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+				benchRounds(b, n, 8, func(nd *clique.Node) {
+					domset.Find(nd, g.Row(nd.ID()), k)
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkThm11_kVC(b *testing.B) {
+	for _, k := range []int{3, 6} {
+		for _, n := range []int{32, 128} {
+			g, _ := graph.PlantedVertexCover(n, k, 0.4, uint64(n))
+			b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+				benchRounds(b, n, 1, func(nd *clique.Node) {
+					vcover.Find(nd, g.Row(nd.ID()), k)
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkFPT_kIS(b *testing.B) {
+	for _, n := range []int{27, 64, 125} {
+		g, _ := graph.PlantedIndependentSet(n, 3, 0.5, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 8, func(nd *clique.Node) {
+				subgraph.DetectIndependentSet(nd, g.Row(nd.ID()), 3)
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E13: substrate benchmarks.
+
+func BenchmarkSub_Routing(b *testing.B) {
+	for _, load := range []int{8, 32} {
+		b.Run(fmt.Sprintf("load=%d", load), func(b *testing.B) {
+			benchRounds(b, 32, 4, func(nd *clique.Node) {
+				var ps []routing.Packet
+				for i := 0; i < load; i++ {
+					ps = append(ps, routing.Packet{Dst: (nd.ID() + i + 1) % 32, Payload: []uint64{uint64(i)}})
+				}
+				routing.Route(nd, ps, 1, 9)
+			})
+		})
+	}
+}
+
+func BenchmarkSub_Sorting(b *testing.B) {
+	benchRounds(b, 16, 4, func(nd *clique.Node) {
+		keys := make([]uint64, 8)
+		for i := range keys {
+			keys[i] = uint64((nd.ID()*131 + i*37) % 256)
+		}
+		routing.Sort(nd, keys, 256)
+	})
+}
+
+func BenchmarkSub_AllBroadcast(b *testing.B) {
+	benchRounds(b, 64, 4, func(nd *clique.Node) {
+		routing.AllBroadcast(nd, make([]uint64, 64), 64)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Ablation: router schedule on a skewed instance.
+
+func BenchmarkAblation_RouterBalanced(b *testing.B) {
+	benchRounds(b, 16, 4, func(nd *clique.Node) {
+		var ps []routing.Packet
+		if nd.ID() == 0 {
+			for i := 0; i < 96; i++ {
+				ps = append(ps, routing.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
+			}
+		}
+		routing.Route(nd, ps, 1, 5)
+	})
+}
+
+func BenchmarkAblation_RouterDirect(b *testing.B) {
+	benchRounds(b, 16, 4, func(nd *clique.Node) {
+		var ps []routing.Packet
+		if nd.ID() == 0 {
+			for i := 0; i < 96; i++ {
+				ps = append(ps, routing.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
+			}
+		}
+		routing.RouteDirect(nd, ps, 1)
+	})
+}
+
+// Ablation: engine determinism under different bandwidth budgets.
+
+func BenchmarkAblation_Bandwidth(b *testing.B) {
+	g := graph.Gnp(64, 0.5, 7)
+	for _, wpp := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("wpp=%d", wpp), func(b *testing.B) {
+			benchRounds(b, 64, wpp, func(nd *clique.Node) {
+				row := make([]uint64, 64)
+				for j := 0; j < 64; j++ {
+					row[j] = clique.BoolWord(g.HasEdge(nd.ID(), j))
+				}
+				routing.AllBroadcast(nd, row, 64)
+			})
+		})
+	}
+}
+
+// Sanity benchmark: the exponent fit used by the harness.
+
+func BenchmarkFitExponent(b *testing.B) {
+	ns := []int{27, 64, 125, 216}
+	rounds := []int{9, 12, 15, 18}
+	for i := 0; i < b.N; i++ {
+		fgc.FitExponent(ns, rounds)
+	}
+}
+
+// Extension benchmarks: MST and the labelling problems.
+
+func BenchmarkExt_MST(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		g := graph.GnpWeighted(n, 0.3, 60, false, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, 1, func(nd *clique.Node) {
+				mst.Find(nd, g.W[nd.ID()])
+			})
+		})
+	}
+}
+
+func BenchmarkExt_LabellingCheck(b *testing.B) {
+	p := nondet.MaximalMatchingProblem()
+	for _, n := range []int{16, 64} {
+		g := graph.Gnp(n, 0.4, uint64(n))
+		z := p.Solve(g)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v, err := nondet.RunVerifier(clique.Config{N: n}, g, p.Check, z)
+				if err != nil || !v.Accepted {
+					b.Fatal("checker rejected a greedy maximal matching")
+				}
+			}
+		})
+	}
+}

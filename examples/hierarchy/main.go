@@ -1,0 +1,84 @@
+// The Theorem 7 collapse protocol, live: every decision problem — here
+// "does G contain a triangle", but any computable predicate works — sits
+// in Sigma_2 of the unlimited constant-round decision hierarchy. The
+// existential prover guesses the whole graph at every node; the
+// universal challenger audits one bit per node; two broadcast rounds
+// settle everything.
+//
+// The demo shows the three behaviours that make the protocol tick:
+// honest proofs surviving every challenge, a lying prover caught by the
+// right challenge, and the label-size gap that locks this trick out of
+// the logarithmic hierarchy (Theorem 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/nondet"
+)
+
+func main() {
+	n := 4
+	yes := graph.Complete(n) // has triangles
+	no := graph.Path(n)      // has none
+	alg := hierarchy.SigmaTwoUniversal(graph.HasTriangle)
+
+	run := func(g *graph.Graph, z1, z2 nondet.Labelling) bool {
+		bits := make([]bool, g.N)
+		_, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+			labels := [][]uint64{z1[nd.ID()], z2[nd.ID()]}
+			bits[nd.ID()] = alg(nd, g.Row(nd.ID()), labels)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, b := range bits {
+			if !b {
+				return false
+			}
+		}
+		return true
+	}
+
+	// 1. Honest prover on the yes-instance survives a sweep of
+	// challenges.
+	honest := hierarchy.HonestGuess(yes)
+	rejected := 0
+	total := 0
+	for idx := 0; idx < n*n; idx++ {
+		z2 := hierarchy.CatchingChallenge(n, 0, idx/n, idx%n)
+		total++
+		if !run(yes, honest, z2) {
+			rejected++
+		}
+	}
+	fmt.Printf("honest prover, yes-instance: %d/%d challenges rejected (want 0)\n",
+		rejected, total)
+
+	// 2. A prover that claims the no-instance has a triangle, by
+	// guessing K4 instead of P4 at node 1: the challenge auditing a
+	// fabricated edge catches it.
+	lying := hierarchy.HonestGuess(no)
+	lying[1] = hierarchy.EncodeGuess(yes)
+	caught := hierarchy.CatchingChallenge(n, 1, 0, 2) // P4 has no edge {0,2}
+	fmt.Printf("lying prover, audited at the fabricated edge: accepted=%v (want false)\n",
+		run(no, lying, caught))
+
+	// 3. The label-size gap: the guess needs n^2 bits, the logarithmic
+	// hierarchy allows O(n log n).
+	fmt.Println()
+	fmt.Println("guess size vs logarithmic budget (c = 4):")
+	for _, m := range []int{8, 64, 512, 4096} {
+		fmt.Printf("  n=%5d: guess %8d bits, budget %8d bits, fits=%v\n",
+			m, hierarchy.GuessBits(m), 4*m*clique.WordBits(m),
+			hierarchy.GuessBits(m) <= 4*m*clique.WordBits(m))
+	}
+	fmt.Println()
+	fmt.Println("Theorem 7 collapses the unlimited hierarchy to level 2;")
+	fmt.Println("Theorem 8 shows no constant level of the O(n log n)-label hierarchy")
+	fmt.Println("contains all problems — the budget rows above are the reason why.")
+}

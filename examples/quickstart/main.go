@@ -1,0 +1,39 @@
+// Quickstart: simulate a congested clique, run a real algorithm on a
+// random input graph, and read off the model costs. This is the
+// five-minute tour of the repository: the simulator (internal/clique),
+// an input graph (internal/graph), and the Dolev et al. triangle
+// detection algorithm (internal/subgraph) at O(n^{1/3}) rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/subgraph"
+)
+
+func main() {
+	const n = 64
+	g := graph.Gnp(n, 0.08, 42)
+	fmt.Printf("input: G(n=%d, p=0.08), %d edges, oracle says triangle=%v\n",
+		n, g.NumEdges(), graph.HasTriangle(g))
+
+	answers := make([]bool, n)
+	res, err := clique.Run(clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
+		// Each node sees only its own adjacency row — the model's input
+		// assumption — and participates in the distributed detection.
+		answers[nd.ID()] = subgraph.DetectTriangle(nd, g.Row(nd.ID()))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("all %d nodes agree: triangle=%v\n", n, answers[0])
+	fmt.Printf("cost: %d rounds, %d words (%d bits) on the wire, busiest link %d words/round\n",
+		res.Stats.Rounds, res.Stats.WordsSent, res.Stats.BitsSent, res.Stats.MaxPairWords)
+	fmt.Println()
+	fmt.Println("compare: learning the whole graph trivially costs ~n/log n rounds;")
+	fmt.Printf("the partition algorithm above used %d rounds at n=%d.\n", res.Stats.Rounds, n)
+}

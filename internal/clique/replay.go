@@ -1,0 +1,79 @@
+package clique
+
+import "fmt"
+
+// ReplayResult reports what a single node did when driven against a
+// scripted sequence of incoming messages.
+type ReplayResult struct {
+	// Sent[r][p] are the words the node sent to peer p in round r.
+	Sent [][][]uint64
+	// Rounds is the number of rounds the node completed before
+	// returning or before the script plus one grace round ran out.
+	Rounds int
+	// Completed reports whether the node function returned normally.
+	Completed bool
+}
+
+// Replay runs the node function f as node id of an n-node clique whose
+// other n-1 nodes are scripted stubs: in round r, stub p sends exactly
+// inbox[r][p] to node id and nothing else. This isolates one node's
+// behaviour, which is what step (3) of Theorem 3's normal-form verifier
+// needs: node v locally re-executes the algorithm A against the received
+// half of a communication transcript and compares what A would have sent.
+//
+// inbox[r][id] must be empty (a node does not message itself). f must
+// terminate within len(inbox)+1 rounds; if it keeps ticking after the
+// script is exhausted it receives nothing and the run is cut off.
+func Replay(cfg Config, id int, f NodeFunc, inbox [][][]uint64) (*ReplayResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if id < 0 || id >= cfg.N {
+		return nil, fmt.Errorf("clique: replay node id %d out of range [0,%d)", id, cfg.N)
+	}
+	for r := range inbox {
+		if len(inbox[r]) != cfg.N {
+			return nil, fmt.Errorf("clique: replay inbox round %d has %d entries, want %d", r, len(inbox[r]), cfg.N)
+		}
+		if len(inbox[r][id]) != 0 {
+			return nil, fmt.Errorf("clique: replay inbox round %d addresses node %d to itself", r, id)
+		}
+	}
+	cfg.RecordTranscript = true
+	if cfg.MaxRounds == 0 || cfg.MaxRounds > len(inbox)+1 {
+		cfg.MaxRounds = len(inbox) + 1
+	}
+
+	completed := false
+	rounds := 0
+	res, err := Run(cfg, func(nd *Node) {
+		if nd.ID() != id {
+			for r := 0; r < len(inbox); r++ {
+				words := inbox[r][nd.ID()]
+				if len(words) > 0 {
+					nd.Send(id, words...)
+				}
+				nd.Tick()
+			}
+			return
+		}
+		f(nd)
+		completed = true
+		rounds = nd.Round()
+	})
+	// Exceeding MaxRounds after the script ran out is the documented
+	// cut-off, not a caller error.
+	if err != nil && !completed {
+		return nil, err
+	}
+
+	out := &ReplayResult{Completed: completed, Rounds: rounds}
+	if res.Transcripts != nil && id < len(res.Transcripts) {
+		tr := res.Transcripts[id]
+		for r := 0; r < rounds && r < len(tr.Rounds); r++ {
+			out.Sent = append(out.Sent, tr.Rounds[r].Sent)
+		}
+	}
+	return out, nil
+}

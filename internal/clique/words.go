@@ -1,0 +1,60 @@
+package clique
+
+import "fmt"
+
+// This file holds the encodings algorithms use to pack structured values
+// into O(log n)-bit words. A pair of node ids fits in 2*ceil(log2 n) bits,
+// which the model still counts as O(log n); callers that must stay within
+// strictly ceil(log2 n) bits per message send the components in separate
+// words and pay the constant in rounds instead, exactly as the paper's
+// normalisation discussion allows.
+
+// PairWord packs an ordered pair of node ids u, v from an n-node clique
+// into a single word u*n + v.
+func PairWord(u, v, n int) uint64 {
+	if u < 0 || u >= n || v < 0 || v >= n {
+		panic(fmt.Sprintf("clique: PairWord(%d, %d) out of range for n = %d", u, v, n))
+	}
+	return uint64(u)*uint64(n) + uint64(v)
+}
+
+// UnpairWord inverts PairWord.
+func UnpairWord(w uint64, n int) (u, v int) {
+	u = int(w / uint64(n))
+	v = int(w % uint64(n))
+	if u >= n {
+		panic(fmt.Sprintf("clique: UnpairWord(%d) out of range for n = %d", w, n))
+	}
+	return u, v
+}
+
+// PackBits packs a bit vector into words, 64 bits per word, little-endian
+// within each word. Note that a packed word carries 64 bits, not O(log n)
+// bits; senders must account for the ratio themselves (the helpers in
+// package routing do).
+func PackBits(bits []bool) []uint64 {
+	words := make([]uint64, (len(bits)+63)/64)
+	for i, b := range bits {
+		if b {
+			words[i/64] |= 1 << (i % 64)
+		}
+	}
+	return words
+}
+
+// UnpackBits inverts PackBits given the original bit count.
+func UnpackBits(words []uint64, n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = words[i/64]&(1<<(i%64)) != 0
+	}
+	return bits
+}
+
+// BoolWord converts a bool to a 0/1 word.
+func BoolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

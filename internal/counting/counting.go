@@ -1,0 +1,176 @@
+// Package counting implements Section 4's machinery: the protocol
+// counting bound of Lemma 1 (after Applebaum et al. [1]) and the
+// inequality arithmetic behind the time hierarchy theorems (Theorem 2),
+// their nondeterministic extension (Theorem 4 / Corollary 5), and the
+// logarithmic-hierarchy separation (Theorem 8).
+//
+// A (n, b, L, t)-protocol has n nodes, b bits of bandwidth per ordered
+// pair per round, L private input bits per node and t rounds; all nodes
+// must output the same bit. Lemma 1 bounds the number of distinct
+// protocols by
+//
+//	2^(2 b n^2) * 2^(2^(L + b t (n-1))),
+//
+// while the number of functions f : {0,1}^{nL} -> {0,1} is 2^(2^(nL)).
+// Whenever the former is smaller, some function has no protocol — a
+// "hard function" — and the hierarchy theorems pick their languages from
+// exactly such functions. All quantities here are handled as base-2
+// logarithms in big.Int form (the numbers themselves are doubly
+// exponential).
+package counting
+
+import "math/big"
+
+// Params identifies a protocol class.
+type Params struct {
+	N int // nodes
+	B int // bandwidth bits per ordered pair per round
+	L int // private input bits per node
+	T int // rounds
+	// M is the nondeterministic guess size in bits per node; zero for
+	// deterministic protocols (Theorem 4 counts (n, b, M+L, t)
+	// protocols).
+	M int
+}
+
+// ProtocolCountLog2 returns log2 of the Lemma 1 bound:
+// 2 b n^2 + 2^(M + L + b t (n-1)).
+func (p Params) ProtocolCountLog2() *big.Int {
+	exp := p.M + p.L + p.B*p.T*(p.N-1)
+	out := big.NewInt(1)
+	out.Lsh(out, uint(exp)) // 2^exp
+	out.Add(out, big.NewInt(int64(2*p.B*p.N*p.N)))
+	return out
+}
+
+// FunctionCountLog2 returns log2 of the number of Boolean functions on
+// the full input: 2^(n L).
+func (p Params) FunctionCountLog2() *big.Int {
+	out := big.NewInt(1)
+	out.Lsh(out, uint(p.N*p.L))
+	return out
+}
+
+// HardFunctionExists reports whether Lemma 1 guarantees a function with
+// no (n, b, M+L, t)-protocol: the protocol count bound is strictly below
+// the function count.
+func (p Params) HardFunctionExists() bool {
+	return p.ProtocolCountLog2().Cmp(p.FunctionCountLog2()) < 0
+}
+
+// MaxHardRounds returns the largest t such that a hard function still
+// exists for (n, b, L, t), or -1 if none does even at t = 0. The paper
+// quotes the threshold t < L/b - 1; the exact value computed here is
+// marginally sharper because it keeps the 2 b n^2 term.
+func MaxHardRounds(n, b, L int) int {
+	if !(Params{N: n, B: b, L: L, T: 0}).HardFunctionExists() {
+		return -1
+	}
+	lo, hi := 0, n*L // far beyond any possible threshold
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if (Params{N: n, B: b, L: L, T: mid}).HardFunctionExists() {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// log2ceil returns ceil(log2 n) for n >= 1.
+func log2ceil(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Theorem2Params instantiates the proof of Theorem 2 for a concrete n
+// and target complexity T(n): bandwidth b = ceil(log2 n), input prefix
+// length L = T(n) * b, and the hard function must avoid all
+// (n, b, L, T(n)/2)-protocols. Valid reports whether the premises hold
+// at this n (T(n) < n / (4 log n), as the proof assumes for large n) and
+// the hard function exists.
+type Theorem2Witness struct {
+	Params Params
+	// Upper is the round budget of the containment direction: T(n)
+	// rounds suffice to broadcast the L-bit prefixes.
+	Upper int
+	// LowerExcluded is the round budget the hard function rules out.
+	LowerExcluded int
+	Valid         bool
+}
+
+// Theorem2Params builds the witness parameters for given n and T(n).
+func Theorem2Params(n, Tn int) Theorem2Witness {
+	b := log2ceil(n)
+	L := Tn * b
+	w := Theorem2Witness{
+		Params:        Params{N: n, B: b, L: L, T: Tn / 2},
+		Upper:         Tn,
+		LowerExcluded: Tn / 2,
+	}
+	w.Valid = Tn >= 1 && 4*Tn*b < n && L <= n/2 && w.Params.HardFunctionExists()
+	return w
+}
+
+// Theorem4Witness carries the nondeterministic construction: guess size
+// M = T(n) n log(n) / 4 and the inequality
+// M + L + T(n) (n-1) log n < (3/4) n L from the paper's proof.
+type Theorem4Witness struct {
+	Params Params // with M set; T = T(n)/4 as in the proof
+	Upper  int
+	Valid  bool
+	// PaperInequality is the proof's sufficient condition evaluated
+	// exactly.
+	PaperInequality bool
+}
+
+// Theorem4Params builds the witness for given n and T(n).
+func Theorem4Params(n, Tn int) Theorem4Witness {
+	b := log2ceil(n)
+	L := Tn * b
+	M := Tn * n * b / 4
+	w := Theorem4Witness{
+		Params: Params{N: n, B: b, L: L, T: Tn / 4, M: M},
+		Upper:  Tn,
+	}
+	// The counted protocols run T(n)/4 rounds, so their communication
+	// term is (T/4)(n-1) log n; together with M = T n log n / 4 the sum
+	// stays at (1/2 + o(1)) T n log n < (3/4) n L, as in the paper.
+	lhs := M + L + (Tn/4)*(n-1)*b
+	rhs := 3 * n * L / 4
+	w.PaperInequality = lhs < rhs
+	w.Valid = Tn >= 1 && 4*Tn*b < n && w.Params.HardFunctionExists()
+	return w
+}
+
+// Theorem8Witness carries the logarithmic-hierarchy separation
+// parameters: T(n) = omega(n) regime with L = T(n)^2 log n and
+// M = T(n) n log(n) / 4; for every k <= T(n) the Sigma^log_k protocols
+// with k guesses of M bits are counted out.
+type Theorem8Witness struct {
+	N, K    int
+	Tn      int
+	Params  Params // with M = k * (per-level M); T = T(n)^2 / 4
+	Valid   bool
+	PaperLH int // left-hand side of the paper's inequality, in bits
+	PaperRH int // right-hand side (3/4) n L
+}
+
+// Theorem8Params builds the witness for given n, level k, and T(n).
+func Theorem8Params(n, k, Tn int) Theorem8Witness {
+	b := log2ceil(n)
+	L := Tn * Tn * b
+	M := Tn * n * b / 4
+	w := Theorem8Witness{
+		N: n, K: k, Tn: Tn,
+		Params:  Params{N: n, B: b, L: L, T: Tn * Tn / 4, M: k * M},
+		PaperLH: k*M + L + Tn*Tn*(n-1)*b/4,
+		PaperRH: 3 * n * L / 4,
+	}
+	w.Valid = k >= 1 && k <= Tn && w.PaperLH < w.PaperRH && w.Params.HardFunctionExists()
+	return w
+}

@@ -1,0 +1,125 @@
+// Package domset implements Theorem 9 of the paper: a dominating set of
+// size k can be found in O(n^{1-1/k}) rounds in the congested clique.
+//
+// The algorithm is the paper's modification of the Dolev et al. subgraph
+// search: with the partition scheme of package partition, the node
+// labelled (j_1, ..., j_k) learns all edges *incident* to
+// S_v = S_{j_1} u ... u S_{j_k} — O(k n^{2-1/k}) words, delivered in
+// O(n^{1-1/k}) rounds via the routing substrate — and then locally checks
+// whether some k-subset of S_v dominates the whole graph. If a dominating
+// set D = {v_1, ..., v_k} exists with v_i in part j_i, the node labelled
+// (j_1, ..., j_k) finds it.
+package domset
+
+import (
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/routing"
+	"repro/internal/subgraph"
+)
+
+// Result is the outcome of the search, identical at every node.
+type Result struct {
+	// Found reports whether a dominating set of size at most k exists.
+	Found bool
+	// Witness is a dominating set of size <= k if Found; the witness
+	// found by the lowest-id successful node is broadcast so that all
+	// nodes agree on it. Nil if not Found.
+	Witness []int
+}
+
+// Find looks for a dominating set of size k. row is this node's
+// adjacency bitset. Rounds: O(n^{1-1/k}) for the gather plus k+2
+// bookkeeping rounds to agree on the witness.
+func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
+	n := nd.N()
+	if k < 1 {
+		nd.Fail("domset: k = %d", k)
+	}
+	if k >= n {
+		// Everything dominates; trivial witness.
+		w := make([]int, 0, k)
+		for v := 0; v < n && v < k; v++ {
+			w = append(w, v)
+		}
+		return Result{Found: true, Witness: w}
+	}
+	s := partition.New(n, k)
+	local := subgraph.GatherEdges(nd, row, s, subgraph.ScopeIncident)
+
+	// Local search: any k-subset of S_v that dominates V. The paper's
+	// step (3): knowing all edges incident to S_v suffices to verify
+	// domination of the full vertex set.
+	var witness []int
+	if lbl := s.Label(nd.ID()); lbl != nil {
+		union := s.Union(nd.ID())
+		witness = searchDominating(local, union, k)
+	}
+	return agreeOnWitness(nd, witness, k)
+}
+
+// searchDominating returns a k-subset of candidates dominating all of g,
+// or nil.
+func searchDominating(g *graph.Graph, candidates []int, k int) []int {
+	sel := make([]int, 0, k)
+	var rec func(start int) []int
+	rec = func(start int) []int {
+		if len(sel) == k {
+			if graph.IsDominatingSet(g, sel) {
+				return append([]int(nil), sel...)
+			}
+			return nil
+		}
+		for i := start; i < len(candidates); i++ {
+			sel = append(sel, candidates[i])
+			if got := rec(i + 1); got != nil {
+				return got
+			}
+			sel = sel[:len(sel)-1]
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// agreeOnWitness publishes the lowest-id node's witness (if any) so that
+// all nodes produce identical output: one round to announce success,
+// then k rounds in which the elected node broadcasts its witness.
+func agreeOnWitness(nd clique.Endpoint, witness []int, k int) Result {
+	n := nd.N()
+	me := nd.ID()
+	has := clique.BoolWord(witness != nil)
+	flags := routing.BroadcastWord(nd, has)
+	leader := -1
+	for v := 0; v < n; v++ {
+		if flags[v] != 0 {
+			leader = v
+			break
+		}
+	}
+	if leader < 0 {
+		return Result{}
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		if me == leader {
+			nd.Broadcast(uint64(witness[i]))
+		}
+		nd.Tick()
+		if me == leader {
+			out[i] = witness[i]
+		} else if w := nd.Recv(leader); len(w) == 1 {
+			out[i] = int(w[0])
+		} else {
+			nd.Fail("domset: missing witness word %d from leader %d", i, leader)
+		}
+	}
+	return Result{Found: true, Witness: out}
+}
+
+// Decide is the decision version: does a dominating set of size at most
+// k exist?
+func Decide(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	return Find(nd, row, k).Found
+}

@@ -1,0 +1,51 @@
+// Package gather implements the trivial full-information algorithms of
+// the congested clique: every node learns the entire input graph by
+// broadcasting its adjacency row with honest O(log n)-bit packing, which
+// takes ceil(n / (log n * wordsPerPair)) rounds, and then solves the
+// problem locally for free. These are the delta <= 1 upper bounds that
+// problems like maximum independent set, minimum vertex cover and
+// k-colouring carry in Figure 1 of the paper.
+package gather
+
+import (
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Full reconstructs the whole input graph at this node. row is the
+// node's adjacency bitset.
+func Full(nd clique.Endpoint, row graph.Bitset) *graph.Graph {
+	n := nd.N()
+	bits := make([]bool, n)
+	for u := 0; u < n; u++ {
+		bits[u] = u != nd.ID() && row.Has(u)
+	}
+	table := routing.BroadcastBits(nd, bits)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if table[v][u] && u != v {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// MaxIndependentSetSize computes the independence number at every node;
+// all nodes return the same value because they solve the same local
+// instance deterministically.
+func MaxIndependentSetSize(nd clique.Endpoint, row graph.Bitset) int {
+	return graph.MaxIndependentSetSize(Full(nd, row))
+}
+
+// MinVertexCoverSize computes the vertex cover number at every node.
+func MinVertexCoverSize(nd clique.Endpoint, row graph.Bitset) int {
+	return graph.MinVertexCoverSize(Full(nd, row))
+}
+
+// KColorable decides k-colourability at every node.
+func KColorable(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	return graph.IsKColorable(Full(nd, row), k)
+}

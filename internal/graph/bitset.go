@@ -1,0 +1,61 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers, used for
+// adjacency rows. The zero value of a slice-backed bitset is not usable;
+// construct with NewBitset.
+type Bitset []uint64
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set inserts i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Clear removes i.
+func (b Bitset) Clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+// Has reports whether i is present.
+func (b Bitset) Has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Count returns the number of elements.
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy.
+func (b Bitset) Clone() Bitset {
+	return append(Bitset(nil), b...)
+}
+
+// IntersectsWith reports whether b and o share an element.
+func (b Bitset) IntersectsWith(o Bitset) bool {
+	m := len(b)
+	if len(o) < m {
+		m = len(o)
+	}
+	for i := 0; i < m; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Each calls f for every element in increasing order.
+func (b Bitset) Each(f func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			i := bits.TrailingZeros64(word)
+			f(w*64 + i)
+			word &= word - 1
+		}
+	}
+}

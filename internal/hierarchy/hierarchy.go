@@ -1,0 +1,155 @@
+// Package hierarchy implements Section 6.2 of the paper: the
+// constant-round decision hierarchy (Sigma_k, Pi_k) of the congested
+// clique, the analogue of the polynomial hierarchy obtained by letting
+// the nodes alternate existential and universal label quantifiers.
+//
+// Two variants matter: the *unlimited* hierarchy, which Theorem 7 shows
+// collapses to the second level (every decision problem is in
+// Sigma_2 = Pi_2, via the guess-the-whole-graph protocol implemented
+// here as SigmaTwoUniversal), and the *logarithmic* hierarchy, whose
+// labels are capped at O(n log n) bits per node and which, by Theorem 8,
+// does not contain all problems. The label-budget accounting for the
+// logarithmic variant is FitsLogBudget; the counting argument behind
+// Theorem 8 lives in package counting.
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/nondet"
+)
+
+// KLabelAlgorithm is a constant-round algorithm taking k labellings
+// (Section 6.2): labels[i] is this node's level-i label.
+type KLabelAlgorithm func(nd clique.Endpoint, row graph.Bitset, labels [][]uint64) bool
+
+// Level is one quantifier level of a hierarchy formula.
+type Level struct {
+	// Exists selects the existential quantifier; false means universal.
+	Exists bool
+	// Space enumerates the candidate per-node labels at this level.
+	Space nondet.LabelSpace
+}
+
+// SigmaPrefix returns the Sigma_k quantifier pattern (exists, forall,
+// exists, ...) over a common label space.
+func SigmaPrefix(k int, space nondet.LabelSpace) []Level {
+	levels := make([]Level, k)
+	for i := range levels {
+		levels[i] = Level{Exists: i%2 == 0, Space: space}
+	}
+	return levels
+}
+
+// PiPrefix returns the Pi_k pattern (forall, exists, ...).
+func PiPrefix(k int, space nondet.LabelSpace) []Level {
+	levels := make([]Level, k)
+	for i := range levels {
+		levels[i] = Level{Exists: i%2 == 1, Space: space}
+	}
+	return levels
+}
+
+// Eval decides whether
+//
+//	Q_1 z_1 Q_2 z_2 ... Q_k z_k : A(G, z_1, ..., z_k) = 1
+//
+// by exhaustive enumeration of the per-node label assignments at every
+// level. The cost is |space|^(n*k) runs: this realises the *definition*
+// on micro instances and is the ground truth the protocol-level results
+// are tested against.
+func Eval(cfg clique.Config, g *graph.Graph, alg KLabelAlgorithm, levels []Level) (bool, error) {
+	assigned := make([]nondet.Labelling, len(levels))
+	var rec func(level int) (bool, error)
+	rec = func(level int) (bool, error) {
+		if level == len(levels) {
+			return runK(cfg, g, alg, assigned)
+		}
+		lv := levels[level]
+		// Enumerate all labellings of this level: per-node choice from
+		// the level's space.
+		var all [][]uint64
+		lv.Space(func(l []uint64) bool {
+			all = append(all, append([]uint64(nil), l...))
+			return true
+		})
+		if len(all) == 0 {
+			return false, fmt.Errorf("hierarchy: empty label space at level %d", level)
+		}
+		z := make(nondet.Labelling, g.N)
+		var enum func(v int) (bool, error)
+		enum = func(v int) (bool, error) {
+			if v == g.N {
+				assigned[level] = z
+				inner, err := rec(level + 1)
+				if err != nil {
+					return false, err
+				}
+				// Short-circuit semantics: an existential level needs
+				// one success; a universal level needs no failure.
+				if lv.Exists {
+					return inner, nil
+				}
+				return !inner, nil
+			}
+			for _, l := range all {
+				z[v] = l
+				hit, err := enum(v + 1)
+				if hit || err != nil {
+					return hit, err
+				}
+			}
+			return false, nil
+		}
+		hit, err := enum(0)
+		if err != nil {
+			return false, err
+		}
+		if lv.Exists {
+			return hit, nil // found an accepted assignment
+		}
+		return !hit, nil // hit means "found a rejected assignment"
+	}
+	return rec(0)
+}
+
+// runK executes A once under the given labellings and reports global
+// acceptance.
+func runK(cfg clique.Config, g *graph.Graph, alg KLabelAlgorithm, zs []nondet.Labelling) (bool, error) {
+	if cfg.N == 0 {
+		cfg.N = g.N
+	}
+	bits := make([]bool, g.N)
+	_, err := clique.Run(cfg, func(nd *clique.Node) {
+		labels := make([][]uint64, len(zs))
+		for i, z := range zs {
+			if nd.ID() < len(z) {
+				labels[i] = z[nd.ID()]
+			}
+		}
+		bits[nd.ID()] = alg(nd, g.Row(nd.ID()), labels)
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, b := range bits {
+		if !b {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FitsLogBudget reports whether a labelling respects the logarithmic
+// hierarchy's label cap of c * n * ceil(log2 n) bits per node.
+func FitsLogBudget(z nondet.Labelling, n, c int) bool {
+	cap := c * n * clique.WordBits(n)
+	for _, l := range z {
+		if len(l)*clique.WordBits(n) > cap {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package hierarchy
+
+import (
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/nondet"
+)
+
+// This file implements the Theorem 7 protocol: every decision problem L
+// (any computable graph predicate at all) is in Sigma_2 of the unlimited
+// hierarchy. The existential labels let each node guess the entire input
+// graph; the universal labels audit one bit of each guess per node; and
+// acceptance requires every guess to be the true graph, at which point
+// the predicate is evaluated locally for free.
+
+// GuessBits returns the existential label size of the protocol in bits:
+// one bit per ordered vertex pair, the paper's "n^2 bits per node".
+// This exceeds any O(n log n) budget once n outgrows c * log n — the
+// reason the trick is unavailable to the logarithmic hierarchy.
+func GuessBits(n int) int { return n * n }
+
+// EncodeGuess packs a graph into an existential label (n^2 bits, 64 per
+// word).
+func EncodeGuess(g *graph.Graph) []uint64 {
+	n := g.N
+	words := make([]uint64, (n*n+63)/64)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if g.HasEdge(u, v) {
+				i := u*n + v
+				words[i/64] |= 1 << (i % 64)
+			}
+		}
+	}
+	return words
+}
+
+// DecodeGuess unpacks an existential label into a graph; returns nil if
+// the label has the wrong shape or encodes an asymmetric or reflexive
+// relation.
+func DecodeGuess(words []uint64, n int) *graph.Graph {
+	if len(words) != (n*n+63)/64 {
+		return nil
+	}
+	bit := func(u, v int) bool {
+		i := u*n + v
+		return words[i/64]&(1<<(i%64)) != 0
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		if bit(u, u) {
+			return nil
+		}
+		for v := u + 1; v < n; v++ {
+			if bit(u, v) != bit(v, u) {
+				return nil
+			}
+			if bit(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// SigmaTwoUniversal builds the Theorem 7 two-label algorithm for an
+// arbitrary computable predicate. Protocol, per node v:
+//
+//	(1) the existential label z1_v is a guess G'_v of the whole input;
+//	(2) the universal label z2_v picks one ordered pair; v broadcasts
+//	    the pair index and the corresponding bit of G'_v (two rounds at
+//	    one word per pair);
+//	(3) v rejects if any broadcast bit contradicts its own guess, or if
+//	    any broadcast bit concerning an edge incident to v contradicts
+//	    v's actual input row, or its own announced bit does;
+//	(4) v accepts iff pred(G'_v) holds.
+//
+// If every guess equals G, step (3) never fires and step (4) computes
+// the truth. If some guess is wrong, the universal player has a choice
+// of z2 that makes an endpoint of the offending pair reject.
+func SigmaTwoUniversal(pred func(g *graph.Graph) bool) KLabelAlgorithm {
+	return func(nd clique.Endpoint, row graph.Bitset, labels [][]uint64) bool {
+		n := nd.N()
+		me := nd.ID()
+
+		var guess *graph.Graph
+		var idx uint64
+		if len(labels) == 2 {
+			guess = DecodeGuess(labels[0], n)
+			if len(labels[1]) == 1 {
+				idx = labels[1][0] % uint64(n*n)
+			}
+		}
+		myBit := uint64(0)
+		if guess != nil && guess.HasEdge(int(idx)/n, int(idx)%n) {
+			myBit = 1
+		}
+		// Fixed two-round structure regardless of label validity.
+		nd.Broadcast(idx)
+		nd.Tick()
+		idxs := make([]uint64, n)
+		for u := 0; u < n; u++ {
+			if u == me {
+				idxs[u] = idx
+			} else if w := nd.Recv(u); len(w) == 1 {
+				idxs[u] = w[0] % uint64(n*n)
+			}
+		}
+		nd.Broadcast(myBit)
+		nd.Tick()
+		bits := make([]uint64, n)
+		for u := 0; u < n; u++ {
+			if u == me {
+				bits[u] = myBit
+			} else if w := nd.Recv(u); len(w) == 1 {
+				bits[u] = w[0] & 1
+			}
+		}
+
+		if guess == nil || len(labels) != 2 || len(labels[1]) != 1 {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			a, b := int(idxs[u])/n, int(idxs[u])%n
+			// Consistency with my own guess.
+			want := uint64(0)
+			if guess.HasEdge(a, b) {
+				want = 1
+			}
+			if bits[u] != want {
+				return false
+			}
+			// Consistency with my actual input where I can check it.
+			if a == me || b == me {
+				other := a + b - me
+				actual := uint64(0)
+				if other != me && row.Has(other) {
+					actual = 1
+				}
+				if bits[u] != actual {
+					return false
+				}
+			}
+		}
+		return pred(guess)
+	}
+}
+
+// HonestGuess returns the existential labelling in which every node
+// guesses the true graph — the accepting strategy on yes-instances.
+func HonestGuess(g *graph.Graph) nondet.Labelling {
+	z := make(nondet.Labelling, g.N)
+	enc := EncodeGuess(g)
+	for v := range z {
+		z[v] = append([]uint64(nil), enc...)
+	}
+	return z
+}
+
+// CatchingChallenge returns a universal labelling that makes the
+// protocol reject when node cheater's guess differs from the true graph
+// at ordered pair (a, b): the cheater is forced to announce its wrong
+// bit, which an endpoint of the pair refutes. The other nodes' universal
+// labels are irrelevant and set to 0.
+func CatchingChallenge(n, cheater, a, b int) nondet.Labelling {
+	z := make(nondet.Labelling, n)
+	for v := range z {
+		z[v] = []uint64{0}
+	}
+	z[cheater] = []uint64{uint64(a*n + b)}
+	return z
+}

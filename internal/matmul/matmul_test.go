@@ -1,0 +1,270 @@
+package matmul
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+func randomMatrix(n int, maxVal int64, density float64, s Semiring, seed uint64) [][]int64 {
+	rng := rand.New(rand.NewPCG(seed, 17))
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			if rng.Float64() < density {
+				// Normalising through Add keeps entries inside the
+				// semiring's value set (Boolean clamps to 1).
+				m[i][j] = s.Add(s.Zero(), 1+rng.Int64N(maxVal))
+			} else {
+				m[i][j] = s.Zero()
+			}
+		}
+	}
+	return m
+}
+
+func matEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSemiringLaws(t *testing.T) {
+	rings := []Semiring{Boolean{}, Ring{}, MinPlus{}}
+	vals := []int64{0, 1, 2, 5, graph.Inf}
+	for _, s := range rings {
+		z := s.Zero()
+		for _, a := range vals {
+			if s.Add(a, z) != s.Add(z, a) {
+				t.Errorf("%s: Add not commutative with zero", s.Name())
+			}
+			if got := s.Add(a, z); got != a && !(s.Name() == "boolean" && a > 1 && got == 1) {
+				// Boolean normalises nonzero to 1; other rings must
+				// return a exactly.
+				if s.Name() != "boolean" {
+					t.Errorf("%s: a + 0 = %d, want %d", s.Name(), got, a)
+				}
+			}
+			for _, b := range vals {
+				if s.Add(a, b) != s.Add(b, a) {
+					t.Errorf("%s: Add(%d,%d) not commutative", s.Name(), a, b)
+				}
+			}
+		}
+	}
+	// Zero annihilates multiplication in all three.
+	for _, s := range rings {
+		if !isAnnihilating(s) {
+			t.Errorf("%s: zero does not annihilate", s.Name())
+		}
+	}
+}
+
+func TestMinPlusSaturation(t *testing.T) {
+	s := MinPlus{}
+	if got := s.Mul(graph.Inf, 5); got != graph.Inf {
+		t.Errorf("Inf (*) 5 = %d", got)
+	}
+	if got := s.Mul(graph.Inf, graph.Inf); got != graph.Inf {
+		t.Errorf("Inf (*) Inf = %d (overflow?)", got)
+	}
+	if got := s.Add(graph.Inf, 3); got != 3 {
+		t.Errorf("min(Inf, 3) = %d", got)
+	}
+}
+
+func TestMulLocalIdentity(t *testing.T) {
+	for _, s := range []Semiring{Boolean{}, Ring{}, MinPlus{}} {
+		a := randomMatrix(6, 5, 0.5, s, 3)
+		id := Identity(s, 6)
+		if !matEqual(MulLocal(s, a, id), a) {
+			t.Errorf("%s: A * I != A", s.Name())
+		}
+		if !matEqual(MulLocal(s, id, a), a) {
+			t.Errorf("%s: I * A != A", s.Name())
+		}
+	}
+}
+
+func TestMulLocalKnownProduct(t *testing.T) {
+	a := [][]int64{{1, 2}, {3, 4}}
+	b := [][]int64{{5, 6}, {7, 8}}
+	want := [][]int64{{19, 22}, {43, 50}}
+	if got := MulLocal(Ring{}, a, b); !matEqual(got, want) {
+		t.Errorf("ring product = %v, want %v", got, want)
+	}
+	// (min,+) on a tiny shortest-path example.
+	inf := graph.Inf
+	w := [][]int64{{0, 1, inf}, {1, 0, 1}, {inf, 1, 0}}
+	d2 := MulLocal(MinPlus{}, w, w)
+	if d2[0][2] != 2 {
+		t.Errorf("min-plus square d(0,2) = %d, want 2", d2[0][2])
+	}
+}
+
+// runDistributedMul runs a MulFunc on a full matrix pair distributed
+// row-wise and reassembles the result.
+func runDistributedMul(t *testing.T, n int, mul MulFunc, s Semiring, a, b [][]int64, wpp int) ([][]int64, *clique.Result) {
+	t.Helper()
+	out := make([][]int64, n)
+	res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp}, func(nd *clique.Node) {
+		out[nd.ID()] = mul(nd, s, a[nd.ID()], b[nd.ID()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, res
+}
+
+func TestMulNaiveMatchesLocal(t *testing.T) {
+	for _, s := range []Semiring{Boolean{}, Ring{}, MinPlus{}} {
+		n := 9
+		a := randomMatrix(n, 4, 0.6, s, 5)
+		b := randomMatrix(n, 4, 0.6, s, 6)
+		got, _ := runDistributedMul(t, n, MulNaive, s, a, b, 1)
+		if want := MulLocal(s, a, b); !matEqual(got, want) {
+			t.Errorf("%s: naive distributed product differs from local", s.Name())
+		}
+	}
+}
+
+func TestMul3DMatchesLocal(t *testing.T) {
+	// Includes non-perfect-cube sizes and the degenerate q=1 case.
+	for _, n := range []int{5, 8, 12, 27, 30} {
+		for _, s := range []Semiring{Boolean{}, Ring{}, MinPlus{}} {
+			a := randomMatrix(n, 4, 0.5, s, uint64(n))
+			b := randomMatrix(n, 4, 0.5, s, uint64(n)+1)
+			got, _ := runDistributedMul(t, n, Mul3D, s, a, b, 8)
+			if want := MulLocal(s, a, b); !matEqual(got, want) {
+				t.Errorf("%s n=%d: 3D product differs from local", s.Name(), n)
+			}
+		}
+	}
+}
+
+func TestMul3DSparseInfinity(t *testing.T) {
+	// A mostly-Inf min-plus instance: make sure padding does not leak
+	// zeros into the product.
+	n := 27
+	s := MinPlus{}
+	a := randomMatrix(n, 9, 0.1, s, 70)
+	b := randomMatrix(n, 9, 0.1, s, 71)
+	got, _ := runDistributedMul(t, n, Mul3D, s, a, b, 8)
+	if want := MulLocal(s, a, b); !matEqual(got, want) {
+		t.Error("sparse min-plus 3D product differs from local")
+	}
+}
+
+func TestMul3DScalesSublinearly(t *testing.T) {
+	// The point of the 3D schedule is the exponent, not small-n
+	// constants: growing n by 8x (27 -> 216) multiplies naive rounds by
+	// 8 (delta = 1) but 3D rounds by roughly 8^{1/3} = 2 (delta = 1/3).
+	// Allow generous slack for routing variance.
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	s := Boolean{}
+	rounds := func(n int, mul MulFunc) int {
+		a := randomMatrix(n, 1, 0.5, s, uint64(n)+20)
+		b := randomMatrix(n, 1, 0.5, s, uint64(n)+21)
+		got, res := runDistributedMul(t, n, mul, s, a, b, 8)
+		if want := MulLocal(s, a, b); !matEqual(got, want) {
+			t.Fatalf("n=%d: product incorrect", n)
+		}
+		return res.Stats.Rounds
+	}
+	naiveRatio := float64(rounds(216, MulNaive)) / float64(rounds(27, MulNaive))
+	tdRatio := float64(rounds(216, Mul3D)) / float64(rounds(27, Mul3D))
+	if naiveRatio < 6 {
+		t.Errorf("naive ratio %.2f, want about 8", naiveRatio)
+	}
+	if tdRatio > 5 {
+		t.Errorf("3D ratio %.2f, want about 2 (must stay well below naive's 8)", tdRatio)
+	}
+	if tdRatio >= naiveRatio {
+		t.Errorf("3D scaling (%.2f) not better than naive (%.2f)", tdRatio, naiveRatio)
+	}
+}
+
+func TestCubePartHelpers(t *testing.T) {
+	cases := []struct{ n, q int }{{1, 1}, {7, 1}, {8, 2}, {26, 2}, {27, 3}, {63, 3}, {64, 4}, {124, 4}, {125, 5}}
+	for _, c := range cases {
+		if got := cube(c.n); got != c.q {
+			t.Errorf("cube(%d) = %d, want %d", c.n, got, c.q)
+		}
+	}
+	p := newPart(10, 3) // size 4: parts [0,4) [4,8) [8,10)
+	if lo, hi := p.bounds(2); lo != 8 || hi != 10 {
+		t.Errorf("bounds(2) = [%d,%d)", lo, hi)
+	}
+	if p.of(9) != 2 || p.of(0) != 0 || p.of(4) != 1 {
+		t.Error("part.of wrong")
+	}
+	for id := 0; id < 27; id++ {
+		i, j, k := tripleOf(id, 3)
+		if idOf(i, j, k, 3) != id {
+			t.Errorf("triple round trip failed for %d", id)
+		}
+	}
+}
+
+func TestMulQuickProperty(t *testing.T) {
+	// Property: Boolean MM equals reachability-in-two-steps.
+	f := func(seed uint64) bool {
+		n := 8
+		g := graph.Gnp(n, 0.4, seed)
+		a := make([][]int64, n)
+		for v := 0; v < n; v++ {
+			a[v] = AdjacencyRow(g, v)
+		}
+		sq := MulLocal(Boolean{}, a, a)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := int64(0)
+				for w := 0; w < n; w++ {
+					if g.HasEdge(u, w) && g.HasEdge(w, v) {
+						want = 1
+						break
+					}
+				}
+				if sq[u][v] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightRowAndAdjacencyRow(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 2)
+	row := AdjacencyRow(g, 0)
+	if row[2] != 1 || row[1] != 0 || row[0] != 0 {
+		t.Errorf("AdjacencyRow = %v", row)
+	}
+	w := graph.NewWeighted(3, false)
+	w.SetEdge(0, 1, 7)
+	wr := WeightRow(w, 0)
+	if wr[1] != 7 || wr[2] != graph.Inf || wr[0] != 0 {
+		t.Errorf("WeightRow = %v", wr)
+	}
+}

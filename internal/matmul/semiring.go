@@ -1,0 +1,165 @@
+// Package matmul implements distributed matrix multiplication over
+// semirings in the congested clique, the workhorse of the centre column
+// of Figure 1 of the paper (Boolean MM, ring MM, (min,+) MM, and through
+// them transitive closure and the shortest-path problems).
+//
+// Two communication schedules are provided: the naive all-to-all
+// broadcast at Theta(n) rounds and the 3D block decomposition of
+// Censor-Hillel, Kaski, Korhonen, Lenzen, Paz and Suomela (PODC 2015,
+// reference [10] of the paper) at O(n^{1/3}) rounds for any semiring.
+// The paper additionally cites an O(n^{1-2/omega}) schedule for ring
+// matrix multiplication; we record that as a literature bound in package
+// fgc rather than re-implementing fast bilinear algorithms — see
+// DESIGN.md section 5.
+package matmul
+
+import "repro/internal/graph"
+
+// Semiring is the algebraic structure matrix products are computed over.
+// Entries are int64; graph.Inf plays the role of "no entry" where the
+// semiring needs one.
+type Semiring interface {
+	// Add is the semiring addition (OR, +, or min).
+	Add(a, b int64) int64
+	// Mul is the semiring multiplication (AND, *, or saturating +).
+	Mul(a, b int64) int64
+	// Zero is the additive identity (0, 0, or Inf).
+	Zero() int64
+	// Name identifies the semiring in experiment output.
+	Name() string
+}
+
+// Boolean is the ({0,1}, OR, AND) semiring.
+type Boolean struct{}
+
+// Add implements Semiring.
+func (Boolean) Add(a, b int64) int64 {
+	if a != 0 || b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Mul implements Semiring.
+func (Boolean) Mul(a, b int64) int64 {
+	if a != 0 && b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Zero implements Semiring.
+func (Boolean) Zero() int64 { return 0 }
+
+// Name implements Semiring.
+func (Boolean) Name() string { return "boolean" }
+
+// Ring is the ordinary (Z, +, *) ring.
+type Ring struct{}
+
+// Add implements Semiring.
+func (Ring) Add(a, b int64) int64 { return a + b }
+
+// Mul implements Semiring.
+func (Ring) Mul(a, b int64) int64 { return a * b }
+
+// Zero implements Semiring.
+func (Ring) Zero() int64 { return 0 }
+
+// Name implements Semiring.
+func (Ring) Name() string { return "ring" }
+
+// MinPlus is the tropical (min, +) semiring with Inf as the additive
+// identity; powers of a weight matrix over MinPlus give shortest path
+// distances.
+type MinPlus struct{}
+
+// Add implements Semiring.
+func (MinPlus) Add(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul implements Semiring.
+func (MinPlus) Mul(a, b int64) int64 {
+	if a >= graph.Inf || b >= graph.Inf {
+		return graph.Inf
+	}
+	return a + b
+}
+
+// Zero implements Semiring.
+func (MinPlus) Zero() int64 { return graph.Inf }
+
+// Name implements Semiring.
+func (MinPlus) Name() string { return "min-plus" }
+
+// MulLocal is the centralized reference product C = A (x) B over s; it is
+// also the kernel the 3D algorithm runs on local blocks, where the model
+// charges nothing for it.
+func MulLocal(s Semiring, a, b [][]int64) [][]int64 {
+	n := len(a)
+	skipZero := isAnnihilating(s)
+	c := make([][]int64, n)
+	for i := range c {
+		row := make([]int64, len(b[0]))
+		for j := range row {
+			row[j] = s.Zero()
+		}
+		for k, aik := range a[i] {
+			if skipZero && aik == s.Zero() {
+				continue
+			}
+			bk := b[k]
+			for j := range row {
+				row[j] = s.Add(row[j], s.Mul(aik, bk[j]))
+			}
+		}
+		c[i] = row
+	}
+	return c
+}
+
+// isAnnihilating reports whether Zero annihilates under Mul (true for all
+// three semirings here), enabling the sparse skip in MulLocal.
+func isAnnihilating(s Semiring) bool {
+	z := s.Zero()
+	return s.Mul(z, 1) == z && s.Mul(1, z) == z
+}
+
+// Identity returns the n x n multiplicative identity over s: Mul-unit on
+// the diagonal, Zero elsewhere. The unit is 1 for Boolean and Ring, 0 for
+// MinPlus.
+func Identity(s Semiring, n int) [][]int64 {
+	unit := int64(1)
+	if (s == MinPlus{}) {
+		unit = 0
+	}
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = unit
+			} else {
+				m[i][j] = s.Zero()
+			}
+		}
+	}
+	return m
+}
+
+// AdjacencyRow returns row v of g's Boolean adjacency matrix.
+func AdjacencyRow(g *graph.Graph, v int) []int64 {
+	row := make([]int64, g.N)
+	g.Neighbors(v, func(u int) { row[u] = 1 })
+	return row
+}
+
+// WeightRow returns row v of a weighted graph's (min,+) matrix: 0 on the
+// diagonal, edge weights, Inf otherwise.
+func WeightRow(g *graph.Weighted, v int) []int64 {
+	return append([]int64(nil), g.W[v]...)
+}

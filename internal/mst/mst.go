@@ -1,0 +1,277 @@
+// Package mst implements minimum spanning forests in the congested
+// clique via Borůvka phases: O(log n) rounds deterministically. The
+// paper's conclusions single out MST as the problem where randomized
+// congested clique algorithms (Lotker et al. [45] at O(log log n),
+// Ghaffari-Parter [25] at O(log* n), Jurdziński-Nowicki at O(1))
+// dramatically beat known deterministic bounds; this package provides
+// the deterministic baseline those results improve on, rounding out the
+// repository's coverage of the model's classic problems.
+//
+// Each Borůvka phase costs two broadcast rounds: every node announces
+// the minimum-weight edge leaving its current component (everyone can
+// compute component ids locally because everyone has seen all prior
+// announcements), all nodes apply the same merges, and the number of
+// components at least halves.
+package mst
+
+import (
+	"sort"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// Edge is one undirected weighted edge of the forest.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// noEdge is the broadcast encoding of "no outgoing edge".
+const noEdge = ^uint64(0) >> 1
+
+// Find computes the minimum spanning forest. wRow is this node's weight
+// row (graph.Inf for non-edges). Every node returns the same edge list,
+// sorted by (W, U, V); ties between equal-weight edges are broken by
+// the (U, V) pair, so the result is unique and deterministic. Rounds:
+// 2 * ceil(log2 n) + 2.
+func Find(nd clique.Endpoint, wRow []int64) []Edge {
+	n := nd.N()
+	me := nd.ID()
+
+	comp := make([]int, n) // current component of each vertex
+	for v := range comp {
+		comp[v] = v
+	}
+	var forest []Edge
+
+	phases := 1
+	for c := 1; c < n; c *= 2 {
+		phases++
+	}
+	for phase := 0; phase < phases; phase++ {
+		// My best outgoing edge under (weight, pair) order.
+		best := Edge{U: -1, W: graph.Inf}
+		for u := 0; u < n; u++ {
+			if comp[u] == comp[me] || wRow[u] >= graph.Inf {
+				continue
+			}
+			cand := Edge{U: me, V: u, W: wRow[u]}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+		// Two broadcast rounds: the edge pair, then the weight.
+		pairWord := noEdge
+		if best.U >= 0 {
+			pairWord = clique.PairWord(best.U, best.V, n)
+		}
+		nd.Broadcast(pairWord)
+		nd.Tick()
+		pairs := make([]uint64, n)
+		pairs[me] = pairWord
+		for v := 0; v < n; v++ {
+			if v == me {
+				continue
+			}
+			if w := nd.Recv(v); len(w) == 1 {
+				pairs[v] = w[0]
+			} else {
+				pairs[v] = noEdge
+			}
+		}
+		nd.Broadcast(uint64(best.W))
+		nd.Tick()
+		weights := make([]int64, n)
+		weights[me] = best.W
+		for v := 0; v < n; v++ {
+			if v == me {
+				continue
+			}
+			if w := nd.Recv(v); len(w) == 1 {
+				weights[v] = int64(w[0])
+			} else {
+				weights[v] = graph.Inf
+			}
+		}
+
+		// Deterministic global merge, identical at every node: for each
+		// component, the best announced outgoing edge; then union.
+		bestOf := make(map[int]Edge)
+		for v := 0; v < n; v++ {
+			if pairs[v] == noEdge {
+				continue
+			}
+			u, w := clique.UnpairWord(pairs[v], n)
+			e := Edge{U: u, V: w, W: weights[v]}
+			c := comp[e.U]
+			cur, ok := bestOf[c]
+			if !ok || better(e, cur) {
+				bestOf[c] = e
+			}
+		}
+		if len(bestOf) == 0 {
+			break // no component has an outgoing edge: forest complete
+		}
+		added := false
+		for _, e := range stableEdges(bestOf) {
+			if comp[e.U] == comp[e.V] {
+				continue // the reverse copy already merged us
+			}
+			forest = append(forest, normalize(e))
+			from, to := comp[e.U], comp[e.V]
+			if to > from {
+				from, to = to, from
+			}
+			for v := range comp {
+				if comp[v] == from {
+					comp[v] = to
+				}
+			}
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+
+	sort.Slice(forest, func(i, j int) bool { return less(forest[i], forest[j]) })
+	return forest
+}
+
+// better orders candidate edges by (weight, min endpoint, max endpoint);
+// the total order is what makes all nodes pick identical merges.
+func better(a, b Edge) bool {
+	if a.U < 0 {
+		return false
+	}
+	if b.U < 0 {
+		return true
+	}
+	return less(normalize(a), normalize(b))
+}
+
+func less(a, b Edge) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+func normalize(e Edge) Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// stableEdges returns the per-component best edges in a deterministic
+// order (map iteration order is not).
+func stableEdges(m map[int]Edge) []Edge {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Edge, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Weight sums an edge list.
+func Weight(es []Edge) int64 {
+	var total int64
+	for _, e := range es {
+		total += e.W
+	}
+	return total
+}
+
+// KruskalOracle computes the minimum spanning forest weight centrally,
+// with the same (weight, pair) tie-break as Find, for ground truth.
+func KruskalOracle(g *graph.Weighted) (int64, int) {
+	type edge struct {
+		u, v int
+		w    int64
+	}
+	var edges []edge
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if g.HasEdge(u, v) {
+				edges = append(edges, edge{u, v, g.W[u][v]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w < edges[j].w
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total int64
+	count := 0
+	for _, e := range edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			total += e.w
+			count++
+		}
+	}
+	return total, count
+}
+
+// Components labels connected components from the spanning forest:
+// every node returns the full vector of component ids (the smallest
+// vertex id in each component), identical everywhere. Cost: one Find.
+func Components(nd clique.Endpoint, wRow []int64) []int {
+	n := nd.N()
+	forest := Find(nd, wRow)
+	comp := make([]int, n)
+	for v := range comp {
+		comp[v] = v
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
+		}
+		return x
+	}
+	for _, e := range forest {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			if ru < rv {
+				comp[rv] = ru
+			} else {
+				comp[ru] = rv
+			}
+		}
+	}
+	out := make([]int, n)
+	for v := range out {
+		out[v] = find(v)
+	}
+	return out
+}

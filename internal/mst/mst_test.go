@@ -1,0 +1,169 @@
+package mst
+
+import (
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+func runFind(t *testing.T, g *graph.Weighted) ([]Edge, *clique.Result) {
+	t.Helper()
+	out := make([][]Edge, g.N)
+	res, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+		out[nd.ID()] = Find(nd, g.W[nd.ID()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < g.N; v++ {
+		if len(out[v]) != len(out[0]) {
+			t.Fatalf("nodes 0 and %d disagree on forest size", v)
+		}
+		for i := range out[v] {
+			if out[v][i] != out[0][i] {
+				t.Fatalf("nodes 0 and %d disagree on edge %d", v, i)
+			}
+		}
+	}
+	return out[0], res
+}
+
+func TestMSTMatchesKruskal(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := graph.GnpWeighted(14, 0.35, 30, false, seed)
+		wantW, wantCount := KruskalOracle(g)
+		forest, _ := runFind(t, g)
+		if len(forest) != wantCount {
+			t.Fatalf("seed %d: forest has %d edges, want %d", seed, len(forest), wantCount)
+		}
+		if Weight(forest) != wantW {
+			t.Fatalf("seed %d: forest weight %d, want %d", seed, Weight(forest), wantW)
+		}
+		for _, e := range forest {
+			if !g.HasEdge(e.U, e.V) || g.W[e.U][e.V] != e.W {
+				t.Fatalf("seed %d: edge %v not in graph", seed, e)
+			}
+		}
+	}
+}
+
+func TestMSTForestIsAcyclicAndSpanning(t *testing.T) {
+	g := graph.GnpWeighted(12, 0.4, 20, false, 9)
+	forest, _ := runFind(t, g)
+	// Union-find over forest edges: no cycles, and components match the
+	// graph's connectivity.
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range forest {
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			t.Fatalf("cycle via edge %v", e)
+		}
+		parent[ru] = rv
+	}
+	// Every graph edge must connect vertices in the same forest
+	// component (spanning).
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if g.HasEdge(u, v) && find(u) != find(v) {
+				t.Fatalf("edge %d-%d crosses forest components", u, v)
+			}
+		}
+	}
+}
+
+func TestMSTPathAndCycleGraphs(t *testing.T) {
+	// On a path, the forest is the whole path.
+	p := graph.FromUnweighted(graph.Path(8))
+	forest, _ := runFind(t, p)
+	if len(forest) != 7 || Weight(forest) != 7 {
+		t.Errorf("path MST: %d edges weight %d", len(forest), Weight(forest))
+	}
+	// On a weighted cycle, the heaviest edge is dropped.
+	c := graph.NewWeighted(6, false)
+	for v := 0; v < 6; v++ {
+		c.SetEdge(v, (v+1)%6, int64(v+1))
+	}
+	forest, _ = runFind(t, c)
+	if len(forest) != 5 {
+		t.Fatalf("cycle MST has %d edges", len(forest))
+	}
+	for _, e := range forest {
+		if e.W == 6 {
+			t.Error("heaviest cycle edge kept")
+		}
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	g := graph.NewWeighted(7, false)
+	g.SetEdge(0, 1, 3)
+	g.SetEdge(1, 2, 4)
+	g.SetEdge(4, 5, 1)
+	forest, _ := runFind(t, g)
+	if len(forest) != 3 {
+		t.Fatalf("forest has %d edges, want 3", len(forest))
+	}
+}
+
+func TestMSTLogRounds(t *testing.T) {
+	// Rounds grow logarithmically: 2 * ceil(log2 n) + O(1).
+	for _, n := range []int{8, 32, 128} {
+		g := graph.GnpWeighted(n, 0.3, 50, false, uint64(n))
+		_, res := func() ([]Edge, *clique.Result) {
+			out := make([][]Edge, g.N)
+			res, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+				out[nd.ID()] = Find(nd, g.W[nd.ID()])
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out[0], res
+		}()
+		logN := 0
+		for c := 1; c < n; c *= 2 {
+			logN++
+		}
+		if res.Stats.Rounds > 2*(logN+1)+2 {
+			t.Errorf("n=%d: %d rounds exceeds 2(log n + 1)+2 = %d", n, res.Stats.Rounds, 2*(logN+1)+2)
+		}
+	}
+}
+
+func TestMSTEmptyGraph(t *testing.T) {
+	g := graph.NewWeighted(5, false)
+	forest, _ := runFind(t, g)
+	if len(forest) != 0 {
+		t.Errorf("edgeless graph produced forest %v", forest)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := graph.NewWeighted(8, false)
+	g.SetEdge(0, 1, 2)
+	g.SetEdge(1, 2, 3)
+	g.SetEdge(4, 5, 1)
+	g.SetEdge(6, 7, 1)
+	want := []int{0, 0, 0, 3, 4, 4, 6, 6}
+	_, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+		got := Components(nd, g.W[nd.ID()])
+		for v := range want {
+			if got[v] != want[v] {
+				nd.Fail("comp[%d] = %d, want %d", v, got[v], want[v])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package nondet
+
+import (
+	"repro/internal/clique"
+	"repro/internal/gather"
+	"repro/internal/graph"
+)
+
+// This file implements the search-problem class sketched in Section 8 of
+// the paper: NCLIQUE(1)-labelling problems, the congested clique
+// analogue of Naor-Stockmeyer LCLs. A problem is a set of pairs (G, z)
+// whose membership is decidable in constant rounds; the computational
+// task is to *output* a labelling z with (G, z) in L, or reject if none
+// exists. The paper notes this class "captures many natural graph
+// problems of interest, but we do not have lower bounds for any problem
+// in this class" — so what the repository can contribute is the
+// executable definition, members, and the trivial upper bound.
+
+// LabellingProblem is an NCLIQUE(1)-labelling problem. Check is the
+// constant-round membership verifier (each node sees its input row and
+// its own proposed label and outputs an accept bit; (G, z) is in L iff
+// all accept). Solve is a centralized search for a witness labelling
+// used as ground truth; it returns nil if none exists.
+type LabellingProblem struct {
+	Name string
+	// Rounds bounds Check's round count (must be O(1)).
+	Rounds int
+	Check  Algorithm
+	Solve  func(g *graph.Graph) Labelling
+}
+
+// SolveByGather is the trivial distributed solver for any labelling
+// problem with a centralized Solve: every node gathers the whole input
+// (O(n / log n) rounds), runs the same deterministic search locally, and
+// outputs its own label. Returns nil at every node if the instance has
+// no valid labelling. This realises the observation that every
+// NCLIQUE(1)-labelling problem is solvable in O(n / log n) rounds, the
+// trivial ceiling below which no lower bound is known.
+func SolveByGather(nd clique.Endpoint, row graph.Bitset, p LabellingProblem) []uint64 {
+	full := gather.Full(nd, row)
+	z := p.Solve(full)
+	if z == nil {
+		return nil
+	}
+	return z[nd.ID()]
+}
+
+// ProperColoringProblem is the k-colouring search problem: find a proper
+// k-colouring.
+func ProperColoringProblem(k int) LabellingProblem {
+	return LabellingProblem{
+		Name:   "proper-coloring",
+		Rounds: 1,
+		Check:  KColoringVerifier(k),
+		Solve: func(g *graph.Graph) Labelling {
+			return KColoringProver(g, k)
+		},
+	}
+}
+
+// SinklessOrientationProblem is the congested clique rendition of the
+// LOCAL model's flagship LCL: orient every edge so that no node of
+// degree >= 3 is a sink (all incident edges pointing in). Labels: node
+// v's label is the bitmask (over peers, LSB = peer 0) of its incident
+// edges oriented *outwards*. The verifier broadcasts the mask (one
+// word; poly(n) values require n <= 64 here, enough for experiments)
+// and checks antisymmetry and the sink condition locally.
+func SinklessOrientationProblem() LabellingProblem {
+	check := func(nd clique.Endpoint, row graph.Bitset, label []uint64) bool {
+		n := nd.N()
+		me := nd.ID()
+		var mask uint64
+		if len(label) == 1 {
+			mask = label[0]
+		}
+		nd.Broadcast(mask)
+		nd.Tick()
+		if len(label) != 1 {
+			return false
+		}
+		// Orientation must only cover real incident edges.
+		outDeg := 0
+		for u := 0; u < n; u++ {
+			out := mask&(1<<u) != 0
+			if out && !row.Has(u) {
+				return false
+			}
+			if out {
+				outDeg++
+			}
+		}
+		ok := true
+		row.Each(func(u int) {
+			w := nd.Recv(u)
+			if len(w) != 1 {
+				ok = false
+				return
+			}
+			peerOut := w[0]&(1<<me) != 0
+			myOut := mask&(1<<u) != 0
+			if peerOut == myOut {
+				ok = false // each edge oriented exactly one way
+			}
+		})
+		if !ok {
+			return false
+		}
+		// Sinkless: degree >= 3 nodes need at least one outgoing edge.
+		if row.Count() >= 3 && outDeg == 0 {
+			return false
+		}
+		return true
+	}
+	return LabellingProblem{
+		Name:   "sinkless-orientation",
+		Rounds: 1,
+		Check:  check,
+		Solve:  solveSinkless,
+	}
+}
+
+// solveSinkless finds a sinkless orientation by orienting each edge and
+// then fixing sinks along augmenting edges; for simplicity and
+// determinism it brute-forces small cases via orientation search on the
+// edge list, falling back from a smart initial orientation.
+func solveSinkless(g *graph.Graph) Labelling {
+	type edge struct{ u, v int }
+	var edges []edge
+	g.Edges(func(u, v int) { edges = append(edges, edge{u, v}) })
+
+	// orient[i] = true means edges[i] points u -> v.
+	orient := make([]bool, len(edges))
+	outDeg := make([]int, g.N)
+	for i, e := range edges {
+		// Initial heuristic: point towards the smaller-degree endpoint
+		// (gives high-degree nodes outgoing edges).
+		orient[i] = g.Degree(e.v) <= g.Degree(e.u)
+		if orient[i] {
+			outDeg[e.u]++
+		} else {
+			outDeg[e.v]++
+		}
+	}
+	sinkAt := func() int {
+		for v := 0; v < g.N; v++ {
+			if g.Degree(v) >= 3 && outDeg[v] == 0 {
+				return v
+			}
+		}
+		return -1
+	}
+	// Local repair: flip one incident edge of each sink. Flipping gives
+	// the sink an outgoing edge and steals one from a neighbour, which
+	// cannot become a sink itself if it has other outgoing edges; pick
+	// the neighbour with the most.
+	for guard := 0; guard < g.N*g.N; guard++ {
+		s := sinkAt()
+		if s < 0 {
+			break
+		}
+		bestIdx, bestOut := -1, -1
+		for i, e := range edges {
+			var other int
+			switch {
+			case e.u == s && !orient[i]:
+				other = e.v
+			case e.v == s && orient[i]:
+				other = e.u
+			default:
+				continue
+			}
+			if outDeg[other] > bestOut {
+				bestOut, bestIdx = outDeg[other], i
+			}
+		}
+		if bestIdx < 0 {
+			return nil // isolated-ish; cannot repair
+		}
+		e := edges[bestIdx]
+		if orient[bestIdx] {
+			outDeg[e.u]--
+			outDeg[e.v]++
+		} else {
+			outDeg[e.u]++
+			outDeg[e.v]--
+		}
+		orient[bestIdx] = !orient[bestIdx]
+	}
+	if sinkAt() >= 0 {
+		return nil
+	}
+	z := make(Labelling, g.N)
+	masks := make([]uint64, g.N)
+	for i, e := range edges {
+		if orient[i] {
+			masks[e.u] |= 1 << e.v
+		} else {
+			masks[e.v] |= 1 << e.u
+		}
+	}
+	for v := range z {
+		z[v] = []uint64{masks[v]}
+	}
+	return z
+}
+
+// MaximalMatchingProblem: find a maximal matching (as node labels: mate
+// id, or n for unmatched). The verifier checks mutuality, edge
+// existence, and maximality (an unmatched node may not have an
+// unmatched neighbour).
+func MaximalMatchingProblem() LabellingProblem {
+	check := func(nd clique.Endpoint, row graph.Bitset, label []uint64) bool {
+		n := nd.N()
+		me := nd.ID()
+		mine := uint64(n)
+		if len(label) == 1 {
+			mine = label[0]
+		}
+		nd.Broadcast(mine % uint64(n+1))
+		nd.Tick()
+		if len(label) != 1 || mine > uint64(n) || int(mine) == me {
+			return false
+		}
+		mates := make([]uint64, n)
+		mates[me] = mine
+		for u := 0; u < n; u++ {
+			if u == me {
+				continue
+			}
+			w := nd.Recv(u)
+			if len(w) != 1 {
+				return false
+			}
+			mates[u] = w[0]
+		}
+		if mine < uint64(n) {
+			return row.Has(int(mine)) && mates[mine] == uint64(me)
+		}
+		// Unmatched: every neighbour must be matched.
+		ok := true
+		row.Each(func(u int) {
+			if mates[u] == uint64(n) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	return LabellingProblem{
+		Name:   "maximal-matching",
+		Rounds: 1,
+		Check:  check,
+		Solve: func(g *graph.Graph) Labelling {
+			mate := make([]int, g.N)
+			for i := range mate {
+				mate[i] = g.N
+			}
+			g.Edges(func(u, v int) {
+				if mate[u] == g.N && mate[v] == g.N {
+					mate[u], mate[v] = v, u
+				}
+			})
+			z := make(Labelling, g.N)
+			for v, m := range mate {
+				z[v] = []uint64{uint64(m)}
+			}
+			return z
+		},
+	}
+}

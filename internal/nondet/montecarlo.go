@@ -1,0 +1,146 @@
+package nondet
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// This file implements the randomness observation of Section 8: the
+// counting arguments extend to randomized protocols, and in particular
+// any one-sided-error Monte Carlo algorithm converts into a
+// nondeterministic algorithm — the certificate is simply a lucky random
+// string. Hence Theorem 4's separations also rule out fast one-sided
+// Monte Carlo algorithms for the constructed languages.
+
+// MonteCarlo is a randomized congested clique decision algorithm: each
+// node receives `randWords` uniformly random words alongside its input.
+// One-sided error means: on no-instances the algorithm *never* accepts
+// (for any randomness), while on yes-instances it accepts with some
+// probability over the randomness.
+type MonteCarlo struct {
+	Name      string
+	RandWords int
+	Run       func(nd clique.Endpoint, row graph.Bitset, random []uint64) bool
+}
+
+// AsNondeterministic converts a one-sided Monte Carlo algorithm into a
+// nondeterministic verifier: the label is the per-node random string.
+// Completeness holds whenever the MC algorithm has nonzero success
+// probability on yes-instances (some randomness works, so some
+// certificate works); soundness is exactly the one-sided-error
+// condition (no randomness makes it accept a no-instance).
+func (mc MonteCarlo) AsNondeterministic() Algorithm {
+	return func(nd clique.Endpoint, row graph.Bitset, label []uint64) bool {
+		if len(label) != mc.RandWords {
+			// Still participate in the protocol's communication with
+			// zeroed randomness, then reject, keeping rounds uniform.
+			padded := make([]uint64, mc.RandWords)
+			mc.Run(nd, row, padded)
+			return false
+		}
+		return mc.Run(nd, row, label)
+	}
+}
+
+// RunWithSeed executes the Monte Carlo algorithm with pseudo-randomness
+// derived from seed, returning the global accept bit. Used by tests and
+// experiments to estimate success probabilities.
+func (mc MonteCarlo) RunWithSeed(cfg clique.Config, g *graph.Graph, seed uint64) (bool, error) {
+	z := RandomLabelling(g.N, mc.RandWords, seed)
+	verdict, err := RunVerifier(cfg, g, mc.AsNondeterministic(), z)
+	if err != nil {
+		return false, err
+	}
+	return verdict.Accepted, nil
+}
+
+// RandomLabelling draws a labelling of `words` words per node from the
+// given seed. Word values are full-range; algorithms reduce them as
+// needed.
+func RandomLabelling(n, words int, seed uint64) Labelling {
+	rng := rand.New(rand.NewPCG(seed, 0xda7a))
+	z := make(Labelling, n)
+	for v := range z {
+		z[v] = make([]uint64, words)
+		for i := range z[v] {
+			z[v][i] = rng.Uint64()
+		}
+	}
+	return z
+}
+
+// RandomizedTriangleProbe is a toy one-sided Monte Carlo triangle
+// detector used by tests and experiments: each node interprets its
+// random word as a neighbour pair to probe; it broadcasts the probe,
+// and a triangle is claimed only when a node verifies all three edges
+// from its own row plus the probed nodes' confirmations. One round;
+// never claims a triangle that is not there; finds a planted one with
+// probability that grows with the number of random probes.
+func RandomizedTriangleProbe() MonteCarlo {
+	return MonteCarlo{
+		Name:      "randomized-triangle-probe",
+		RandWords: 1,
+		Run: func(nd clique.Endpoint, row graph.Bitset, random []uint64) bool {
+			n := nd.N()
+			me := nd.ID()
+			// Probe pair derived from my randomness.
+			r := random[0]
+			a := int(r % uint64(n))
+			b := int(r / uint64(n) % uint64(n))
+			// Announce whether (me, a, b) is a triangle from my view:
+			// needs edges me-a, me-b (my row) and a-b (I cannot see it;
+			// so instead each node announces its row bit for (a, b) of
+			// *its own* probe targets).
+			myClaim := uint64(0)
+			if a != me && b != me && a != b && row.Has(a) && row.Has(b) {
+				myClaim = 1 // I see two sides of the probed triangle
+			}
+			nd.Broadcast(myClaim<<62 | r%(uint64(n)*uint64(n)))
+			nd.Tick()
+			// Accept if some node's claimed probe (a, b) is confirmed by
+			// an endpoint: I confirm edges (x, a) and (x, b) claimed by
+			// x when a == me or b == me and my row has the third edge.
+			found := false
+			for x := 0; x < n; x++ {
+				var w uint64
+				if x == me {
+					w = myClaim<<62 | r%(uint64(n)*uint64(n))
+				} else {
+					words := nd.Recv(x)
+					if len(words) != 1 {
+						continue
+					}
+					w = words[0]
+				}
+				if w>>62 != 1 {
+					continue
+				}
+				pr := w & (1<<62 - 1)
+				pa := int(pr % uint64(n))
+				pb := int(pr / uint64(n) % uint64(n))
+				// x vouches for edges x-pa and x-pb. If I am pa or pb, I
+				// can check the closing edge pa-pb from my own row.
+				if me == pa && pb != me && row.Has(pb) && pb != x && pa != x {
+					found = true
+				}
+				if me == pb && pa != me && row.Has(pa) && pa != x && pb != x {
+					found = true
+				}
+			}
+			// One more round: spread "found" so all nodes agree.
+			nd.Broadcast(clique.BoolWord(found))
+			nd.Tick()
+			for x := 0; x < n; x++ {
+				if x == me {
+					continue
+				}
+				if w := nd.Recv(x); len(w) == 1 && w[0] == 1 {
+					found = true
+				}
+			}
+			return found
+		},
+	}
+}

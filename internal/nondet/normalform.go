@@ -1,0 +1,224 @@
+package nondet
+
+import (
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// This file implements Theorem 3 of the paper: every language in
+// NCLIQUE(T(n)) has a nondeterministic algorithm whose certificates are
+// communication transcripts of size O(T(n) n log n). The construction is
+// literal:
+//
+//	(1) each node checks its label parses as a transcript of the right
+//	    shape;
+//	(2) nodes replay the transcripts against each other for T rounds and
+//	    verify that every received message matches the transcript;
+//	(3) each node locally searches for an original label under which the
+//	    original algorithm A, fed the transcript's incoming messages,
+//	    would have produced exactly the transcript's outgoing messages
+//	    and accepted.
+//
+// Completeness and soundness follow as in the paper: an accepting run of
+// A yields transcripts that B accepts, and any labelling accepted by B
+// pins down per-node original labels whose combined run of A accepts.
+
+// EncodeTranscript serialises one node's transcript: for every round and
+// every peer, the sent words then the received words, each preceded by a
+// count. The layout is [rounds, then per round: per peer != me:
+// len(sent), sent..., len(recv), recv...].
+func EncodeTranscript(tr *clique.Transcript, n int) []uint64 {
+	out := []uint64{uint64(len(tr.Rounds))}
+	for _, r := range tr.Rounds {
+		for p := 0; p < n; p++ {
+			if p == tr.NodeID {
+				continue
+			}
+			out = append(out, uint64(len(r.Sent[p])))
+			out = append(out, r.Sent[p]...)
+			out = append(out, uint64(len(r.Recv[p])))
+			out = append(out, r.Recv[p]...)
+		}
+	}
+	return out
+}
+
+// DecodeTranscript parses a transcript label for node `me` of an n-node
+// clique, enforcing that it declares at most maxRounds rounds and at
+// most maxWordsPerPair words per direction per pair (the structural
+// check of step (1)). Returns nil if malformed.
+func DecodeTranscript(words []uint64, me, n, maxRounds, maxWordsPerPair int) *clique.Transcript {
+	if len(words) == 0 {
+		return nil
+	}
+	rounds := int(words[0])
+	if rounds < 0 || rounds > maxRounds {
+		return nil
+	}
+	tr := &clique.Transcript{NodeID: me}
+	pos := 1
+	take := func() ([]uint64, bool) {
+		if pos >= len(words) {
+			return nil, false
+		}
+		cnt := int(words[pos])
+		pos++
+		if cnt < 0 || cnt > maxWordsPerPair || pos+cnt > len(words) {
+			return nil, false
+		}
+		out := words[pos : pos+cnt]
+		pos += cnt
+		return out, true
+	}
+	for r := 0; r < rounds; r++ {
+		round := clique.TranscriptRound{
+			Sent: make([][]uint64, n),
+			Recv: make([][]uint64, n),
+		}
+		for p := 0; p < n; p++ {
+			if p == me {
+				continue
+			}
+			sent, ok := take()
+			if !ok {
+				return nil
+			}
+			recv, ok := take()
+			if !ok {
+				return nil
+			}
+			round.Sent[p] = append([]uint64(nil), sent...)
+			round.Recv[p] = append([]uint64(nil), recv...)
+		}
+		tr.Rounds = append(tr.Rounds, round)
+	}
+	if pos != len(words) {
+		return nil
+	}
+	return tr
+}
+
+// TranscriptCertificate runs A on (g, z), records every node's
+// communication transcript, and returns the transcript labelling for
+// the normal-form verifier. It fails if A does not accept (G, z):
+// transcripts of rejecting runs certify nothing.
+func TranscriptCertificate(cfg clique.Config, g *graph.Graph, alg Algorithm, z Labelling) (Labelling, error) {
+	cfg.RecordTranscript = true
+	verdict, err := RunVerifier(cfg, g, alg, z)
+	if err != nil {
+		return nil, err
+	}
+	if !verdict.Accepted {
+		return nil, fmt.Errorf("nondet: A rejected the labelling; no certificate to extract")
+	}
+	out := make(Labelling, g.N)
+	for v, tr := range verdict.Result.Transcripts {
+		out[v] = EncodeTranscript(tr, g.N)
+	}
+	return out, nil
+}
+
+// NormalForm builds the Theorem 3 verifier B from the original verifier
+// A, A's round bound T, and the per-node label space of A. B runs
+// exactly T+0 replay rounds plus whatever the structural bookkeeping
+// needs; its certificates are the transcript labels produced by
+// TranscriptCertificate.
+func NormalForm(alg Algorithm, T int, space LabelSpace) Algorithm {
+	return func(nd clique.Endpoint, row graph.Bitset, label []uint64) bool {
+		n := nd.N()
+		me := nd.ID()
+		wpp := nd.WordsPerPair()
+
+		// Step 1: structural check. Malformed labels still participate
+		// in the replay rounds (sending nothing) so that the round
+		// structure is identical at every node.
+		tr := DecodeTranscript(label, me, n, T, wpp)
+		ok := tr != nil
+
+		// Step 2: replay. Round r: send exactly the transcript's sent
+		// words; compare everything received against the transcript.
+		for r := 0; r < T; r++ {
+			if ok && r < len(tr.Rounds) {
+				for p := 0; p < n; p++ {
+					if p != me && len(tr.Rounds[r].Sent[p]) > 0 {
+						nd.Send(p, tr.Rounds[r].Sent[p]...)
+					}
+				}
+			}
+			nd.Tick()
+			for p := 0; p < n; p++ {
+				if p == me {
+					continue
+				}
+				got := nd.Recv(p)
+				var want []uint64
+				if ok && r < len(tr.Rounds) {
+					want = tr.Rounds[r].Recv[p]
+				}
+				if !wordsEqual(got, want) {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+
+		// Step 3: local search over A's label space. Feed A the
+		// transcript's received messages and demand that it sends
+		// exactly the transcript's sent messages and accepts. This is
+		// local computation: the replay harness spins up a private
+		// simulation of the single node.
+		inbox := make([][][]uint64, len(tr.Rounds))
+		for r := range tr.Rounds {
+			inbox[r] = make([][]uint64, n)
+			for p := 0; p < n; p++ {
+				if p != me {
+					inbox[r][p] = tr.Rounds[r].Recv[p]
+				}
+			}
+		}
+		found := false
+		space(func(cand []uint64) bool {
+			accepted := false
+			rep, err := clique.Replay(clique.Config{N: n, WordsPerPair: wpp}, me,
+				func(sim *clique.Node) {
+					accepted = alg(sim, row, cand)
+				}, inbox)
+			if err != nil || !rep.Completed || !accepted {
+				return true // keep searching
+			}
+			// A's sends must reproduce the transcript exactly.
+			if len(rep.Sent) != len(tr.Rounds) {
+				return true
+			}
+			for r := range rep.Sent {
+				for p := 0; p < n; p++ {
+					if p == me {
+						continue
+					}
+					if !wordsEqual(rep.Sent[r][p], tr.Rounds[r].Sent[p]) {
+						return true
+					}
+				}
+			}
+			found = true
+			return false
+		})
+		return found
+	}
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,302 @@
+package paths
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/matmul"
+)
+
+func TestBFSOnKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		src  int
+	}{
+		{"path", graph.Path(7), 0},
+		{"cycle", graph.Cycle(8), 3},
+		{"complete", graph.Complete(6), 2},
+		{"disconnected", func() *graph.Graph {
+			g := graph.New(6)
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(4, 5)
+			return g
+		}(), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := graph.BFSDistances(c.g, c.src)
+			got := make([]BFSResult, c.g.N)
+			_, err := clique.Run(clique.Config{N: c.g.N}, func(nd *clique.Node) {
+				got[nd.ID()] = BFS(nd, c.g.Row(nd.ID()), c.src)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range got {
+				if got[v].Dist != want[v] {
+					t.Errorf("dist(%d) = %d, want %d", v, got[v].Dist, want[v])
+				}
+				switch {
+				case v == c.src:
+					if got[v].Parent != -1 {
+						t.Errorf("source parent = %d", got[v].Parent)
+					}
+				case want[v] >= graph.Inf:
+					if got[v].Parent != -1 {
+						t.Errorf("unreachable node %d has parent %d", v, got[v].Parent)
+					}
+				default:
+					p := got[v].Parent
+					if p < 0 || !c.g.HasEdge(v, p) || want[p]+1 != want[v] {
+						t.Errorf("node %d parent %d invalid", v, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBFSRoundsTrackEccentricity(t *testing.T) {
+	g := graph.Path(10)
+	res, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+		BFS(nd, g.Row(nd.ID()), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ecc(0) = 9 layers + termination detection.
+	if res.Stats.Rounds < 9 || res.Stats.Rounds > 12 {
+		t.Errorf("BFS on P10 used %d rounds, want about 10", res.Stats.Rounds)
+	}
+}
+
+func TestSSSPUnweightedMatchesBFS(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := graph.Gnp(12, 0.25, seed)
+		w := graph.FromUnweighted(g)
+		want := graph.BFSDistances(g, 0)
+		got := make([]int64, g.N)
+		_, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+			got[nd.ID()] = SSSP(nd, w.W[nd.ID()], 0).Dist
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range got {
+			if got[v] != want[v] {
+				t.Errorf("seed %d: dist(%d) = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPWeighted(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := graph.GnpWeighted(11, 0.3, 20, false, seed)
+		want := graph.FloydWarshall(g)
+		src := int(seed) % g.N
+		got := make([]int64, g.N)
+		_, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+			got[nd.ID()] = SSSP(nd, g.W[nd.ID()], src).Dist
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range got {
+			if got[v] != want[src][v] {
+				t.Errorf("seed %d: dist(%d,%d) = %d, want %d", seed, src, v, got[v], want[src][v])
+			}
+		}
+	}
+}
+
+func TestSSSPPathGraphTermination(t *testing.T) {
+	// The path graph exercises the worst-case h+O(1) iteration count and
+	// the simultaneous-exit logic (a bug here deadlocks or fails the
+	// run).
+	g := graph.FromUnweighted(graph.Path(9))
+	_, err := clique.Run(clique.Config{N: 9}, func(nd *clique.Node) {
+		r := SSSP(nd, g.W[nd.ID()], 0)
+		if r.Dist != int64(nd.ID()) {
+			nd.Fail("dist = %d, want %d", r.Dist, nd.ID())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runAPSP(t *testing.T, g *graph.Weighted, mul matmul.MulFunc) [][]int64 {
+	t.Helper()
+	out := make([][]int64, g.N)
+	_, err := clique.Run(clique.Config{N: g.N, WordsPerPair: 8}, func(nd *clique.Node) {
+		out[nd.ID()] = APSP(nd, g.W[nd.ID()], mul)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAPSPUndirectedWeighted(t *testing.T) {
+	g := graph.GnpWeighted(13, 0.3, 30, false, 9)
+	want := graph.FloydWarshall(g)
+	got := runAPSP(t, g, matmul.Mul3D)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("dist(%d,%d) = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestAPSPDirectedWeighted(t *testing.T) {
+	g := graph.GnpWeighted(12, 0.3, 30, true, 10)
+	want := graph.FloydWarshall(g)
+	got := runAPSP(t, g, matmul.MulNaive)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("dist(%d,%d) = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := graph.New(10)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 7)
+	g.AddEdge(7, 8)
+	want := graph.TransitiveClosureOracle(g)
+	got := make([][]int64, g.N)
+	_, err := clique.Run(clique.Config{N: g.N, WordsPerPair: 4}, func(nd *clique.Node) {
+		row := make([]int64, g.N)
+		g.Neighbors(nd.ID(), func(u int) { row[u] = 1 })
+		got[nd.ID()] = TransitiveClosure(nd, row, matmul.Mul3D)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		for v := range want[u] {
+			if (got[u][v] != 0) != want[u][v] {
+				t.Errorf("closure(%d,%d) = %d, want %v", u, v, got[u][v], want[u][v])
+			}
+		}
+	}
+}
+
+func TestApproxAPSPGuarantee(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.5, 1.0} {
+		g := graph.GnpWeighted(12, 0.35, 100, false, 12)
+		want := graph.FloydWarshall(g)
+		got := make([][]int64, g.N)
+		_, err := clique.Run(clique.Config{N: g.N, WordsPerPair: 8}, func(nd *clique.Node) {
+			got[nd.ID()] = ApproxAPSP(nd, g.W[nd.ID()], eps, matmul.MulNaive)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				d, a := want[i][j], got[i][j]
+				if d >= graph.Inf {
+					if a < graph.Inf {
+						t.Fatalf("eps=%v: approx found path %d->%d where none exists", eps, i, j)
+					}
+					continue
+				}
+				if a < d {
+					t.Fatalf("eps=%v: approx %d below true distance %d for (%d,%d)", eps, a, d, i, j)
+				}
+				if float64(a) > (1+eps)*float64(d)+1e-9 {
+					t.Fatalf("eps=%v: approx %d exceeds (1+eps)*%d for (%d,%d)", eps, a, d, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int64
+	}{
+		{graph.Path(8), 7},
+		{graph.Cycle(8), 4},
+		{graph.Complete(7), 1},
+		{func() *graph.Graph {
+			g := graph.New(5)
+			g.AddEdge(0, 1)
+			return g
+		}(), graph.Inf},
+	}
+	for _, c := range cases {
+		got := make([]int64, c.g.N)
+		_, err := clique.Run(clique.Config{N: c.g.N, WordsPerPair: 4}, func(nd *clique.Node) {
+			row := make([]int64, c.g.N)
+			c.g.Neighbors(nd.ID(), func(u int) { row[u] = 1 })
+			got[nd.ID()] = Diameter(nd, row, matmul.MulNaive)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, d := range got {
+			if d != c.want {
+				t.Errorf("node %d: diameter = %d, want %d", v, d, c.want)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeDist(t *testing.T) {
+	f := func(x uint32) bool {
+		d := int64(x)
+		return decodeDist(encodeDist(d)) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if decodeDist(encodeDist(graph.Inf)) != graph.Inf {
+		t.Error("Inf does not round-trip")
+	}
+	if decodeDist(encodeDist(graph.Inf+5)) != graph.Inf {
+		t.Error("beyond-Inf does not clamp")
+	}
+}
+
+func TestRoundUpPow(t *testing.T) {
+	if got := roundUpPow(0, 0.1); got != 0 {
+		t.Errorf("roundUpPow(0) = %d", got)
+	}
+	if got := roundUpPow(graph.Inf, 0.1); got != graph.Inf {
+		t.Errorf("roundUpPow(Inf) = %d", got)
+	}
+	for _, d := range []int64{1, 2, 3, 10, 99, 1000} {
+		got := roundUpPow(d, 0.25)
+		if got < d {
+			t.Errorf("roundUpPow(%d) = %d below input", d, got)
+		}
+		if float64(got) > 1.25*float64(d)+1 {
+			t.Errorf("roundUpPow(%d) = %d too large", d, got)
+		}
+	}
+}
+
+func TestHopRounds(t *testing.T) {
+	cases := []struct{ n, want int }{{2, 1}, {3, 1}, {4, 2}, {5, 2}, {9, 3}, {17, 4}, {33, 5}}
+	for _, c := range cases {
+		if got := hopRounds(c.n); got != c.want {
+			t.Errorf("hopRounds(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

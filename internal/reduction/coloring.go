@@ -1,0 +1,89 @@
+package reduction
+
+import (
+	"sync"
+
+	"repro/internal/clique"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/virtual"
+)
+
+// ColoringGraph builds the blow-up graph of the k-colouring to maximum
+// independent set reduction cited in Section 7 of the paper (after
+// Luby [46]): replace each vertex v by a k-clique of copies
+// v_0, ..., v_{k-1}, and connect v_i to u_i whenever {v, u} is an edge
+// of G. Then G is k-colourable iff the blow-up has an independent set of
+// size n: picking copy v_{c(v)} for a proper colouring c yields an
+// independent set, and conversely an independent set of size n must pick
+// exactly one copy per vertex, whose indices form a proper colouring.
+//
+// Vertex layout: copy i of vertex v is v*k + i.
+func ColoringGraph(g *graph.Graph, k int) *graph.Graph {
+	out := graph.New(g.N * k)
+	for v := 0; v < g.N; v++ {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				out.AddEdge(v*k+i, v*k+j)
+			}
+		}
+	}
+	g.Edges(func(u, v int) {
+		for i := 0; i < k; i++ {
+			out.AddEdge(u*k+i, v*k+i)
+		}
+	})
+	return out
+}
+
+// ColoringFromIS decodes a size-n independent set of the blow-up into a
+// proper k-colouring of the original graph, or nil if the set is not of
+// the required one-copy-per-vertex form.
+func ColoringFromIS(n, k int, set []int) []int {
+	if len(set) != n {
+		return nil
+	}
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	for _, a := range set {
+		v, c := a/k, a%k
+		if v < 0 || v >= n || colors[v] != -1 {
+			return nil
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// KColorableViaMaxIS decides k-colourability in-model by simulating the
+// blow-up graph on a virtual clique and deciding whether its
+// independence number reaches n (via the full-gather MaxIS baseline).
+// row is this node's adjacency bitset in G. Copy v_i is hosted by real
+// node v, so each virtual row is locally computable: v_i's neighbours
+// are v's other copies and the i-th copies of v's G-neighbours.
+func KColorableViaMaxIS(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	n := nd.N()
+	m := n * k
+	var (
+		mu  sync.Mutex
+		got bool
+	)
+	virtual.Run(nd, virtual.Config{M: m, Host: func(a int) int { return a / k }, WordsPerPair: 4}, func(vn *virtual.Node) {
+		v, i := vn.ID()/k, vn.ID()%k
+		vrow := graph.NewBitset(m)
+		for j := 0; j < k; j++ {
+			if j != i {
+				vrow.Set(v*k + j)
+			}
+		}
+		row.Each(func(u int) { vrow.Set(u*k + i) })
+		full := gather.Full(vn, vrow)
+		res := graph.HasIndependentSetOfSize(full, n)
+		mu.Lock()
+		got = res
+		mu.Unlock()
+	})
+	return got
+}

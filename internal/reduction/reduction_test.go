@@ -1,0 +1,285 @@
+package reduction
+
+import (
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/matmul"
+)
+
+func TestISDSIndexing(t *testing.T) {
+	r := ISDS{N: 5, K: 3}
+	if r.Total() != (3+3)*5+6 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	seen := make(map[int]bool)
+	check := func(a int, want Decoded) {
+		t.Helper()
+		if seen[a] {
+			t.Fatalf("index %d reused", a)
+		}
+		seen[a] = true
+		got := r.Decode(a)
+		if got != want {
+			t.Fatalf("Decode(%d) = %+v, want %+v", a, got, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for v := 0; v < 5; v++ {
+			check(r.CliqueNode(i, v), Decoded{Kind: KindClique, I: i, V: v})
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			for v := 0; v < 5; v++ {
+				check(r.GadgetNode(i, j, v), Decoded{Kind: KindGadget, I: i, J: j, V: v})
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		check(r.SpecialX(i), Decoded{Kind: KindSpecial, I: i, V: 0})
+		check(r.SpecialY(i), Decoded{Kind: KindSpecial, I: i, V: 1})
+	}
+	if len(seen) != r.Total() {
+		t.Fatalf("indexed %d vertices, want %d", len(seen), r.Total())
+	}
+}
+
+func TestISDSGadgetEdgesMatchFigure2(t *testing.T) {
+	// Figure 2's compatibility gadget: v_i in K_i is adjacent to every
+	// u_{i,j} except v_{i,j}; v_j in K_j is adjacent to u_{i,j} iff u is
+	// neither v nor a G-neighbour of v.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	r := ISDS{N: 4, K: 2}
+	gp := r.BuildGraph(g)
+	for v := 0; v < 4; v++ {
+		for u := 0; u < 4; u++ {
+			gi := r.GadgetNode(0, 1, u)
+			wantI := u != v
+			if gp.HasEdge(r.CliqueNode(0, v), gi) != wantI {
+				t.Errorf("K_0 copy %d vs gadget %d: edge = %v, want %v", v, u,
+					!wantI, wantI)
+			}
+			wantJ := u != v && !g.HasEdge(u, v)
+			if gp.HasEdge(r.CliqueNode(1, v), gi) != wantJ {
+				t.Errorf("K_1 copy %d vs gadget %d: edge = %v, want %v", v, u,
+					!wantJ, wantJ)
+			}
+		}
+	}
+	// Cliques are cliques; gadgets are independent; specials attach to
+	// exactly their clique.
+	for i := 0; i < 2; i++ {
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				if !gp.HasEdge(r.CliqueNode(i, a), r.CliqueNode(i, b)) {
+					t.Errorf("K_%d not a clique", i)
+				}
+				if gp.HasEdge(r.GadgetNode(0, 1, a), r.GadgetNode(0, 1, b)) {
+					t.Error("gadget has internal edge")
+				}
+			}
+			if !gp.HasEdge(r.SpecialX(i), r.CliqueNode(i, a)) ||
+				!gp.HasEdge(r.SpecialY(i), r.CliqueNode(i, a)) {
+				t.Errorf("special of clique %d misses copy %d", i, a)
+			}
+			if gp.HasEdge(r.SpecialX(i), r.CliqueNode(1-i, a)) {
+				t.Error("special attached to wrong clique")
+			}
+		}
+	}
+}
+
+func TestISDSEquivalenceExhaustive(t *testing.T) {
+	// Theorem 10's iff, validated against brute force on all 2^6 graphs
+	// on 4 vertices and k=2, plus random instances with k=3.
+	for mask := 0; mask < 64; mask++ {
+		g := graph.New(4)
+		e := 0
+		for u := 0; u < 4; u++ {
+			for v := u + 1; v < 4; v++ {
+				if mask&(1<<e) != 0 {
+					g.AddEdge(u, v)
+				}
+				e++
+			}
+		}
+		r := ISDS{N: 4, K: 2}
+		gp := r.BuildGraph(g)
+		wantIS := graph.HasIndependentSetOfSize(g, 2)
+		gotDS := graph.HasDominatingSetOfSize(gp, 2)
+		if wantIS != gotDS {
+			t.Fatalf("mask %d: G has 2-IS = %v but G' has 2-DS = %v", mask, wantIS, gotDS)
+		}
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		g := graph.Gnp(4, 0.5, seed+100)
+		r := ISDS{N: 4, K: 3}
+		gp := r.BuildGraph(g)
+		wantIS := graph.HasIndependentSetOfSize(g, 3)
+		gotDS := graph.HasDominatingSetOfSize(gp, 3)
+		if wantIS != gotDS {
+			t.Fatalf("seed %d k=3: G has 3-IS = %v but G' has 3-DS = %v", seed, wantIS, gotDS)
+		}
+	}
+}
+
+func TestISDSVirtualRowMatchesCentral(t *testing.T) {
+	g := graph.Gnp(5, 0.4, 11)
+	r := ISDS{N: 5, K: 2}
+	gp := r.BuildGraph(g)
+	for a := 0; a < r.Total(); a++ {
+		d := r.Decode(a)
+		var hostRow graph.Bitset
+		if d.Kind != KindSpecial {
+			hostRow = g.Row(d.V)
+		}
+		row := r.VirtualRow(a, hostRow)
+		for b := 0; b < r.Total(); b++ {
+			if row.Has(b) != gp.HasEdge(a, b) {
+				t.Fatalf("VirtualRow(%d) disagrees with central graph at %d", a, b)
+			}
+		}
+	}
+}
+
+func TestFindISViaDSInModel(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := graph.Gnp(6, 0.55, seed+7)
+		want := graph.HasIndependentSetOfSize(g, 2)
+		outs := make([]ISResult, g.N)
+		_, err := clique.Run(clique.Config{N: g.N, WordsPerPair: 16}, func(nd *clique.Node) {
+			outs[nd.ID()] = FindISViaDS(nd, g.Row(nd.ID()), 2)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range outs {
+			if outs[v].Found != want {
+				t.Fatalf("seed %d node %d: Found = %v, oracle = %v", seed, v, outs[v].Found, want)
+			}
+		}
+		if want {
+			if !graph.IsIndependentSet(g, outs[0].Witness) || len(outs[0].Witness) != 2 {
+				t.Fatalf("seed %d: bad witness %v", seed, outs[0].Witness)
+			}
+		}
+	}
+}
+
+func TestColoringGraphEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := graph.Gnp(5, 0.6, seed+50)
+		for _, k := range []int{2, 3} {
+			gp := ColoringGraph(g, k)
+			want := graph.IsKColorable(g, k)
+			got := graph.HasIndependentSetOfSize(gp, g.N)
+			if want != got {
+				t.Fatalf("seed %d k=%d: colourable = %v but blow-up IS(n) = %v", seed, k, want, got)
+			}
+			if got {
+				set := graph.FindIndependentSet(gp, g.N)
+				colors := ColoringFromIS(g.N, k, set)
+				if colors == nil || !graph.IsProperColoring(g, colors, k) {
+					t.Fatalf("seed %d k=%d: decoded colouring invalid", seed, k)
+				}
+			}
+		}
+	}
+}
+
+func TestColoringFromISRejectsBadSets(t *testing.T) {
+	if ColoringFromIS(3, 2, []int{0, 1, 4}) != nil {
+		t.Error("two copies of vertex 0 accepted")
+	}
+	if ColoringFromIS(3, 2, []int{0, 2}) != nil {
+		t.Error("short set accepted")
+	}
+}
+
+func TestKColorableViaMaxISInModel(t *testing.T) {
+	// C5 is 3-colourable but not 2-colourable.
+	g := graph.Cycle(5)
+	for _, k := range []int{2, 3} {
+		want := graph.IsKColorable(g, k)
+		outs := make([]bool, g.N)
+		_, err := clique.Run(clique.Config{N: g.N, WordsPerPair: 16}, func(nd *clique.Node) {
+			outs[nd.ID()] = KColorableViaMaxIS(nd, g.Row(nd.ID()), k)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range outs {
+			if outs[v] != want {
+				t.Fatalf("k=%d node %d: got %v, want %v", k, v, outs[v], want)
+			}
+		}
+	}
+}
+
+func TestDHZGraphDistances(t *testing.T) {
+	n := 5
+	a := randomBool(n, 0.4, 1)
+	b := randomBool(n, 0.4, 2)
+	want := matmul.MulLocal(matmul.Boolean{}, a, b)
+	h := DHZGraph(a, b)
+	d := graph.FloydWarshall(h)
+	l := DHZLayout{N: n}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dist := d[l.X(i)][l.Z(j)]
+			if want[i][j] == 1 && dist != 2 {
+				t.Fatalf("product pair (%d,%d) at distance %d, want 2", i, j, dist)
+			}
+			if want[i][j] == 0 && dist != 4 {
+				t.Fatalf("non-product pair (%d,%d) at distance %d, want 4", i, j, dist)
+			}
+		}
+	}
+	// Recovery from exact distances.
+	for i := 0; i < n; i++ {
+		row := ProductFromDistances(l, d[l.X(i)])
+		for j := 0; j < n; j++ {
+			if row[j] != want[i][j] {
+				t.Fatalf("recovered product (%d,%d) = %d, want %d", i, j, row[j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBMMViaApproxAPSPInModel(t *testing.T) {
+	n := 5
+	a := randomBool(n, 0.45, 3)
+	b := randomBool(n, 0.45, 4)
+	want := matmul.MulLocal(matmul.Boolean{}, a, b)
+	got := make([][]int64, n)
+	_, err := clique.Run(clique.Config{N: n, WordsPerPair: 16}, func(nd *clique.Node) {
+		got[nd.ID()] = BMMViaApproxAPSP(nd, a[nd.ID()], b[nd.ID()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("product (%d,%d) = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func randomBool(n int, p float64, seed uint64) [][]int64 {
+	g := graph.Gnp(n, p, seed+900) // reuse the graph generator's rng
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			if g.HasEdge(i, j) {
+				m[i][j] = 1
+			}
+		}
+	}
+	return m
+}

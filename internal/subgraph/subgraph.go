@@ -1,0 +1,289 @@
+// Package subgraph implements deterministic subgraph detection in the
+// congested clique after Dolev, Lenzen and Peled ("Tri, tri again",
+// DISC 2012; reference [16] of the paper): with the partition scheme of
+// package partition, the node labelled (j_1, ..., j_k) learns all edges
+// inside S_v = S_{j_1} u ... u S_{j_k} and brute-forces its share of
+// k-tuples locally. Any k vertices lie inside some union, so detection is
+// complete; the per-node receive volume is O(k^2 n^{2-2/k}) words, giving
+// O(k^2 n^{1-2/k}) rounds — the k-IS, triangle, k-clique and k-cycle
+// upper bounds in Figure 1 of the paper.
+package subgraph
+
+import (
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/routing"
+)
+
+// Scope selects which edges a labelled node must learn.
+type Scope int
+
+const (
+	// ScopeWithin gathers edges with both endpoints in S_v (subgraph
+	// detection, Theorem 10's target problems).
+	ScopeWithin Scope = iota
+	// ScopeIncident gathers edges with at least one endpoint in S_v
+	// (the paper's Theorem 9 dominating-set algorithm).
+	ScopeIncident
+)
+
+// GatherEdges routes every edge of the input graph to every labelled
+// node whose scope covers it, and returns the local view: a graph on the
+// full vertex set containing exactly the edges this node learned (plus
+// its own incident edges, which it knew for free). row is this node's
+// adjacency bitset.
+//
+// Ownership of each edge follows the paper's private-bit convention
+// (graph.PrivateAssignment), so every edge enters the routing instance
+// exactly once.
+func GatherEdges(nd clique.Endpoint, row graph.Bitset, s partition.Scheme, scope Scope) *graph.Graph {
+	n := nd.N()
+	me := nd.ID()
+	pa := graph.PrivateAssignment{N: n}
+
+	covered := func(w, u, v int) bool {
+		switch scope {
+		case ScopeWithin:
+			return s.InUnion(w, u) && s.InUnion(w, v)
+		default:
+			return s.InUnion(w, u) || s.InUnion(w, v)
+		}
+	}
+
+	var packets []routing.Packet
+	pa.OwnedPairs(me, func(u int) {
+		if !row.Has(u) {
+			return // not an edge
+		}
+		word := clique.PairWord(me, u, n)
+		for w := 0; w < s.NumLabels(); w++ {
+			if covered(w, me, u) {
+				packets = append(packets, routing.Packet{Dst: w, Payload: []uint64{word}})
+			}
+		}
+	})
+	in := routing.Route(nd, packets, 1, 0x5e1)
+
+	local := graph.New(n)
+	row.Each(func(u int) { local.AddEdge(me, u) })
+	for _, pkt := range in {
+		u, v := clique.UnpairWord(pkt.Payload[0], n)
+		local.AddEdge(u, v)
+	}
+	return local
+}
+
+// orReduce combines one bit per node: one broadcast round; every node
+// returns the global OR, so all nodes output the same decision, as the
+// model requires.
+func orReduce(nd clique.Endpoint, local bool) bool {
+	return routing.MaxWord(nd, clique.BoolWord(local)) != 0
+}
+
+// tuples enumerates all ways to choose one vertex from each listed part
+// (parts may repeat), requiring strictly increasing vertex ids inside
+// repeated parts to avoid reusing a vertex; f returns true to stop.
+func tuples(s partition.Scheme, lbl []int, f func(sel []int) bool) bool {
+	k := len(lbl)
+	sel := make([]int, k)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == k {
+			return f(sel)
+		}
+		lo, hi := s.PartBounds(lbl[i])
+		for v := lo; v < hi; v++ {
+			dup := false
+			for j := 0; j < i; j++ {
+				if sel[j] == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			sel[i] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// Detect runs the generic detection algorithm: every labelled node
+// gathers the edges within its union and searches for a k-tuple
+// (one vertex per labelled part) accepted by check, which receives the
+// candidate vertices and the local view of the graph. The global OR of
+// the local findings is returned at every node.
+func Detect(nd clique.Endpoint, row graph.Bitset, k int, check func(sel []int, local *graph.Graph) bool) bool {
+	s := partition.New(nd.N(), k)
+	local := GatherEdges(nd, row, s, ScopeWithin)
+	found := false
+	if lbl := s.Label(nd.ID()); lbl != nil {
+		found = tuples(s, lbl, func(sel []int) bool { return check(sel, local) })
+	}
+	return orReduce(nd, found)
+}
+
+// DetectIndependentSet decides whether the input graph has an
+// independent set of size k, in O(k^2 n^{1-2/k}) rounds (Figure 1's k-IS
+// entry).
+func DetectIndependentSet(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	return Detect(nd, row, k, func(sel []int, local *graph.Graph) bool {
+		return graph.IsIndependentSet(local, sel)
+	})
+}
+
+// DetectClique decides whether the input graph has a clique of size k.
+func DetectClique(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	return Detect(nd, row, k, func(sel []int, local *graph.Graph) bool {
+		return graph.IsClique(local, sel)
+	})
+}
+
+// DetectTriangle decides triangle-freeness, the k = 3 clique case at
+// O(n^{1/3}) rounds.
+func DetectTriangle(nd clique.Endpoint, row graph.Bitset) bool {
+	return DetectClique(nd, row, 3)
+}
+
+// DetectCycle decides whether the input graph contains a simple cycle of
+// length exactly k.
+func DetectCycle(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	if k < 3 {
+		return orReduce(nd, false)
+	}
+	return Detect(nd, row, k, func(sel []int, local *graph.Graph) bool {
+		return hasCycleOrder(local, sel)
+	})
+}
+
+// hasCycleOrder reports whether some cyclic ordering of sel forms a
+// cycle in g. The first element is fixed to quotient out rotations.
+func hasCycleOrder(g *graph.Graph, sel []int) bool {
+	k := len(sel)
+	perm := make([]int, 0, k)
+	used := make([]bool, k)
+	perm = append(perm, sel[0])
+	used[0] = true
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == k {
+			return g.HasEdge(perm[k-1], perm[0])
+		}
+		last := perm[len(perm)-1]
+		for i := 1; i < k; i++ {
+			if used[i] || !g.HasEdge(last, sel[i]) {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, sel[i])
+			if rec() {
+				return true
+			}
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+// DetectPattern decides whether the input graph contains the given
+// k-vertex pattern as a (not necessarily induced) subgraph. pattern is
+// the adjacency matrix of the pattern graph.
+func DetectPattern(nd clique.Endpoint, row graph.Bitset, pattern *graph.Graph) bool {
+	k := pattern.N
+	return Detect(nd, row, k, func(sel []int, local *graph.Graph) bool {
+		ok := true
+		pattern.Edges(func(a, b int) {
+			if !local.HasEdge(sel[a], sel[b]) {
+				ok = false
+			}
+		})
+		return ok
+	})
+}
+
+// DetectPath decides whether the input graph contains a simple path on
+// exactly k vertices, via the generic pattern detector. Section 7.3 of
+// the paper cites exp(k)-round algorithms for k-path ([20, 35]); the
+// partition scheme realises O(k^2 n^{1-2/k}) rounds, which is the
+// better bound for k constant.
+func DetectPath(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	if k == 1 {
+		return orReduce(nd, nd.N() > 0)
+	}
+	pattern := graph.New(k)
+	for v := 0; v+1 < k; v++ {
+		pattern.AddEdge(v, v+1)
+	}
+	return DetectPattern(nd, row, pattern)
+}
+
+// FindWitness runs Detect and additionally publishes a concrete witness
+// tuple: the lowest-id successful node broadcasts its k vertices over k
+// rounds, so every node returns the same (found, witness) pair — the
+// same agreement pattern as Theorem 9's dominating set search. Returns
+// (false, nil) if no witness exists.
+func FindWitness(nd clique.Endpoint, row graph.Bitset, k int, check func(sel []int, local *graph.Graph) bool) (bool, []int) {
+	n := nd.N()
+	me := nd.ID()
+	s := partition.New(n, k)
+	local := GatherEdges(nd, row, s, ScopeWithin)
+	var mine []int
+	if lbl := s.Label(me); lbl != nil {
+		tuples(s, lbl, func(sel []int) bool {
+			if check(sel, local) {
+				mine = append([]int(nil), sel...)
+				return true
+			}
+			return false
+		})
+	}
+	flags := routing.BroadcastWord(nd, clique.BoolWord(mine != nil))
+	leader := -1
+	for v := 0; v < n; v++ {
+		if flags[v] != 0 {
+			leader = v
+			break
+		}
+	}
+	if leader < 0 {
+		return false, nil
+	}
+	witness := make([]int, k)
+	for i := 0; i < k; i++ {
+		if me == leader {
+			nd.Broadcast(uint64(mine[i]))
+		}
+		nd.Tick()
+		if me == leader {
+			witness[i] = mine[i]
+		} else if w := nd.Recv(leader); len(w) == 1 {
+			witness[i] = int(w[0])
+		} else {
+			nd.Fail("subgraph: missing witness word %d from leader %d", i, leader)
+		}
+	}
+	return true, witness
+}
+
+// FindIndependentSet returns an agreed independent set of size k, or
+// (false, nil).
+func FindIndependentSet(nd clique.Endpoint, row graph.Bitset, k int) (bool, []int) {
+	return FindWitness(nd, row, k, func(sel []int, local *graph.Graph) bool {
+		return graph.IsIndependentSet(local, sel)
+	})
+}
+
+// FindClique returns an agreed clique of size k, or (false, nil).
+func FindClique(nd clique.Endpoint, row graph.Bitset, k int) (bool, []int) {
+	return FindWitness(nd, row, k, func(sel []int, local *graph.Graph) bool {
+		return graph.IsClique(local, sel)
+	})
+}

@@ -1,0 +1,127 @@
+// Package vcover implements Theorem 11 of the paper: a vertex cover of
+// size k can be found in O(k) rounds in the congested clique — the
+// round complexity depends only on the parameter k, not on n, which is
+// the paper's point of contrast with k-IS and k-DS in Section 7.3.
+//
+// The algorithm is the distributed Buss kernelisation (Lemma 12): every
+// vertex of degree > k must belong to any size-k cover, so such vertices
+// join the cover and announce it (one round); the remaining vertices
+// have degree <= k, so each can broadcast all of its still-uncovered
+// edges in k rounds; every node then solves the kernel locally.
+package vcover
+
+import (
+	"sort"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+// Result is the outcome, identical at every node: all nodes run the same
+// deterministic local solve on the same kernel, so no agreement round is
+// needed.
+type Result struct {
+	// Found reports whether a vertex cover of size at most k exists.
+	Found bool
+	// Cover is a vertex cover of size at most k if Found, nil
+	// otherwise. It is the union of the high-degree kernel vertices and
+	// the local optimum on the kernel.
+	Cover []int
+	// KernelSize is the number of high-degree vertices forced into the
+	// cover during preprocessing, reported for the experiments.
+	KernelSize int
+}
+
+// Find looks for a vertex cover of size at most k. row is this node's
+// adjacency bitset. Rounds: exactly 1 + k.
+func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
+	n := nd.N()
+	me := nd.ID()
+	if k < 0 {
+		nd.Fail("vcover: negative k")
+	}
+
+	// Preprocessing round: high-degree vertices announce themselves.
+	deg := row.Count()
+	if deg > k {
+		nd.Broadcast(1)
+	}
+	nd.Tick()
+	inC := make([]bool, n)
+	inC[me] = deg > k
+	var forced []int
+	for v := 0; v < n; v++ {
+		if v == me {
+			continue
+		}
+		if len(nd.Recv(v)) > 0 {
+			inC[v] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if inC[v] {
+			forced = append(forced, v)
+		}
+	}
+
+	// If more than k vertices are forced, no size-k cover exists; all
+	// nodes still run the k broadcast rounds so that the round count is
+	// the same on yes- and no-instances (and every node reaches the same
+	// conclusion from the same data).
+	overfull := len(forced) > k
+
+	// Main phase: nodes outside C broadcast their uncovered edges, at
+	// most k of them (their degree is <= k), one per round; k global
+	// rounds in total.
+	var mine []int
+	if !inC[me] {
+		row.Each(func(u int) {
+			if !inC[u] {
+				mine = append(mine, u)
+			}
+		})
+	}
+	kernel := graph.New(n)
+	for r := 0; r < k; r++ {
+		if r < len(mine) {
+			nd.Broadcast(clique.PairWord(me, mine[r], n))
+		}
+		nd.Tick()
+		for v := 0; v < n; v++ {
+			if v == me {
+				continue
+			}
+			if w := nd.Recv(v); len(w) == 1 {
+				a, b := clique.UnpairWord(w[0], n)
+				kernel.AddEdge(a, b)
+			}
+		}
+	}
+	if len(mine) > k {
+		// Degree <= k outside C, so this cannot happen on a legal run.
+		nd.Fail("vcover: %d uncovered edges at a low-degree node", len(mine))
+	}
+	for _, u := range mine {
+		kernel.AddEdge(me, u)
+	}
+
+	if overfull {
+		return Result{KernelSize: len(forced)}
+	}
+
+	// Local solve: minimum vertex cover of the kernel within the
+	// remaining budget. Local computation is free in the model.
+	rest := graph.FindVertexCover(kernel, k-len(forced))
+	if rest == nil {
+		return Result{KernelSize: len(forced)}
+	}
+	cover := append(append([]int(nil), forced...), rest...)
+	sort.Ints(cover)
+	return Result{Found: true, Cover: cover, KernelSize: len(forced)}
+}
+
+// Decide is the decision version: does a vertex cover of size at most k
+// exist?
+func Decide(nd clique.Endpoint, row graph.Bitset, k int) bool {
+	return Find(nd, row, k).Found
+}

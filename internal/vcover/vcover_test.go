@@ -1,0 +1,140 @@
+package vcover
+
+import (
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+)
+
+func runFind(t *testing.T, g *graph.Graph, k int) (Result, *clique.Result) {
+	t.Helper()
+	out := make([]Result, g.N)
+	res, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+		out[nd.ID()] = Find(nd, g.Row(nd.ID()), k)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < g.N; v++ {
+		if out[v].Found != out[0].Found || len(out[v].Cover) != len(out[0].Cover) {
+			t.Fatalf("nodes disagree: %+v vs %+v", out[v], out[0])
+		}
+		for i := range out[v].Cover {
+			if out[v].Cover[i] != out[0].Cover[i] {
+				t.Fatalf("nodes disagree on cover")
+			}
+		}
+	}
+	return out[0], res
+}
+
+func TestFindMatchesOracle(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := graph.Gnp(14, 0.25, seed+30)
+		opt := graph.MinVertexCoverSize(g)
+		for _, k := range []int{opt - 1, opt, opt + 2} {
+			if k < 0 {
+				continue
+			}
+			got, _ := runFind(t, g, k)
+			want := k >= opt
+			if got.Found != want {
+				t.Errorf("seed %d k=%d (opt %d): Found = %v", seed, k, opt, got.Found)
+			}
+			if got.Found {
+				if len(got.Cover) > k {
+					t.Errorf("seed %d: cover size %d > budget %d", seed, len(got.Cover), k)
+				}
+				if !graph.IsVertexCover(g, got.Cover) {
+					t.Errorf("seed %d: returned set is not a cover", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestPlantedCover(t *testing.T) {
+	g, _ := graph.PlantedVertexCover(24, 4, 0.5, 3)
+	got, _ := runFind(t, g, 4)
+	if !got.Found {
+		t.Fatal("planted 4-cover not found")
+	}
+	if !graph.IsVertexCover(g, got.Cover) {
+		t.Fatal("witness is not a cover")
+	}
+}
+
+func TestHighDegreeKernel(t *testing.T) {
+	// A star K_{1,9} with k=1: the centre has degree 9 > 1 and is
+	// forced; the kernel is empty.
+	g := graph.CompleteBipartite(1, 9)
+	got, _ := runFind(t, g, 1)
+	if !got.Found || len(got.Cover) != 1 || got.Cover[0] != 0 {
+		t.Fatalf("star cover: %+v", got)
+	}
+	if got.KernelSize != 1 {
+		t.Errorf("kernel size = %d, want 1", got.KernelSize)
+	}
+}
+
+func TestOverfullKernelRejects(t *testing.T) {
+	// K8 with k=2: every vertex has degree 7 > 2, so 8 > 2 vertices are
+	// forced and the algorithm must reject.
+	g := graph.Complete(8)
+	got, _ := runFind(t, g, 2)
+	if got.Found {
+		t.Error("K8 accepted with k=2")
+	}
+	if got.KernelSize != 8 {
+		t.Errorf("kernel size = %d, want 8", got.KernelSize)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(7)
+	got, _ := runFind(t, g, 0)
+	if !got.Found || len(got.Cover) != 0 {
+		t.Errorf("empty graph k=0: %+v", got)
+	}
+}
+
+func TestRoundsDependOnlyOnK(t *testing.T) {
+	// Theorem 11's headline: rounds are 1 + k regardless of n.
+	for _, n := range []int{10, 20, 40, 80} {
+		g, _ := graph.PlantedVertexCover(n, 3, 0.4, uint64(n))
+		_, res := runFind(t, g, 3)
+		if res.Stats.Rounds != 4 {
+			t.Errorf("n=%d: rounds = %d, want exactly 4", n, res.Stats.Rounds)
+		}
+	}
+	// And they grow linearly in k.
+	g, _ := graph.PlantedVertexCover(30, 3, 0.4, 9)
+	for _, k := range []int{3, 6, 12} {
+		_, res := runFind(t, g, k)
+		if res.Stats.Rounds != 1+k {
+			t.Errorf("k=%d: rounds = %d, want %d", k, res.Stats.Rounds, 1+k)
+		}
+	}
+}
+
+func TestBussLemmaHolds(t *testing.T) {
+	// Lemma 12: in every yes-instance, each vertex of degree > k is in
+	// the returned cover.
+	for seed := uint64(0); seed < 4; seed++ {
+		g, _ := graph.PlantedVertexCover(18, 4, 0.6, seed)
+		got, _ := runFind(t, g, 4)
+		if !got.Found {
+			continue
+		}
+		inCover := make(map[int]bool)
+		for _, v := range got.Cover {
+			inCover[v] = true
+		}
+		for v := 0; v < g.N; v++ {
+			if g.Degree(v) > 4 && !inCover[v] {
+				t.Errorf("seed %d: degree-%d vertex %d missing from cover", seed, g.Degree(v), v)
+			}
+		}
+	}
+}

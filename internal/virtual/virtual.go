@@ -1,0 +1,247 @@
+// Package virtual simulates an m-node congested clique on top of a
+// (typically smaller) real clique: each real node hosts a set of virtual
+// nodes and relays their traffic. This is the substrate behind the
+// paper's Theorem 10 simulation argument, where each of the n input
+// nodes simulates the O(k^2) gadget copies it owns in the constructed
+// graph G', and the real round cost per virtual round is bounded by the
+// largest number of virtual pairs sharing a real link.
+package virtual
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/clique"
+	"repro/internal/routing"
+)
+
+// Config describes the simulated clique.
+type Config struct {
+	// M is the number of virtual nodes.
+	M int
+	// Host maps a virtual node to the real node simulating it. It must
+	// be a globally known pure function; all real nodes evaluate it
+	// locally.
+	Host func(v int) int
+	// WordsPerPair is the virtual bandwidth budget per virtual round,
+	// defaulting to 1.
+	WordsPerPair int
+}
+
+// NodeFunc is the algorithm run by every virtual node.
+type NodeFunc func(vn *Node)
+
+// Node is the virtual analogue of clique.Node. Its methods may be called
+// only from the virtual node's goroutine.
+type Node struct {
+	id  int
+	eng *engine
+
+	outbox    [][]uint64
+	inbox     [][]uint64
+	completed int
+
+	arrived  chan struct{}
+	released chan struct{}
+	finished chan struct{}
+	panicked any
+}
+
+// ID returns the virtual node id in 0..M-1.
+func (vn *Node) ID() int { return vn.eng.idOf(vn) }
+
+// N returns the number of virtual nodes.
+func (vn *Node) N() int { return vn.eng.cfg.M }
+
+// Round returns the number of completed virtual rounds.
+func (vn *Node) Round() int { return vn.completed }
+
+// WordsPerPair returns the virtual per-pair word budget.
+func (vn *Node) WordsPerPair() int { return vn.eng.cfg.WordsPerPair }
+
+// Send queues words for virtual node `to` in the current virtual round.
+func (vn *Node) Send(to int, words ...uint64) {
+	if to < 0 || to >= vn.eng.cfg.M || to == vn.id {
+		panic(fmt.Sprintf("virtual: node %d: invalid Send target %d", vn.id, to))
+	}
+	if len(vn.outbox[to])+len(words) > vn.eng.cfg.WordsPerPair {
+		panic(fmt.Sprintf("virtual: node %d round %d: bandwidth exceeded sending to %d (budget %d)",
+			vn.id, vn.completed, to, vn.eng.cfg.WordsPerPair))
+	}
+	vn.outbox[to] = append(vn.outbox[to], words...)
+}
+
+// Broadcast queues the same words for every other virtual node.
+func (vn *Node) Broadcast(words ...uint64) {
+	for to := 0; to < vn.eng.cfg.M; to++ {
+		if to != vn.id {
+			vn.Send(to, words...)
+		}
+	}
+}
+
+// Tick completes the virtual round.
+func (vn *Node) Tick() {
+	vn.arrived <- struct{}{}
+	<-vn.released
+	vn.completed++
+}
+
+// Recv returns the words received from virtual node `from` in the last
+// completed virtual round.
+func (vn *Node) Recv(from int) []uint64 {
+	if from < 0 || from >= vn.eng.cfg.M || from == vn.id {
+		panic(fmt.Sprintf("virtual: node %d: invalid Recv source %d", vn.id, from))
+	}
+	return vn.inbox[from]
+}
+
+// Fail aborts the entire (real) run.
+func (vn *Node) Fail(format string, args ...any) {
+	panic(fmt.Sprintf("virtual: node %d: %s", vn.id, fmt.Sprintf(format, args...)))
+}
+
+type engine struct {
+	cfg  Config
+	nd   clique.Endpoint
+	mine []*Node // virtual nodes hosted here, by local index
+	ids  []int   // global ids of mine
+}
+
+func (e *engine) idOf(vn *Node) int { return vn.id }
+
+// Run simulates cfg.M virtual nodes running f on top of the real clique
+// node nd. Every real node must call Run together with identical cfg and
+// f. Returns after all virtual nodes globally have terminated. The real
+// round cost is measured by the enclosing clique engine; each virtual
+// round costs one max-reduction round plus ceil(maxLinkWords /
+// realWordsPerPair) stream rounds, where maxLinkWords is the largest
+// number of (tagged) virtual words any real link must carry.
+func Run(nd clique.Endpoint, cfg Config, f NodeFunc) {
+	if cfg.WordsPerPair == 0 {
+		cfg.WordsPerPair = 1
+	}
+	if cfg.M < 1 || cfg.Host == nil {
+		nd.Fail("virtual: bad config M=%d", cfg.M)
+	}
+	e := &engine{cfg: cfg, nd: nd}
+	for v := 0; v < cfg.M; v++ {
+		h := cfg.Host(v)
+		if h < 0 || h >= nd.N() {
+			nd.Fail("virtual: Host(%d) = %d out of range", v, h)
+		}
+		if h == nd.ID() {
+			vn := &Node{
+				id:       v,
+				eng:      e,
+				outbox:   make([][]uint64, cfg.M),
+				inbox:    make([][]uint64, cfg.M),
+				arrived:  make(chan struct{}),
+				released: make(chan struct{}),
+				finished: make(chan struct{}),
+			}
+			e.mine = append(e.mine, vn)
+			e.ids = append(e.ids, v)
+		}
+	}
+
+	// Launch hosted virtual nodes.
+	var wg sync.WaitGroup
+	for _, vn := range e.mine {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(vn.finished)
+			defer func() {
+				if r := recover(); r != nil {
+					vn.panicked = r
+				}
+			}()
+			f(vn)
+		}()
+	}
+
+	live := append([]*Node(nil), e.mine...)
+	for {
+		// Wait for each live virtual node to reach its barrier or
+		// finish.
+		var waiting []*Node
+		var next []*Node
+		for _, vn := range live {
+			select {
+			case <-vn.arrived:
+				waiting = append(waiting, vn)
+				next = append(next, vn)
+			case <-vn.finished:
+				if vn.panicked != nil {
+					nd.Fail("virtual node %d panicked: %v", vn.id, vn.panicked)
+				}
+			}
+		}
+		live = next
+
+		// Global termination test: stop once no virtual node anywhere
+		// is still running. (Real nodes whose virtual nodes are all done
+		// must keep participating in the max-reductions and exchanges of
+		// the remaining virtual rounds.)
+		stillLive := routing.MaxWord(nd, uint64(len(live)))
+		if stillLive == 0 {
+			wg.Wait()
+			return
+		}
+
+		// Collect virtual messages into per-real-destination streams.
+		// Wire format per message: from, to, count, words...
+		n := nd.N()
+		queues := make([][]uint64, n)
+		deliverLocal := func(from, to int, words []uint64) {
+			for _, vn := range e.mine {
+				if vn.id == to {
+					vn.inbox[from] = append([]uint64(nil), words...)
+					return
+				}
+			}
+			nd.Fail("virtual: local delivery to unhosted node %d", to)
+		}
+		for _, vn := range waiting {
+			// Reset inboxes before new delivery.
+			for i := range vn.inbox {
+				vn.inbox[i] = nil
+			}
+		}
+		for _, vn := range waiting {
+			for to, words := range vn.outbox {
+				if len(words) == 0 {
+					continue
+				}
+				h := cfg.Host(to)
+				if h == nd.ID() {
+					deliverLocal(vn.id, to, words)
+				} else {
+					rec := []uint64{uint64(vn.id), uint64(to), uint64(len(words))}
+					queues[h] = append(queues[h], append(rec, words...)...)
+				}
+				vn.outbox[to] = nil
+			}
+		}
+
+		in := routing.Exchange(nd, queues)
+		for p := 0; p < n; p++ {
+			stream := in[p]
+			for off := 0; off < len(stream); {
+				from := int(stream[off])
+				to := int(stream[off+1])
+				cnt := int(stream[off+2])
+				deliverLocal(from, to, stream[off+3:off+3+cnt])
+				off += 3 + cnt
+			}
+		}
+
+		// Release the barrier.
+		for _, vn := range waiting {
+			vn.released <- struct{}{}
+		}
+	}
+}
+
+var _ clique.Endpoint = (*Node)(nil)
