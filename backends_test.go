@@ -1,0 +1,342 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/domset"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/matmul"
+	"repro/internal/mst"
+	"repro/internal/nondet"
+	"repro/internal/paths"
+	"repro/internal/reduction"
+	"repro/internal/routing"
+	"repro/internal/subgraph"
+	"repro/internal/vcover"
+)
+
+// This file pins the tentpole guarantee of the execution-backend split:
+// every algorithm in the repository produces bit-identical outputs, round
+// counts, and communication statistics on the goroutine and lockstep
+// engines. Each case builds a fresh NodeFunc per backend (closures carry
+// per-run outputs) and compares stats plus an output fingerprint.
+
+// backendCase is one algorithm workload: make returns a NodeFunc and a
+// function extracting the run's output for comparison.
+type backendCase struct {
+	name string
+	wpp  int
+	n    int
+	make func(n int) (clique.NodeFunc, func() any)
+}
+
+func backendCases() []backendCase {
+	return []backendCase{
+		{"triangle", 8, 27, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.2, uint64(n))
+			out := make([]bool, n)
+			return func(nd *clique.Node) { out[nd.ID()] = subgraph.DetectTriangle(nd, g.Row(nd.ID())) },
+				func() any { return out }
+		}},
+		{"3-is", 8, 27, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.6, uint64(n))
+			out := make([]bool, n)
+			return func(nd *clique.Node) { out[nd.ID()] = subgraph.DetectIndependentSet(nd, g.Row(nd.ID()), 3) },
+				func() any { return out }
+		}},
+		{"4-clique", 8, 16, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.6, uint64(n)+1)
+			out := make([]bool, n)
+			return func(nd *clique.Node) { out[nd.ID()] = subgraph.DetectClique(nd, g.Row(nd.ID()), 4) },
+				func() any { return out }
+		}},
+		{"4-cycle", 8, 16, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.3, uint64(n)+2)
+			out := make([]bool, n)
+			return func(nd *clique.Node) { out[nd.ID()] = subgraph.DetectCycle(nd, g.Row(nd.ID()), 4) },
+				func() any { return out }
+		}},
+		{"3-path", 8, 16, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.3, uint64(n)+3)
+			out := make([]bool, n)
+			return func(nd *clique.Node) { out[nd.ID()] = subgraph.DetectPath(nd, g.Row(nd.ID()), 3) },
+				func() any { return out }
+		}},
+		{"boolean-mm-3d", 8, 27, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.5, uint64(n))
+			out := make([][]int64, n)
+			return func(nd *clique.Node) {
+					row := matmul.AdjacencyRow(g, nd.ID())
+					out[nd.ID()] = matmul.Mul3D(nd, matmul.Boolean{}, row, row)
+				},
+				func() any { return out }
+		}},
+		{"boolean-mm-naive", 8, 16, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.5, uint64(n))
+			out := make([][]int64, n)
+			return func(nd *clique.Node) {
+					row := matmul.AdjacencyRow(g, nd.ID())
+					out[nd.ID()] = matmul.MulNaive(nd, matmul.Boolean{}, row, row)
+				},
+				func() any { return out }
+		}},
+		{"apsp", 8, 27, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.GnpWeighted(n, 0.3, 40, false, uint64(n))
+			out := make([][]int64, n)
+			return func(nd *clique.Node) { out[nd.ID()] = paths.APSP(nd, g.W[nd.ID()], matmul.Mul3D) },
+				func() any { return out }
+		}},
+		{"bfs", 4, 24, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.2, uint64(n))
+			out := make([]paths.BFSResult, n)
+			return func(nd *clique.Node) { out[nd.ID()] = paths.BFS(nd, g.Row(nd.ID()), 0) },
+				func() any { return out }
+		}},
+		{"sssp", 1, 24, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.GnpWeighted(n, 0.3, 30, false, uint64(n))
+			out := make([]paths.SSSPResult, n)
+			return func(nd *clique.Node) { out[nd.ID()] = paths.SSSP(nd, g.W[nd.ID()], 0) },
+				func() any { return out }
+		}},
+		{"3-ds", 8, 27, func(n int) (clique.NodeFunc, func() any) {
+			g, _ := graph.PlantedDominatingSet(n, 3, 0.1, uint64(n))
+			out := make([]domset.Result, n)
+			return func(nd *clique.Node) { out[nd.ID()] = domset.Find(nd, g.Row(nd.ID()), 3) },
+				func() any { return out }
+		}},
+		{"3-vc", 1, 32, func(n int) (clique.NodeFunc, func() any) {
+			g, _ := graph.PlantedVertexCover(n, 3, 0.4, uint64(n))
+			out := make([]vcover.Result, n)
+			return func(nd *clique.Node) { out[nd.ID()] = vcover.Find(nd, g.Row(nd.ID()), 3) },
+				func() any { return out }
+		}},
+		{"mst", 1, 32, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.GnpWeighted(n, 0.3, 60, false, uint64(n))
+			out := make([]int64, n)
+			return func(nd *clique.Node) { out[nd.ID()] = mst.Weight(mst.Find(nd, g.W[nd.ID()])) },
+				func() any { return out }
+		}},
+		{"route", 4, 32, func(n int) (clique.NodeFunc, func() any) {
+			out := make([][]routing.Packet, n)
+			return func(nd *clique.Node) {
+					var ps []routing.Packet
+					for i := 0; i < 16; i++ {
+						ps = append(ps, routing.Packet{Dst: (nd.ID() + i + 1) % n, Payload: []uint64{uint64(nd.ID()*100 + i)}})
+					}
+					out[nd.ID()] = routing.Route(nd, ps, 1, 9)
+				},
+				func() any { return out }
+		}},
+		{"sort", 4, 16, func(n int) (clique.NodeFunc, func() any) {
+			out := make([]routing.SortResult, n)
+			return func(nd *clique.Node) {
+					keys := make([]uint64, 8)
+					for i := range keys {
+						keys[i] = uint64((nd.ID()*131 + i*37) % 256)
+					}
+					out[nd.ID()] = routing.Sort(nd, keys, 256)
+				},
+				func() any { return out }
+		}},
+		{"maxis-gather", 1, 20, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.9, uint64(n))
+			out := make([]int, n)
+			return func(nd *clique.Node) { out[nd.ID()] = gather.MaxIndependentSetSize(nd, g.Row(nd.ID())) },
+				func() any { return out }
+		}},
+		{"is-via-ds-sim", 16, 8, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Gnp(n, 0.5, uint64(n)+3)
+			out := make([]reduction.ISResult, n)
+			return func(nd *clique.Node) { out[nd.ID()] = reduction.FindISViaDS(nd, g.Row(nd.ID()), 2) },
+				func() any { return out }
+		}},
+		{"sigma2-hierarchy", 1, 6, func(n int) (clique.NodeFunc, func() any) {
+			g := graph.Complete(n)
+			alg := hierarchy.SigmaTwoUniversal(graph.HasTriangle)
+			z1 := hierarchy.HonestGuess(g)
+			z2 := hierarchy.CatchingChallenge(n, 0, 0, 1)
+			out := make([]bool, n)
+			return func(nd *clique.Node) {
+					out[nd.ID()] = alg(nd, g.Row(nd.ID()), [][]uint64{z1[nd.ID()], z2[nd.ID()]})
+				},
+				func() any { return out }
+		}},
+	}
+}
+
+func TestBackendEquivalenceAcrossAlgorithms(t *testing.T) {
+	for _, tc := range backendCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			type outcome struct {
+				stats clique.Stats
+				out   any
+			}
+			results := map[string]outcome{}
+			for _, backend := range clique.Backends() {
+				f, get := tc.make(tc.n)
+				res, err := clique.Run(clique.Config{N: tc.n, WordsPerPair: tc.wpp, Backend: backend}, f)
+				if err != nil {
+					t.Fatalf("%s: %v", backend, err)
+				}
+				results[backend] = outcome{res.Stats, get()}
+			}
+			ref := results["goroutine"]
+			for backend, got := range results {
+				if got.stats != ref.stats {
+					t.Errorf("%s stats = %+v, goroutine stats = %+v", backend, got.stats, ref.stats)
+				}
+				if !reflect.DeepEqual(got.out, ref.out) {
+					t.Errorf("%s outputs diverge from goroutine outputs", backend)
+				}
+			}
+		})
+	}
+}
+
+// TestBackendEquivalenceNondetVerifier runs the Theorem 3 pipeline
+// (prover, transcript certificates, normal-form verifier) on both
+// backends and demands identical verdicts and stats.
+func TestBackendEquivalenceNondetVerifier(t *testing.T) {
+	const n = 10
+	g, _ := graph.PlantedColoring(n, 3, 0.7, uint64(n))
+	alg := nondet.KColoringVerifier(3)
+	z := nondet.KColoringProver(g, 3)
+	if z == nil {
+		t.Skip("prover found no colouring for this instance")
+	}
+	type run struct {
+		accepted bool
+		stats    clique.Stats
+	}
+	results := map[string]run{}
+	for _, backend := range clique.Backends() {
+		verdict, err := nondet.RunVerifier(clique.Config{N: n, Backend: backend}, g, alg, z)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		results[backend] = run{verdict.Accepted, verdict.Result.Stats}
+	}
+	ref := results["goroutine"]
+	for backend, got := range results {
+		if got != ref {
+			t.Errorf("%s verdict/stats = %+v, goroutine = %+v", backend, got, ref)
+		}
+	}
+}
+
+// TestBackendEquivalenceFuzz drives both backends with pseudo-random
+// node programs — random per-round send patterns and message lengths,
+// derived purely from (seed, id, round) so each backend replays the
+// identical program — and compares full transcripts word for word.
+func TestBackendEquivalenceFuzz(t *testing.T) {
+	const wpp = 3
+	for seed := int64(0); seed < 12; seed++ {
+		n := 3 + int(seed%5)
+		prog := func(nd *clique.Node) {
+			rng := rand.New(rand.NewSource(seed<<32 | int64(nd.ID())))
+			rounds := 2 + rng.Intn(4)
+			for r := 0; r < rounds; r++ {
+				for _, to := range rng.Perm(n)[:1+rng.Intn(n-1)] {
+					if to == nd.ID() {
+						continue
+					}
+					words := make([]uint64, 1+rng.Intn(wpp))
+					for i := range words {
+						words[i] = rng.Uint64() % 1000
+					}
+					nd.Send(to, words...)
+				}
+				nd.Tick()
+			}
+		}
+		var refStats clique.Stats
+		var refTr []*clique.Transcript
+		for i, backend := range clique.Backends() {
+			res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp, RecordTranscript: true, Backend: backend}, prog)
+			if err != nil {
+				t.Fatalf("seed %d backend %s: %v", seed, backend, err)
+			}
+			if i == 0 {
+				refStats, refTr = res.Stats, res.Transcripts
+				continue
+			}
+			if res.Stats != refStats {
+				t.Errorf("seed %d: %s stats %+v != %+v", seed, backend, res.Stats, refStats)
+			}
+			if !reflect.DeepEqual(res.Transcripts, refTr) {
+				t.Errorf("seed %d: %s transcripts diverge", seed, backend)
+			}
+		}
+	}
+}
+
+// TestBackendEquivalenceErrors checks that model violations surface as
+// the same error on both backends.
+func TestBackendEquivalenceErrors(t *testing.T) {
+	progs := map[string]clique.NodeFunc{
+		"bandwidth": func(nd *clique.Node) {
+			if nd.ID() == 1 {
+				nd.Send(0, 1, 2, 3, 4, 5)
+			}
+			nd.Tick()
+		},
+		"unicast-in-broadcast-model": func(nd *clique.Node) {
+			if nd.ID() == 2 {
+				nd.Send(0, 9)
+			}
+			nd.Tick()
+		},
+		"panic": func(nd *clique.Node) {
+			if nd.ID() == 1 {
+				panic("fuzz-panic")
+			}
+			nd.Tick()
+		},
+		"fail": func(nd *clique.Node) {
+			if nd.ID() == 0 {
+				nd.Fail("deliberate")
+			}
+			nd.Tick()
+		},
+	}
+	for name, prog := range progs {
+		var ref error
+		for i, backend := range clique.Backends() {
+			cfg := clique.Config{N: 4, WordsPerPair: 2, Backend: backend}
+			if name == "unicast-in-broadcast-model" {
+				cfg.BroadcastOnly = true
+			}
+			_, err := clique.Run(cfg, prog)
+			if err == nil {
+				t.Fatalf("%s/%s: expected error", name, backend)
+			}
+			if i == 0 {
+				ref = err
+			} else if err.Error() != ref.Error() {
+				t.Errorf("%s: %s error %q != goroutine error %q", name, backend, err, ref)
+			}
+		}
+	}
+}
+
+func Example_bothBackends() {
+	for _, backend := range clique.Backends() {
+		res, err := clique.Run(clique.Config{N: 4, Backend: backend}, func(nd *clique.Node) {
+			nd.Broadcast(uint64(nd.ID()))
+			nd.Tick()
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d round, %d words\n", backend, res.Stats.Rounds, res.Stats.WordsSent)
+	}
+	// Output:
+	// goroutine: 1 round, 12 words
+	// lockstep: 1 round, 12 words
+}

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -27,13 +28,19 @@ import (
 	"repro/internal/vcover"
 )
 
+// benchBackend selects the execution engine for every root benchmark:
+// `go test -bench . -args -backend=goroutine` benchmarks the reference
+// engine, the default benchmarks the lockstep engine. Model costs
+// (rounds, words) are backend-independent; wall-clock is the contrast.
+var benchBackend = flag.String("backend", "lockstep", "execution backend for the root benchmarks (goroutine, lockstep)")
+
 // benchRounds runs one simulated execution per iteration and reports the
 // round count as a custom metric.
 func benchRounds(b *testing.B, n, wpp int, f clique.NodeFunc) {
 	b.Helper()
 	var lastRounds, lastWords int64
 	for i := 0; i < b.N; i++ {
-		res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp}, f)
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp, Backend: *benchBackend}, f)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +208,7 @@ func BenchmarkThm3_NormalForm(b *testing.B) {
 		if z == nil {
 			b.Fatal("prover failed")
 		}
-		certs, err := nondet.TranscriptCertificate(clique.Config{N: n}, g, alg, z)
+		certs, err := nondet.TranscriptCertificate(clique.Config{N: n, Backend: *benchBackend}, g, alg, z)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +216,7 @@ func BenchmarkThm3_NormalForm(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var bits int
 			for i := 0; i < b.N; i++ {
-				verdict, err := nondet.RunVerifier(clique.Config{N: n}, g, bVerifier, certs)
+				verdict, err := nondet.RunVerifier(clique.Config{N: n, Backend: *benchBackend}, g, bVerifier, certs)
 				if err != nil || !verdict.Accepted {
 					b.Fatal("normal form rejected honest certificate")
 				}
@@ -413,7 +420,7 @@ func BenchmarkExt_LabellingCheck(b *testing.B) {
 		z := p.Solve(g)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				v, err := nondet.RunVerifier(clique.Config{N: n}, g, p.Check, z)
+				v, err := nondet.RunVerifier(clique.Config{N: n, Backend: *benchBackend}, g, p.Check, z)
 				if err != nil || !v.Accepted {
 					b.Fatal("checker rejected a greedy maximal matching")
 				}

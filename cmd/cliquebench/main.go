@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/clique"
 	"repro/internal/counting"
@@ -30,9 +32,26 @@ import (
 	"repro/internal/vcover"
 )
 
+// backendName selects the execution engine for every simulated run in
+// this process; simTime and simRounds accumulate the cost of those runs
+// so the report can state simulator throughput per backend.
+var (
+	backendName string
+	simTime     time.Duration
+	simRounds   int64
+)
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1, fig2, thm2, thm4, thm8, lemma1, thm3, thm6, thm7, thm9, thm11, fpt, mst, sub, ablation, all)")
+	backend := flag.String("backend", "lockstep",
+		"execution backend ("+strings.Join(clique.Backends(), ", ")+")")
 	flag.Parse()
+	backendName = *backend
+	if backendName == "" {
+		backendName = clique.DefaultBackend
+	}
+	fmt.Printf("backend: %s\n", backendName)
+	defer reportThroughput()
 
 	all := map[string]func(){
 		"fig1":     expFig1,
@@ -70,13 +89,51 @@ func header(id, title string) {
 	fmt.Printf("\n===== %s: %s =====\n", id, title)
 }
 
+// runCounted executes one simulated run on the selected backend and
+// folds its cost into the process-wide throughput report. Every
+// simulation this command makes must go through here (or through
+// verify below) so the rounds/sec summary covers the whole report.
+func runCounted(cfg clique.Config, f clique.NodeFunc) (*clique.Result, error) {
+	cfg.Backend = backendName
+	start := time.Now()
+	res, err := clique.Run(cfg, f)
+	simTime += time.Since(start)
+	if err == nil {
+		simRounds += int64(res.Stats.Rounds)
+	}
+	return res, err
+}
+
+// verify is runCounted for nondeterministic verifier runs.
+func verify(cfg clique.Config, g *graph.Graph, alg nondet.Algorithm, z nondet.Labelling) (nondet.Verdict, error) {
+	cfg.Backend = backendName
+	start := time.Now()
+	v, err := nondet.RunVerifier(cfg, g, alg, z)
+	simTime += time.Since(start)
+	if err == nil {
+		simRounds += int64(v.Result.Stats.Rounds)
+	}
+	return v, err
+}
+
 // rounds runs f on an n-node clique and returns the round count.
 func rounds(n, wpp int, f clique.NodeFunc) int {
-	res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp}, f)
+	res, err := runCounted(clique.Config{N: n, WordsPerPair: wpp}, f)
 	if err != nil {
 		log.Fatal(err)
 	}
 	return res.Stats.Rounds
+}
+
+// reportThroughput prints the aggregate simulator cost of the report, so
+// BENCH_*.json trajectories can compare engines run to run.
+func reportThroughput() {
+	if simRounds == 0 || simTime <= 0 {
+		return
+	}
+	fmt.Printf("\nsimulator: %d rounds in %v on the %s backend (%.0f rounds/sec)\n",
+		simRounds, simTime.Round(time.Microsecond), backendName,
+		float64(simRounds)/simTime.Seconds())
 }
 
 // E1 — Figure 1: measured scaling and fitted exponents for the
@@ -285,12 +342,21 @@ func expThm3() {
 		if z == nil {
 			continue
 		}
-		certs, err := nondet.TranscriptCertificate(clique.Config{N: n}, g, alg, z)
+		// TranscriptCertificate, inlined through verify so the
+		// accepting run is part of the throughput report.
+		accepting, err := verify(clique.Config{N: n, RecordTranscript: true}, g, alg, z)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if !accepting.Accepted {
+			log.Fatal("nondet: A rejected the labelling; no certificate to extract")
+		}
+		certs := make(nondet.Labelling, n)
+		for v, tr := range accepting.Result.Transcripts {
+			certs[v] = nondet.EncodeTranscript(tr, n)
+		}
 		b := nondet.NormalForm(alg, 1, nondet.WordSpace(3))
-		verdict, err := nondet.RunVerifier(clique.Config{N: n}, g, b, certs)
+		verdict, err := verify(clique.Config{N: n}, g, b, certs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -308,7 +374,7 @@ func expThm6() {
 		g, _ := graph.PlantedColoring(n, 3, 0.7, uint64(n)+40)
 		alg := nondet.KColoringVerifier(3)
 		z := nondet.KColoringProver(g, 3)
-		verdict, err := nondet.RunVerifier(clique.Config{N: n, RecordTranscript: true}, g, alg, z)
+		verdict, err := verify(clique.Config{N: n, RecordTranscript: true}, g, alg, z)
 		if err != nil || !verdict.Accepted {
 			log.Fatal("accepting run failed")
 		}
@@ -332,7 +398,7 @@ func expThm7() {
 		alg := hierarchy.SigmaTwoUniversal(graph.HasTriangle)
 		run := func(g *graph.Graph, z1, z2 []([]uint64)) bool {
 			bits := make([]bool, g.N)
-			_, err := clique.Run(clique.Config{N: g.N}, func(nd *clique.Node) {
+			_, err := runCounted(clique.Config{N: g.N}, func(nd *clique.Node) {
 				bits[nd.ID()] = alg(nd, g.Row(nd.ID()), [][]uint64{z1[nd.ID()], z2[nd.ID()]})
 			})
 			if err != nil {

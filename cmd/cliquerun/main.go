@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/clique"
 	"repro/internal/domset"
@@ -41,7 +43,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	wpp := flag.Int("wpp", 4, "words per pair per round")
 	maxW := flag.Int64("maxw", 20, "max edge weight for weighted problems")
+	backend := flag.String("backend", "lockstep",
+		"execution backend ("+strings.Join(clique.Backends(), ", ")+")")
 	flag.Parse()
+	if *backend == "" {
+		*backend = clique.DefaultBackend
+	}
 
 	if *alg == "dot" {
 		fmt.Print(fgc.Figure1(*k).DOT())
@@ -52,8 +59,11 @@ func main() {
 	w := graph.GnpWeighted(*n, *p, *maxW, false, *seed)
 	var answer string
 
+	var elapsed time.Duration
 	run := func(f clique.NodeFunc) *clique.Result {
-		res, err := clique.Run(clique.Config{N: *n, WordsPerPair: *wpp}, f)
+		start := time.Now()
+		res, err := clique.Run(clique.Config{N: *n, WordsPerPair: *wpp, Backend: *backend}, f)
+		elapsed = time.Since(start)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -154,8 +164,11 @@ func main() {
 	}
 
 	fmt.Printf("algorithm : %s\n", *alg)
+	fmt.Printf("backend   : %s\n", *backend)
 	fmt.Printf("instance  : n=%d p=%.2f seed=%d (%d edges)\n", *n, *p, *seed, g.NumEdges())
 	fmt.Printf("result    : %s\n", answer)
 	fmt.Printf("cost      : %d rounds, %d words, %d bits, busiest link %d words/round\n",
 		res.Stats.Rounds, res.Stats.WordsSent, res.Stats.BitsSent, res.Stats.MaxPairWords)
+	roundsPerSec := float64(res.Stats.Rounds) / elapsed.Seconds()
+	fmt.Printf("wall      : %v (%.0f rounds/sec on the %s backend)\n", elapsed.Round(time.Microsecond), roundsPerSec, *backend)
 }

@@ -10,22 +10,29 @@
 // ordered pair may carry per round; exceeding the budget aborts the run
 // with an error, because it means the algorithm does not fit the model.
 //
-// Algorithms are written in a blocking style: each node runs its own
-// goroutine executing a NodeFunc, queues messages with Send or Broadcast,
-// and calls Tick to advance to the next synchronous round. Local
-// computation between Ticks is unlimited, matching the model.
+// Algorithms are written in a blocking style: each node executes a
+// NodeFunc, queues messages with Send or Broadcast, and calls Tick to
+// advance to the next synchronous round. Local computation between Ticks
+// is unlimited, matching the model.
+//
+// How the n node programs are actually scheduled is the job of an
+// execution backend (package engine), selected with Config.Backend:
+// "goroutine" runs one goroutine per node with a barrier per round, and
+// "lockstep" resumes the programs as coroutines on a sharded worker pool
+// with reused mailbox buffers. The two are result-identical; lockstep is
+// deterministic and much faster at large n.
 package clique
 
 import (
 	"fmt"
-	"math/bits"
-	"sync"
+
+	"repro/internal/engine"
 )
 
 // DefaultMaxRounds aborts runaway algorithms; any real congested clique
 // algorithm in this repository terminates within O(n) rounds for the
 // instance sizes we simulate.
-const DefaultMaxRounds = 1 << 20
+const DefaultMaxRounds = engine.DefaultMaxRounds
 
 // Config describes a simulated congested clique network.
 type Config struct {
@@ -55,6 +62,10 @@ type Config struct {
 	// fails the run. Lower bounds are known for this weaker model
 	// (Drucker et al. [19]).
 	BroadcastOnly bool
+
+	// Backend names the execution engine: "goroutine" (the default) or
+	// "lockstep". Backends are model-equivalent; see package engine.
+	Backend string
 }
 
 func (c Config) withDefaults() Config {
@@ -78,114 +89,35 @@ func (c Config) Validate() error {
 	if c.MaxRounds < 0 {
 		return fmt.Errorf("clique: config MaxRounds = %d, need >= 0", c.MaxRounds)
 	}
+	if _, err := engine.New(c.Backend); err != nil {
+		return fmt.Errorf("clique: %w", err)
+	}
 	return nil
 }
 
 // WordBits returns the number of bits the model charges for one word on an
 // n-node clique: ceil(log2 n), with a minimum of 1.
-func WordBits(n int) int {
-	if n <= 2 {
-		return 1
-	}
-	return bits.Len(uint(n - 1))
-}
+func WordBits(n int) int { return engine.WordBits(n) }
 
 // NodeFunc is the algorithm run by every node. The same function runs at
 // all nodes (the model is uniform); per-node behaviour comes from
 // Node.ID() and from whatever input the surrounding closure captured.
 type NodeFunc func(nd *Node)
 
-// Stats aggregates the cost of a run in model terms.
-type Stats struct {
-	// Rounds is the number of synchronous rounds executed, i.e. the
-	// model's time complexity of this execution.
-	Rounds int
+// Stats aggregates the cost of a run in model terms; see engine.Stats.
+type Stats = engine.Stats
 
-	// WordsSent is the total number of words carried by all links over
-	// the whole run.
-	WordsSent int64
-
-	// MaxPairWords is the largest number of words any single ordered
-	// pair carried in any single round. It never exceeds WordsPerPair.
-	MaxPairWords int
-
-	// BitsSent is WordsSent times WordBits(n): the total communication
-	// volume in model bits.
-	BitsSent int64
-}
-
-// Transcript is the full communication record of a single node: for each
-// round, the words it sent to and received from every peer. This is the
-// certificate object of Theorem 3 (normal form for nondeterministic
-// algorithms).
-type Transcript struct {
-	// NodeID is the node this transcript belongs to.
-	NodeID int
-	// Rounds[r].Sent[p] are the words sent to peer p in round r;
-	// Rounds[r].Recv[p] are the words received from peer p.
-	Rounds []TranscriptRound
-}
+// Transcript is the full communication record of a single node, the
+// certificate object of Theorem 3; see engine.Transcript.
+type Transcript = engine.Transcript
 
 // TranscriptRound records one round of one node's communication.
-type TranscriptRound struct {
-	Sent [][]uint64
-	Recv [][]uint64
-}
-
-// Words returns the total number of words (sent plus received) recorded in
-// the transcript. Theorem 3 bounds this by O(T(n) * n); multiplying by
-// WordBits(n) gives the O(T(n) n log n) label size of the normal form.
-func (t *Transcript) Words() int {
-	total := 0
-	for _, r := range t.Rounds {
-		for _, s := range r.Sent {
-			total += len(s)
-		}
-		for _, rc := range r.Recv {
-			total += len(rc)
-		}
-	}
-	return total
-}
+type TranscriptRound = engine.TranscriptRound
 
 // Result carries everything a completed run produced besides the
 // algorithm's own outputs (which the caller collects via its NodeFunc
 // closure).
-type Result struct {
-	Stats Stats
-	// Transcripts is non-nil only if Config.RecordTranscript was set;
-	// it is indexed by node id.
-	Transcripts []*Transcript
-}
-
-// engineAbort is the sentinel panic value used to unwind node goroutines
-// when the run is cancelled (violation in some node, or MaxRounds hit).
-type engineAbort struct{}
-
-// violation records a model violation raised by node code via panic; the
-// engine converts it into the run's error.
-type violation struct{ err error }
-
-// engine is the shared state of one simulated network.
-type engine struct {
-	cfg Config
-	n   int
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	active  int
-	round   int
-	err     error
-
-	// outbox[from][to] and inbox[to][from] hold the words queued /
-	// delivered in the current round.
-	outbox [][][]uint64
-	inbox  [][][]uint64
-
-	stats       Stats
-	transcripts []*Transcript
-}
+type Result = engine.Result
 
 // Run executes f at every node of an N-node congested clique and returns
 // the aggregate cost of the execution. Outputs are collected by the
@@ -196,174 +128,29 @@ func Run(cfg Config, f NodeFunc) (*Result, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	n := cfg.N
-
-	e := &engine{cfg: cfg, n: n, active: n}
-	e.cond = sync.NewCond(&e.mu)
-	e.outbox = newMailbox(n)
-	e.inbox = newMailbox(n)
-	if cfg.RecordTranscript {
-		e.transcripts = make([]*Transcript, n)
-		for v := range e.transcripts {
-			e.transcripts[v] = &Transcript{NodeID: v}
-		}
+	be, err := engine.New(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("clique: %w", err)
 	}
-
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		nd := &Node{id: v, e: e}
-		go func() {
-			defer wg.Done()
-			defer e.leave(nd)
-			defer func() {
-				r := recover()
-				switch r := r.(type) {
-				case nil:
-				case engineAbort:
-					// Another node failed; unwind quietly.
-				case violation:
-					e.fail(r.err)
-				default:
-					e.fail(fmt.Errorf("clique: node %d panicked: %v", nd.id, r))
-				}
-			}()
-			f(nd)
-		}()
+	ecfg := engine.Config{
+		N:                cfg.N,
+		WordsPerPair:     cfg.WordsPerPair,
+		MaxRounds:        cfg.MaxRounds,
+		RecordTranscript: cfg.RecordTranscript,
+		BroadcastOnly:    cfg.BroadcastOnly,
 	}
-	wg.Wait()
-
-	res := &Result{Stats: e.stats, Transcripts: e.transcripts}
-	res.Stats.BitsSent = res.Stats.WordsSent * int64(WordBits(n))
-	return res, e.err
-}
-
-func newMailbox(n int) [][][]uint64 {
-	m := make([][][]uint64, n)
-	for i := range m {
-		m[i] = make([][]uint64, n)
-	}
-	return m
-}
-
-// fail records the first error and wakes all waiters.
-func (e *engine) fail(err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.err == nil {
-		e.err = err
-	}
-	e.cond.Broadcast()
-}
-
-// leave deregisters a node whose function has returned. If it was the
-// last straggler of the current barrier, the round completes without it.
-func (e *engine) leave(nd *Node) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.active--
-	if e.active > 0 && e.arrived == e.active && e.err == nil {
-		e.exchangeLocked()
-	}
-}
-
-// barrier is called by Node.Tick. It blocks until all active nodes have
-// arrived, at which point the last arrival performs the message exchange.
-func (e *engine) barrier(nd *Node) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.err != nil {
-		panic(engineAbort{})
-	}
-	e.arrived++
-	if e.arrived == e.active {
-		e.exchangeLocked()
-		return
-	}
-	myRound := e.round
-	for e.round == myRound && e.err == nil {
-		e.cond.Wait()
-	}
-	if e.err != nil {
-		panic(engineAbort{})
-	}
-}
-
-// exchangeLocked delivers all queued messages, updates statistics and
-// transcripts, advances the round counter, and releases the barrier.
-// Callers must hold e.mu.
-func (e *engine) exchangeLocked() {
-	if e.cfg.BroadcastOnly && e.err == nil {
-		if from, to := e.findBroadcastViolation(); from >= 0 {
-			e.err = fmt.Errorf(
-				"clique: node %d round %d: broadcast-only model violated (message to %d differs from the rest)",
-				from, e.round, to)
-		}
-	}
-	e.inbox, e.outbox = e.outbox, e.inbox
-	// inbox now holds what was sent: inbox[from][to]. Transpose view is
-	// handled at Recv time by indexing inbox[from][to] with the reader
-	// as `to`; to keep Recv O(1) we instead physically transpose here.
-	// Transposing n^2 slice headers per round is cheap relative to the
-	// simulated work.
-	for from := 0; from < e.n; from++ {
-		row := e.inbox[from]
-		for to := from + 1; to < e.n; to++ {
-			row[to], e.inbox[to][from] = e.inbox[to][from], row[to]
-		}
-	}
-	// After the swap loop above, inbox[v][p] holds the words p sent to
-	// v. Clear the outbox for the next round.
-	for from := range e.outbox {
-		row := e.outbox[from]
-		for to := range row {
-			row[to] = nil
-		}
-	}
-
-	maxPair := 0
-	var words int64
-	for v := 0; v < e.n; v++ {
-		for p := 0; p < e.n; p++ {
-			w := len(e.inbox[v][p])
-			words += int64(w)
-			if w > maxPair {
-				maxPair = w
-			}
-		}
-	}
-	e.stats.WordsSent += words
-	if maxPair > e.stats.MaxPairWords {
-		e.stats.MaxPairWords = maxPair
-	}
-
-	if e.transcripts != nil {
-		for v := 0; v < e.n; v++ {
-			sent := make([][]uint64, e.n)
-			recv := make([][]uint64, e.n)
-			for p := 0; p < e.n; p++ {
-				recv[p] = append([]uint64(nil), e.inbox[v][p]...)
-				sent[p] = append([]uint64(nil), e.inbox[p][v]...)
-			}
-			e.transcripts[v].Rounds = append(e.transcripts[v].Rounds,
-				TranscriptRound{Sent: sent, Recv: recv})
-		}
-	}
-
-	e.round++
-	e.stats.Rounds = e.round
-	if e.round > e.cfg.MaxRounds && e.err == nil {
-		e.err = fmt.Errorf("clique: exceeded MaxRounds = %d", e.cfg.MaxRounds)
-	}
-	e.arrived = 0
-	e.cond.Broadcast()
+	return be.Run(ecfg, func(id int, rt engine.NodeRuntime) {
+		f(&Node{id: id, n: cfg.N, wpp: cfg.WordsPerPair, rt: rt})
+	})
 }
 
 // Node is the per-node handle passed to a NodeFunc. All methods must be
-// called only from that node's goroutine.
+// called only from within that node's program.
 type Node struct {
-	id int
-	e  *engine
+	id  int
+	n   int
+	wpp int
+	rt  engine.NodeRuntime
 	// completed counts rounds this node has finished with Tick.
 	completed int
 }
@@ -373,40 +160,30 @@ type Node struct {
 func (nd *Node) ID() int { return nd.id }
 
 // N returns the number of nodes in the clique.
-func (nd *Node) N() int { return nd.e.n }
+func (nd *Node) N() int { return nd.n }
 
 // Round returns the number of completed rounds, i.e. the index of the
 // round currently being prepared.
 func (nd *Node) Round() int { return nd.completed }
 
 // WordsPerPair returns the per-round per-ordered-pair word budget.
-func (nd *Node) WordsPerPair() int { return nd.e.cfg.WordsPerPair }
+func (nd *Node) WordsPerPair() int { return nd.wpp }
 
 // Send queues words for delivery to node `to` at the end of the current
 // round. It aborts the run if the budget for the (nd, to) pair would be
 // exceeded or if `to` is out of range or equal to the sender: a node
 // talking to itself needs no network.
 func (nd *Node) Send(to int, words ...uint64) {
-	if to < 0 || to >= nd.e.n || to == nd.id {
-		panic(violation{fmt.Errorf("clique: node %d: invalid Send target %d", nd.id, to)})
+	if to < 0 || to >= nd.n || to == nd.id {
+		panic(engine.Violation{Err: fmt.Errorf("clique: node %d: invalid Send target %d", nd.id, to)})
 	}
-	box := nd.e.outbox[nd.id]
-	if len(box[to])+len(words) > nd.e.cfg.WordsPerPair {
-		panic(violation{fmt.Errorf(
-			"clique: node %d round %d: bandwidth exceeded sending %d words to %d (budget %d words/pair/round)",
-			nd.id, nd.completed, len(box[to])+len(words), to, nd.e.cfg.WordsPerPair)})
-	}
-	box[to] = append(box[to], words...)
+	nd.rt.Send(nd.id, nd.completed, to, words)
 }
 
 // Broadcast queues the same words for every other node. It consumes
 // len(words) of the budget on each outgoing link.
 func (nd *Node) Broadcast(words ...uint64) {
-	for to := 0; to < nd.e.n; to++ {
-		if to != nd.id {
-			nd.Send(to, words...)
-		}
-	}
+	nd.rt.Broadcast(nd.id, nd.completed, words)
 }
 
 // Tick completes the current round: all queued messages across the whole
@@ -414,7 +191,7 @@ func (nd *Node) Broadcast(words ...uint64) {
 // the barrier. After Tick, Recv reports the words received in the round
 // that just completed.
 func (nd *Node) Tick() {
-	nd.e.barrier(nd)
+	nd.rt.Barrier(nd.id)
 	nd.completed++
 }
 
@@ -422,29 +199,29 @@ func (nd *Node) Tick() {
 // completed round, or nil if none. The returned slice is owned by the
 // engine and must not be modified; it remains valid until the next Tick.
 func (nd *Node) Recv(from int) []uint64 {
-	if from < 0 || from >= nd.e.n || from == nd.id {
-		panic(violation{fmt.Errorf("clique: node %d: invalid Recv source %d", nd.id, from)})
+	if from < 0 || from >= nd.n || from == nd.id {
+		panic(engine.Violation{Err: fmt.Errorf("clique: node %d: invalid Recv source %d", nd.id, from)})
 	}
 	if nd.completed == 0 {
 		return nil
 	}
-	return nd.e.inbox[nd.id][from]
+	return nd.rt.Recv(nd.id, from)
 }
 
 // RecvAll returns the full inbox of the most recently completed round,
-// indexed by sender (the entry at the node's own index is nil). The
+// indexed by sender (the entry at the node's own index is empty). The
 // returned slices are engine-owned; see Recv.
 func (nd *Node) RecvAll() [][]uint64 {
 	if nd.completed == 0 {
-		return make([][]uint64, nd.e.n)
+		return make([][]uint64, nd.n)
 	}
-	return nd.e.inbox[nd.id]
+	return nd.rt.RecvAll(nd.id)
 }
 
 // Fail aborts the entire run with an algorithm-level error, e.g. when a
 // node detects its input violates a documented precondition.
 func (nd *Node) Fail(format string, args ...any) {
-	panic(violation{fmt.Errorf("clique: node %d: %s", nd.id, fmt.Sprintf(format, args...))})
+	panic(engine.Violation{Err: fmt.Errorf("clique: node %d: %s", nd.id, fmt.Sprintf(format, args...))})
 }
 
 // Endpoint is the node-side API every congested clique algorithm is
@@ -476,32 +253,8 @@ type Endpoint interface {
 
 var _ Endpoint = (*Node)(nil)
 
-// findBroadcastViolation returns the first (from, to) pair whose queued
-// words differ from node from's words to its lowest-id peer, or (-1, -1)
-// if every node's outbox row is uniform (the broadcast clique's law).
-func (e *engine) findBroadcastViolation() (int, int) {
-	for from := 0; from < e.n; from++ {
-		row := e.outbox[from]
-		var ref []uint64
-		first := true
-		for to := 0; to < e.n; to++ {
-			if to == from {
-				continue
-			}
-			if first {
-				ref = row[to]
-				first = false
-				continue
-			}
-			if len(row[to]) != len(ref) {
-				return from, to
-			}
-			for i := range ref {
-				if row[to][i] != ref[i] {
-					return from, to
-				}
-			}
-		}
-	}
-	return -1, -1
-}
+// Backends lists the available execution backend names.
+func Backends() []string { return engine.Names() }
+
+// DefaultBackend is the backend an empty Config.Backend selects.
+const DefaultBackend = engine.DefaultBackend

@@ -1,0 +1,163 @@
+package clique
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplayRejectsBadArguments(t *testing.T) {
+	f := func(nd *Node) { nd.Tick() }
+
+	if _, err := Replay(Config{N: 0}, 0, f, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Replay(Config{N: 3}, 3, f, nil); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("node id out of range: err = %v", err)
+	}
+	if _, err := Replay(Config{N: 3}, -1, f, nil); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("negative node id: err = %v", err)
+	}
+	// A round whose stub list is the wrong width.
+	badWidth := [][][]uint64{{nil, nil}}
+	if _, err := Replay(Config{N: 3}, 0, f, badWidth); err == nil || !strings.Contains(err.Error(), "entries") {
+		t.Errorf("wrong inbox width: err = %v", err)
+	}
+	// A round addressing the replayed node to itself.
+	selfAddr := [][][]uint64{{{7}, nil, nil}}
+	if _, err := Replay(Config{N: 3}, 0, f, selfAddr); err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Errorf("self-addressed inbox: err = %v", err)
+	}
+}
+
+func TestReplayCutsOffRunawayNode(t *testing.T) {
+	// The node ticks forever; the script has 2 rounds, so the engine cuts
+	// the run at the len(inbox)+1 grace limit and reports the node as
+	// never having finished.
+	inbox := [][][]uint64{
+		{nil, {1}, nil},
+		{nil, {2}, nil},
+	}
+	_, err := Replay(Config{N: 3}, 0, func(nd *Node) {
+		for {
+			nd.Tick()
+		}
+	}, inbox)
+	if err == nil || !strings.Contains(err.Error(), "MaxRounds") {
+		t.Fatalf("runaway replay: err = %v, want the MaxRounds cut-off", err)
+	}
+}
+
+func TestReplayEmptyScript(t *testing.T) {
+	// With no scripted rounds, a node that returns immediately completes
+	// with zero rounds.
+	res, err := Replay(Config{N: 2}, 0, func(nd *Node) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Rounds != 0 {
+		t.Errorf("got completed=%v rounds=%d, want true/0", res.Completed, res.Rounds)
+	}
+}
+
+func TestReplayEchoDeterminism(t *testing.T) {
+	// An echo node resends whatever the script feeds it; the recorded
+	// sends must equal the script, shifted one round.
+	const n = 4
+	inbox := [][][]uint64{
+		{nil, {10}, {20}, {30}},
+		{nil, {11}, nil, nil},
+	}
+	res, err := Replay(Config{N: n, WordsPerPair: 4}, 0, func(nd *Node) {
+		nd.Tick()
+		for r := 0; r < 2; r++ {
+			var sum uint64
+			for p := 1; p < n; p++ {
+				for _, w := range nd.Recv(p) {
+					sum += w
+				}
+			}
+			nd.Send(1, sum)
+			nd.Tick()
+		}
+	}, inbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Rounds != 3 {
+		t.Fatalf("completed=%v rounds=%d, want true/3", res.Completed, res.Rounds)
+	}
+	if got := res.Sent[1][1]; len(got) != 1 || got[0] != 60 {
+		t.Errorf("round 1 echo = %v, want [60]", got)
+	}
+	if got := res.Sent[2][1]; len(got) != 1 || got[0] != 11 {
+		t.Errorf("round 2 echo = %v, want [11]", got)
+	}
+}
+
+// TestReplayOnBothBackends runs the same replay under both execution
+// engines; the Theorem 3 verifier must not care how nodes are scheduled.
+func TestReplayOnBothBackends(t *testing.T) {
+	const n = 4
+	alg := func(nd *Node) {
+		nd.Broadcast(uint64(nd.ID() + 1))
+		nd.Tick()
+		var sum uint64
+		for p := 0; p < n; p++ {
+			if p == nd.ID() {
+				continue
+			}
+			if w := nd.Recv(p); len(w) == 1 {
+				sum += w[0]
+			}
+		}
+		if nd.ID() != 0 {
+			nd.Send(0, sum)
+		}
+		nd.Tick()
+	}
+	var results []*ReplayResult
+	for _, backend := range Backends() {
+		res, err := Run(Config{N: n, RecordTranscript: true, Backend: backend}, alg)
+		if err != nil {
+			t.Fatalf("%s live run: %v", backend, err)
+		}
+		tr := res.Transcripts[2]
+		inbox := make([][][]uint64, len(tr.Rounds))
+		for r := range tr.Rounds {
+			inbox[r] = tr.Rounds[r].Recv
+		}
+		rep, err := Replay(Config{N: n, Backend: backend}, 2, alg, inbox)
+		if err != nil {
+			t.Fatalf("%s replay: %v", backend, err)
+		}
+		if !rep.Completed || rep.Rounds != 2 {
+			t.Fatalf("%s replay: completed=%v rounds=%d", backend, rep.Completed, rep.Rounds)
+		}
+		results = append(results, rep)
+	}
+	a, b := results[0], results[1]
+	for r := range a.Sent {
+		for p := range a.Sent[r] {
+			if len(a.Sent[r][p]) != len(b.Sent[r][p]) {
+				t.Fatalf("round %d peer %d: backends replayed different sends", r, p)
+			}
+			for i := range a.Sent[r][p] {
+				if a.Sent[r][p][i] != b.Sent[r][p][i] {
+					t.Fatalf("round %d peer %d: backends replayed different words", r, p)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigBackendValidation(t *testing.T) {
+	if err := (Config{N: 2, Backend: "lockstep"}).Validate(); err != nil {
+		t.Errorf("lockstep rejected: %v", err)
+	}
+	if err := (Config{N: 2, Backend: "quantum"}).Validate(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("bogus backend accepted: %v", err)
+	}
+	if _, err := Run(Config{N: 2, Backend: "quantum"}, func(nd *Node) {}); err == nil {
+		t.Error("Run accepted a bogus backend")
+	}
+}

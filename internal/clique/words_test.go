@@ -1,0 +1,81 @@
+package clique
+
+import (
+	"testing"
+)
+
+func TestBoolWord(t *testing.T) {
+	if BoolWord(true) != 1 || BoolWord(false) != 0 {
+		t.Errorf("BoolWord: got (%d, %d), want (1, 0)", BoolWord(true), BoolWord(false))
+	}
+}
+
+func TestPairWordRange(t *testing.T) {
+	n := 10
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			w := PairWord(u, v, n)
+			if w >= uint64(n*n) {
+				t.Fatalf("PairWord(%d, %d, %d) = %d escapes [0, n^2)", u, v, n, w)
+			}
+			gu, gv := UnpairWord(w, n)
+			if gu != u || gv != v {
+				t.Fatalf("round trip (%d, %d) -> %d -> (%d, %d)", u, v, w, gu, gv)
+			}
+		}
+	}
+}
+
+func TestPairWordPanicsOutOfRange(t *testing.T) {
+	cases := []struct{ u, v int }{{-1, 0}, {0, -1}, {5, 0}, {0, 5}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PairWord(%d, %d, 5) did not panic", c.u, c.v)
+				}
+			}()
+			PairWord(c.u, c.v, 5)
+		}()
+	}
+}
+
+func TestUnpairWordPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UnpairWord(25, 5) did not panic")
+		}
+	}()
+	UnpairWord(25, 5) // u component would be 5, out of range for n=5
+}
+
+func TestPackBitsBoundaries(t *testing.T) {
+	for _, size := range []int{0, 1, 63, 64, 65, 128, 130} {
+		bits := make([]bool, size)
+		for i := range bits {
+			bits[i] = i%3 == 0
+		}
+		words := PackBits(bits)
+		if want := (size + 63) / 64; len(words) != want {
+			t.Errorf("size %d: %d words, want %d", size, len(words), want)
+		}
+		got := UnpackBits(words, size)
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("size %d: bit %d flipped", size, i)
+			}
+		}
+	}
+}
+
+func TestPackBitsWordEfficiency(t *testing.T) {
+	// A packed word really carries 64 bits: all-ones must set every bit.
+	bits := make([]bool, 64)
+	for i := range bits {
+		bits[i] = true
+	}
+	words := PackBits(bits)
+	if len(words) != 1 || words[0] != ^uint64(0) {
+		t.Errorf("PackBits(64 ones) = %#x, want all-ones word", words)
+	}
+}

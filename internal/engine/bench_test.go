@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBackendExchange is the acceptance microbenchmark for the
+// lockstep engine: every node broadcasts a word and reads a rotating
+// window of 8 peers each round — the canonical gossip round shape of the
+// algorithm suite (leader reads, neighbor probes), with the network
+// itself at the densest traffic the model allows. Run for a few hundred
+// rounds, the horizon of an APSP-class algorithm, so the steady-state
+// exchange path dominates setup. Compare goroutine vs lockstep at the
+// same n; the reported rounds/sec is the engine's simulated-round
+// throughput. The lockstep engine delivers lazily (a message costs read
+// work only if its receiver looks at it), which is where most of its
+// headroom over the transpose-everything goroutine engine comes from.
+func BenchmarkBackendExchange(b *testing.B) {
+	benchExchange(b, 8)
+}
+
+// BenchmarkBackendExchangeFullRead is the lockstep engine's worst case:
+// every node reads every peer's message every round, so lazy delivery
+// buys nothing and the gap narrows to allocation and scheduling wins.
+func BenchmarkBackendExchangeFullRead(b *testing.B) {
+	benchExchange(b, -1)
+}
+
+// benchExchange broadcasts all-to-all and reads `reads` peers per node
+// per round (-1 = all peers, via RecvAll).
+func benchExchange(b *testing.B, reads int) {
+	const roundsPerRun = 256
+	for _, name := range Names() {
+		be, err := New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var sink uint64
+					res, err := be.Run(Config{N: n, WordsPerPair: 1}, func(id int, rt NodeRuntime) {
+						word := make([]uint64, 1)
+						var sum uint64
+						for r := 0; r < roundsPerRun; r++ {
+							word[0] = uint64(id + r)
+							rt.Broadcast(id, r, word)
+							rt.Barrier(id)
+							if reads < 0 {
+								for p, w := range rt.RecvAll(id) {
+									if p != id {
+										sum += w[0]
+									}
+								}
+							} else {
+								for j := 1; j <= reads; j++ {
+									p := (id + r + j) % n
+									if p != id {
+										sum += rt.Recv(id, p)[0]
+									}
+								}
+							}
+						}
+						if id == 0 {
+							sink = sum
+						}
+					})
+					_ = sink
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Stats.Rounds != roundsPerRun {
+						b.Fatalf("rounds = %d", res.Stats.Rounds)
+					}
+				}
+				b.ReportMetric(float64(roundsPerRun)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkBackendBarrier isolates the scheduling cost: nodes tick with
+// no traffic at all, so the barrier/resume machinery is everything.
+func BenchmarkBackendBarrier(b *testing.B) {
+	const roundsPerRun = 64
+	for _, name := range Names() {
+		be, _ := New(name)
+		for _, n := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, err := be.Run(Config{N: n}, func(id int, rt NodeRuntime) {
+						for r := 0; r < roundsPerRun; r++ {
+							rt.Barrier(id)
+						}
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(roundsPerRun)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+		}
+	}
+}

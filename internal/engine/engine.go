@@ -1,0 +1,276 @@
+// Package engine provides pluggable execution backends for the congested
+// clique simulator. A backend schedules the n node programs of one run,
+// synchronises them at round barriers, performs the all-to-all message
+// exchange, and enforces the model's rules: per-pair word budgets, the
+// broadcast-only restriction, the round limit, and (optionally) per-node
+// communication transcripts.
+//
+// Package clique owns the node-side API (clique.Node, clique.Run); this
+// package owns execution. Two backends are provided:
+//
+//   - "goroutine": one goroutine per node with a condition-variable
+//     barrier per round. This is the original engine; it is simple and
+//     the reference for semantics.
+//   - "lockstep": a deterministic engine that resumes node programs as
+//     pull-style coroutines on a sharded worker pool, with preallocated
+//     mailbox buffers that are reused across rounds. No per-round
+//     allocation on the exchange path and no contended barrier, which
+//     makes large instances (n >= 256) practical.
+//
+// Both backends are required to be result- and round-count-identical for
+// every node program; the cross-backend tests in the repository root
+// enforce this.
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Config describes one simulated network execution. It mirrors the model
+// fields of clique.Config; backend selection itself lives one layer up.
+type Config struct {
+	// N is the number of nodes. Must be at least 1.
+	N int
+	// WordsPerPair is the per-round, per-ordered-pair message budget in
+	// words. Zero means 1, the strict model.
+	WordsPerPair int
+	// MaxRounds aborts the run after this many rounds. Zero means
+	// DefaultMaxRounds.
+	MaxRounds int
+	// RecordTranscript enables per-node communication transcripts.
+	RecordTranscript bool
+	// BroadcastOnly switches to the broadcast congested clique: each
+	// round every node must send the same words to every other node.
+	BroadcastOnly bool
+}
+
+// DefaultMaxRounds aborts runaway algorithms; any real congested clique
+// algorithm in this repository terminates within O(n) rounds for the
+// instance sizes we simulate.
+const DefaultMaxRounds = 1 << 20
+
+func (c Config) withDefaults() Config {
+	if c.WordsPerPair == 0 {
+		c.WordsPerPair = 1
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = DefaultMaxRounds
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("clique: config N = %d, need N >= 1", c.N)
+	}
+	if c.WordsPerPair < 0 {
+		return fmt.Errorf("clique: config WordsPerPair = %d, need >= 0", c.WordsPerPair)
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("clique: config MaxRounds = %d, need >= 0", c.MaxRounds)
+	}
+	return nil
+}
+
+// WordBits returns the number of bits the model charges for one word on an
+// n-node clique: ceil(log2 n), with a minimum of 1.
+func WordBits(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Stats aggregates the cost of a run in model terms.
+type Stats struct {
+	// Rounds is the number of synchronous rounds executed, i.e. the
+	// model's time complexity of this execution.
+	Rounds int
+
+	// WordsSent is the total number of words carried by all links over
+	// the whole run.
+	WordsSent int64
+
+	// MaxPairWords is the largest number of words any single ordered
+	// pair carried in any single round. It never exceeds WordsPerPair.
+	MaxPairWords int
+
+	// BitsSent is WordsSent times WordBits(n): the total communication
+	// volume in model bits.
+	BitsSent int64
+}
+
+// Transcript is the full communication record of a single node: for each
+// round, the words it sent to and received from every peer. This is the
+// certificate object of Theorem 3 (normal form for nondeterministic
+// algorithms).
+type Transcript struct {
+	// NodeID is the node this transcript belongs to.
+	NodeID int
+	// Rounds[r].Sent[p] are the words sent to peer p in round r;
+	// Rounds[r].Recv[p] are the words received from peer p.
+	Rounds []TranscriptRound
+}
+
+// TranscriptRound records one round of one node's communication.
+type TranscriptRound struct {
+	Sent [][]uint64
+	Recv [][]uint64
+}
+
+// Words returns the total number of words (sent plus received) recorded in
+// the transcript. Theorem 3 bounds this by O(T(n) * n); multiplying by
+// WordBits(n) gives the O(T(n) n log n) label size of the normal form.
+func (t *Transcript) Words() int {
+	total := 0
+	for _, r := range t.Rounds {
+		for _, s := range r.Sent {
+			total += len(s)
+		}
+		for _, rc := range r.Recv {
+			total += len(rc)
+		}
+	}
+	return total
+}
+
+// Result carries everything a completed run produced besides the
+// algorithm's own outputs (which the caller collects via its node
+// function's closure).
+type Result struct {
+	Stats Stats
+	// Transcripts is non-nil only if Config.RecordTranscript was set;
+	// it is indexed by node id.
+	Transcripts []*Transcript
+}
+
+// Abort is the sentinel panic value used to unwind node code when the run
+// is cancelled (violation in some node, or MaxRounds hit). Backends raise
+// and recover it; node code must let it pass through.
+type Abort struct{}
+
+// Violation is the panic value node-side code raises on a model violation
+// (bandwidth exceeded, invalid peer, Node.Fail); the backend converts it
+// into the run's error.
+type Violation struct{ Err error }
+
+// NodeRuntime is the surface a backend exposes to node handles. All
+// methods are called from the node program itself (whatever goroutine or
+// coroutine the backend runs it on); a node only ever touches its own
+// mailbox rows, so backends need no locking on these paths.
+type NodeRuntime interface {
+	// Send queues words from node `from` to node `to` in the current
+	// round. `round` is the sender's completed-round count, used only
+	// for error messages. It panics with Violation if the (from, to)
+	// budget would be exceeded; target validation happens in the caller.
+	Send(from, round, to int, words []uint64)
+	// Broadcast queues the same words from `from` to every other node,
+	// in increasing target order. Semantically identical to n-1 Sends,
+	// but backends keep it on a fast path: broadcast is the densest and
+	// most common traffic pattern in the algorithm suite.
+	Broadcast(from, round int, words []uint64)
+	// Recv returns the words `to` received from `from` in the most
+	// recently completed round, or nil if none. The slice is owned by
+	// the backend and valid only until the node's next barrier.
+	Recv(to, from int) []uint64
+	// RecvAll returns node `to`'s full inbox for the most recently
+	// completed round, indexed by sender. Backend-owned, like Recv.
+	RecvAll(to int) [][]uint64
+	// Barrier blocks (or suspends) node `id` until every active node
+	// has arrived and the round's messages have been exchanged. It
+	// panics with Abort if the run was cancelled.
+	Barrier(id int)
+}
+
+// Backend schedules the node programs of one run. body is invoked once
+// per node id with the runtime the node's handle should delegate to;
+// it must be safe to invoke the n bodies concurrently.
+type Backend interface {
+	Name() string
+	Run(cfg Config, body func(id int, rt NodeRuntime)) (*Result, error)
+}
+
+// DefaultBackend is the backend used when no name is given.
+const DefaultBackend = "goroutine"
+
+// New returns the backend with the given name; the empty string selects
+// DefaultBackend.
+func New(name string) (Backend, error) {
+	switch name {
+	case "", "goroutine":
+		return goroutineBackend{}, nil
+	case "lockstep":
+		return lockstepBackend{}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown backend %q (have: goroutine, lockstep)", name)
+}
+
+// Names lists the available backend names, sorted.
+func Names() []string {
+	names := []string{"goroutine", "lockstep"}
+	sort.Strings(names)
+	return names
+}
+
+// budgetViolation builds the canonical bandwidth error. Both backends use
+// it so their error strings match exactly.
+func budgetViolation(from, round, total, to, budget int) Violation {
+	return Violation{Err: fmt.Errorf(
+		"clique: node %d round %d: bandwidth exceeded sending %d words to %d (budget %d words/pair/round)",
+		from, round, total, to, budget)}
+}
+
+// findBroadcastViolation returns the first (from, to) pair whose queued
+// words differ from node from's words to its lowest-id peer, or (-1, -1)
+// if every node's outbox row is uniform (the broadcast clique's law).
+// out(from, to) reads the queued words, whatever the backend's layout.
+func findBroadcastViolation(n int, out func(from, to int) []uint64) (int, int) {
+	for from := 0; from < n; from++ {
+		var ref []uint64
+		first := true
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			row := out(from, to)
+			if first {
+				ref = row
+				first = false
+				continue
+			}
+			if len(row) != len(ref) {
+				return from, to
+			}
+			for i := range ref {
+				if row[i] != ref[i] {
+					return from, to
+				}
+			}
+		}
+	}
+	return -1, -1
+}
+
+// recordRound appends one round of transcripts. in(to, from) reads the
+// just-exchanged inbox. Empty slices are recorded as nil so transcripts
+// compare identically across backends.
+func recordRound(ts []*Transcript, n int, in func(to, from int) []uint64) {
+	for v := 0; v < n; v++ {
+		sent := make([][]uint64, n)
+		recv := make([][]uint64, n)
+		for p := 0; p < n; p++ {
+			recv[p] = append([]uint64(nil), in(v, p)...)
+			sent[p] = append([]uint64(nil), in(p, v)...)
+		}
+		ts[v].Rounds = append(ts[v].Rounds, TranscriptRound{Sent: sent, Recv: recv})
+	}
+}
+
+// finish seals a run's result: BitsSent is derived, not tracked live.
+func finish(stats Stats, ts []*Transcript, n int) *Result {
+	stats.BitsSent = stats.WordsSent * int64(WordBits(n))
+	return &Result{Stats: stats, Transcripts: ts}
+}

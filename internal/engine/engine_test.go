@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// backends returns every registered backend; semantic tests below run
+// against each so the two engines can never drift apart.
+func backends(t *testing.T) []Backend {
+	t.Helper()
+	var bs []Backend
+	for _, name := range Names() {
+		b, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Fatalf("backend %q reports name %q", name, b.Name())
+		}
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+func TestRegistry(t *testing.T) {
+	def, err := New("")
+	if err != nil {
+		t.Fatalf("New(\"\"): %v", err)
+	}
+	if def.Name() != DefaultBackend {
+		t.Errorf("default backend = %q, want %q", def.Name(), DefaultBackend)
+	}
+	if _, err := New("fpga"); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("New(\"fpga\") = %v, want unknown-backend error", err)
+	}
+	if got := Names(); !reflect.DeepEqual(got, []string{"goroutine", "lockstep"}) {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	for _, b := range backends(t) {
+		if _, err := b.Run(Config{N: 0}, func(int, NodeRuntime) {}); err == nil {
+			t.Errorf("%s: N=0 accepted", b.Name())
+		}
+	}
+}
+
+// TestBroadcastRing has every node send its id+1 to every peer and checks
+// the delivered sums plus the full cost accounting, per backend.
+func TestBroadcastRing(t *testing.T) {
+	const n = 8
+	for _, b := range backends(t) {
+		sums := make([]uint64, n)
+		res, err := b.Run(Config{N: n}, func(id int, rt NodeRuntime) {
+			for to := 0; to < n; to++ {
+				if to != id {
+					rt.Send(id, 0, to, []uint64{uint64(id + 1)})
+				}
+			}
+			rt.Barrier(id)
+			total := uint64(id + 1)
+			for p := 0; p < n; p++ {
+				if p == id {
+					continue
+				}
+				w := rt.Recv(id, p)
+				if len(w) != 1 {
+					t.Errorf("%s: node %d got %d words from %d", b.Name(), id, len(w), p)
+					return
+				}
+				total += w[0]
+			}
+			sums[id] = total
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		want := uint64(n * (n + 1) / 2)
+		for v, s := range sums {
+			if s != want {
+				t.Errorf("%s: node %d sum = %d, want %d", b.Name(), v, s, want)
+			}
+		}
+		wantStats := Stats{Rounds: 1, WordsSent: n * (n - 1), MaxPairWords: 1, BitsSent: n * (n - 1) * int64(WordBits(n))}
+		if res.Stats != wantStats {
+			t.Errorf("%s: stats = %+v, want %+v", b.Name(), res.Stats, wantStats)
+		}
+	}
+}
+
+func TestBudgetViolation(t *testing.T) {
+	for _, b := range backends(t) {
+		_, err := b.Run(Config{N: 3, WordsPerPair: 2}, func(id int, rt NodeRuntime) {
+			if id == 0 {
+				rt.Send(0, 0, 1, []uint64{1, 2, 3})
+			}
+			rt.Barrier(id)
+		})
+		if err == nil || !strings.Contains(err.Error(), "bandwidth exceeded") {
+			t.Errorf("%s: err = %v, want bandwidth violation", b.Name(), err)
+		}
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	for _, b := range backends(t) {
+		_, err := b.Run(Config{N: 2, MaxRounds: 4}, func(id int, rt NodeRuntime) {
+			for {
+				rt.Barrier(id)
+			}
+		})
+		if err == nil || !strings.Contains(err.Error(), "MaxRounds = 4") {
+			t.Errorf("%s: err = %v, want MaxRounds error", b.Name(), err)
+		}
+	}
+}
+
+func TestBroadcastOnlyEnforced(t *testing.T) {
+	for _, b := range backends(t) {
+		_, err := b.Run(Config{N: 3, BroadcastOnly: true}, func(id int, rt NodeRuntime) {
+			if id == 0 {
+				rt.Send(0, 0, 1, []uint64{7})
+			}
+			rt.Barrier(id)
+		})
+		if err == nil || !strings.Contains(err.Error(), "broadcast-only") {
+			t.Errorf("%s: err = %v, want broadcast-only violation", b.Name(), err)
+		}
+	}
+}
+
+func TestNodePanicBecomesError(t *testing.T) {
+	for _, b := range backends(t) {
+		_, err := b.Run(Config{N: 4}, func(id int, rt NodeRuntime) {
+			if id == 2 {
+				panic("kaboom")
+			}
+			rt.Barrier(id)
+		})
+		if err == nil || !strings.Contains(err.Error(), "node 2 panicked: kaboom") {
+			t.Errorf("%s: err = %v, want node-2 panic error", b.Name(), err)
+		}
+	}
+}
+
+func TestEarlyReturnersDoNotStallTheRound(t *testing.T) {
+	for _, b := range backends(t) {
+		res, err := b.Run(Config{N: 5}, func(id int, rt NodeRuntime) {
+			if id != 0 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				rt.Barrier(0)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if res.Stats.Rounds != 3 {
+			t.Errorf("%s: rounds = %d, want 3", b.Name(), res.Stats.Rounds)
+		}
+	}
+}
+
+// TestLateSendersAreDelivered checks a subtle reference behaviour: a node
+// that queues words and returns without ticking still has its words
+// delivered by the round the surviving nodes complete.
+func TestLateSendersAreDelivered(t *testing.T) {
+	for _, b := range backends(t) {
+		var got []uint64
+		res, err := b.Run(Config{N: 3}, func(id int, rt NodeRuntime) {
+			switch id {
+			case 0:
+				rt.Send(0, 0, 1, []uint64{41})
+				// return without Tick: the words must still arrive.
+			case 1:
+				rt.Barrier(1)
+				got = append([]uint64(nil), rt.Recv(1, 0)...)
+			case 2:
+				rt.Barrier(2)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if len(got) != 1 || got[0] != 41 {
+			t.Errorf("%s: delivered %v, want [41]", b.Name(), got)
+		}
+		if res.Stats.WordsSent != 1 {
+			t.Errorf("%s: words = %d, want 1", b.Name(), res.Stats.WordsSent)
+		}
+	}
+}
+
+// TestAllReturnWithoutTick: when every program returns before any barrier,
+// nothing is exchanged and nothing is counted — on either backend.
+func TestAllReturnWithoutTick(t *testing.T) {
+	for _, b := range backends(t) {
+		res, err := b.Run(Config{N: 4}, func(id int, rt NodeRuntime) {
+			rt.Send(id, 0, (id+1)%4, []uint64{9})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if res.Stats.Rounds != 0 || res.Stats.WordsSent != 0 {
+			t.Errorf("%s: stats = %+v, want zero rounds and words", b.Name(), res.Stats)
+		}
+	}
+}
+
+func TestTranscriptsMatchAcrossBackends(t *testing.T) {
+	const n, rounds = 5, 3
+	body := func(id int, rt NodeRuntime) {
+		for r := 0; r < rounds; r++ {
+			to := (id + r + 1) % n
+			if to != id {
+				rt.Send(id, r, to, []uint64{uint64(id*100 + r)})
+			}
+			rt.Barrier(id)
+		}
+	}
+	var results []*Result
+	for _, b := range backends(t) {
+		res, err := b.Run(Config{N: n, RecordTranscript: true}, body)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[0].Stats != results[i].Stats {
+			t.Errorf("stats diverge: %+v vs %+v", results[0].Stats, results[i].Stats)
+		}
+		if !reflect.DeepEqual(results[0].Transcripts, results[i].Transcripts) {
+			t.Errorf("transcripts diverge between backends")
+		}
+	}
+}
+
+// TestLockstepViolationIsLowestID: when several nodes violate in the same
+// round, the lockstep backend deterministically reports the lowest id,
+// regardless of how many workers raced over the shards.
+func TestLockstepViolationIsLowestID(t *testing.T) {
+	b, _ := New("lockstep")
+	for trial := 0; trial < 20; trial++ {
+		_, err := b.Run(Config{N: 16, WordsPerPair: 1}, func(id int, rt NodeRuntime) {
+			if id >= 3 {
+				rt.Send(id, 0, 0, []uint64{1, 2}) // everyone from 3 up violates
+			}
+			rt.Barrier(id)
+		})
+		if err == nil || !strings.Contains(err.Error(), "node 3 ") {
+			t.Fatalf("trial %d: err = %v, want the node-3 violation", trial, err)
+		}
+	}
+}
+
+// TestLockstepDeterministicStats: repeated runs of a traffic-heavy
+// program produce byte-identical stats.
+func TestLockstepDeterministicStats(t *testing.T) {
+	b, _ := New("lockstep")
+	run := func() Stats {
+		res, err := b.Run(Config{N: 24, WordsPerPair: 4}, func(id int, rt NodeRuntime) {
+			for r := 0; r < 6; r++ {
+				for off := 1; off <= 3; off++ {
+					to := (id + off*r + off) % 24
+					if to != id {
+						rt.Send(id, r, to, []uint64{uint64(id), uint64(r)})
+					}
+				}
+				rt.Barrier(id)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	ref := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != ref {
+			t.Fatalf("run %d stats %+v differ from %+v", i, got, ref)
+		}
+	}
+}
+
+// TestLockstepBufferReuseNoSteadyStateAllocs drives many rounds through
+// one run and checks the per-round allocation count stays near zero once
+// the mailbox cells are warm. This is the property the backend exists for.
+func TestLockstepBufferReuseNoSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is noisy under -short")
+	}
+	b, _ := New("lockstep")
+	const n = 32
+	measure := func(rounds int) float64 {
+		var total float64
+		avg := testing.AllocsPerRun(3, func() {
+			res, err := b.Run(Config{N: n, WordsPerPair: 1}, func(id int, rt NodeRuntime) {
+				word := make([]uint64, 1)
+				for r := 0; r < rounds; r++ {
+					word[0] = uint64(r)
+					for to := 0; to < n; to++ {
+						if to != id {
+							rt.Send(id, r, to, word)
+						}
+					}
+					rt.Barrier(id)
+				}
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			total += float64(res.Stats.Rounds)
+		})
+		_ = total
+		return avg
+	}
+	short, long := measure(4), measure(64)
+	// 60 extra all-to-all rounds should cost (close to) no extra
+	// allocations; allow a generous slack for runtime noise.
+	if extra := long - short; extra > 100 {
+		t.Errorf("60 extra rounds allocated %.0f extra objects; mailbox reuse is broken", extra)
+	}
+}
+
+func TestWordBitsTable(t *testing.T) {
+	cases := []struct{ n, want int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := WordBits(c.n); got != c.want {
+			t.Errorf("WordBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBudgetViolationMessage(t *testing.T) {
+	v := budgetViolation(3, 7, 9, 5, 4)
+	want := "clique: node 3 round 7: bandwidth exceeded sending 9 words to 5 (budget 4 words/pair/round)"
+	if v.Err.Error() != want {
+		t.Errorf("got %q, want %q", v.Err.Error(), want)
+	}
+}
+
+func ExampleNames() {
+	fmt.Println(Names())
+	// Output: [goroutine lockstep]
+}

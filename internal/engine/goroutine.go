@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// goroutineBackend is the original execution engine: one goroutine per
+// node, written in a blocking style, with a mutex/condition-variable
+// barrier per round. It is the semantic reference implementation; the
+// lockstep backend must match it bit for bit.
+type goroutineBackend struct{}
+
+func (goroutineBackend) Name() string { return "goroutine" }
+
+// goroutineEngine is the shared state of one simulated network.
+type goroutineEngine struct {
+	cfg Config
+	n   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	active  int
+	round   int
+	err     error
+
+	// outbox[from][to] and inbox[to][from] hold the words queued /
+	// delivered in the current round.
+	outbox [][][]uint64
+	inbox  [][][]uint64
+
+	stats       Stats
+	transcripts []*Transcript
+}
+
+func (goroutineBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := cfg.N
+
+	e := &goroutineEngine{cfg: cfg, n: n, active: n}
+	e.cond = sync.NewCond(&e.mu)
+	e.outbox = newMailbox(n)
+	e.inbox = newMailbox(n)
+	if cfg.RecordTranscript {
+		e.transcripts = make([]*Transcript, n)
+		for v := range e.transcripts {
+			e.transcripts[v] = &Transcript{NodeID: v}
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func() {
+			defer wg.Done()
+			defer e.leave()
+			defer func() {
+				r := recover()
+				switch r := r.(type) {
+				case nil:
+				case Abort:
+					// Another node failed; unwind quietly.
+				case Violation:
+					e.fail(r.Err)
+				default:
+					e.fail(fmt.Errorf("clique: node %d panicked: %v", v, r))
+				}
+			}()
+			body(v, e)
+		}()
+	}
+	wg.Wait()
+
+	return finish(e.stats, e.transcripts, n), e.err
+}
+
+func newMailbox(n int) [][][]uint64 {
+	m := make([][][]uint64, n)
+	for i := range m {
+		m[i] = make([][]uint64, n)
+	}
+	return m
+}
+
+// fail records the first error and wakes all waiters.
+func (e *goroutineEngine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.cond.Broadcast()
+}
+
+// leave deregisters a node whose function has returned. If it was the
+// last straggler of the current barrier, the round completes without it.
+func (e *goroutineEngine) leave() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.active--
+	if e.active > 0 && e.arrived == e.active && e.err == nil {
+		e.exchangeLocked()
+	}
+}
+
+// Barrier is called from Node.Tick. It blocks until all active nodes have
+// arrived, at which point the last arrival performs the message exchange.
+func (e *goroutineEngine) Barrier(int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		panic(Abort{})
+	}
+	e.arrived++
+	if e.arrived == e.active {
+		e.exchangeLocked()
+		return
+	}
+	myRound := e.round
+	for e.round == myRound && e.err == nil {
+		e.cond.Wait()
+	}
+	if e.err != nil {
+		panic(Abort{})
+	}
+}
+
+// exchangeLocked delivers all queued messages, updates statistics and
+// transcripts, advances the round counter, and releases the barrier.
+// Callers must hold e.mu.
+func (e *goroutineEngine) exchangeLocked() {
+	if e.cfg.BroadcastOnly && e.err == nil {
+		if from, to := findBroadcastViolation(e.n, func(f, t int) []uint64 { return e.outbox[f][t] }); from >= 0 {
+			e.err = fmt.Errorf(
+				"clique: node %d round %d: broadcast-only model violated (message to %d differs from the rest)",
+				from, e.round, to)
+		}
+	}
+	e.inbox, e.outbox = e.outbox, e.inbox
+	// inbox now holds what was sent: inbox[from][to]. Transpose view is
+	// handled at Recv time by indexing inbox[from][to] with the reader
+	// as `to`; to keep Recv O(1) we instead physically transpose here.
+	// Transposing n^2 slice headers per round is cheap relative to the
+	// simulated work.
+	for from := 0; from < e.n; from++ {
+		row := e.inbox[from]
+		for to := from + 1; to < e.n; to++ {
+			row[to], e.inbox[to][from] = e.inbox[to][from], row[to]
+		}
+	}
+	// After the swap loop above, inbox[v][p] holds the words p sent to
+	// v. Clear the outbox for the next round.
+	for from := range e.outbox {
+		row := e.outbox[from]
+		for to := range row {
+			row[to] = nil
+		}
+	}
+
+	maxPair := 0
+	var words int64
+	for v := 0; v < e.n; v++ {
+		for p := 0; p < e.n; p++ {
+			w := len(e.inbox[v][p])
+			words += int64(w)
+			if w > maxPair {
+				maxPair = w
+			}
+		}
+	}
+	e.stats.WordsSent += words
+	if maxPair > e.stats.MaxPairWords {
+		e.stats.MaxPairWords = maxPair
+	}
+
+	if e.transcripts != nil {
+		recordRound(e.transcripts, e.n, func(to, from int) []uint64 { return e.inbox[to][from] })
+	}
+
+	e.round++
+	e.stats.Rounds = e.round
+	if e.round > e.cfg.MaxRounds && e.err == nil {
+		e.err = fmt.Errorf("clique: exceeded MaxRounds = %d", e.cfg.MaxRounds)
+	}
+	e.arrived = 0
+	e.cond.Broadcast()
+}
+
+// Send queues words for delivery; it runs on the sender's goroutine and
+// touches only the sender's outbox row, so no lock is needed.
+func (e *goroutineEngine) Send(from, round, to int, words []uint64) {
+	box := e.outbox[from]
+	if len(box[to])+len(words) > e.cfg.WordsPerPair {
+		panic(budgetViolation(from, round, len(box[to])+len(words), to, e.cfg.WordsPerPair))
+	}
+	box[to] = append(box[to], words...)
+}
+
+// Broadcast queues the same words on every outgoing link, exactly as a
+// loop of Sends would, including which target a budget violation names.
+func (e *goroutineEngine) Broadcast(from, round int, words []uint64) {
+	box := e.outbox[from]
+	for to := 0; to < e.n; to++ {
+		if to == from {
+			continue
+		}
+		if len(box[to])+len(words) > e.cfg.WordsPerPair {
+			panic(budgetViolation(from, round, len(box[to])+len(words), to, e.cfg.WordsPerPair))
+		}
+		box[to] = append(box[to], words...)
+	}
+}
+
+func (e *goroutineEngine) Recv(to, from int) []uint64 {
+	return e.inbox[to][from]
+}
+
+func (e *goroutineEngine) RecvAll(to int) [][]uint64 {
+	return e.inbox[to]
+}
+
+var _ NodeRuntime = (*goroutineEngine)(nil)

@@ -1,0 +1,535 @@
+package engine
+
+import (
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+)
+
+// lockstepBackend is the deterministic, allocation-free execution engine.
+//
+// Instead of parking n goroutines on a shared condition variable, every
+// node program is wrapped in a pull-style coroutine (iter.Pull): calling
+// next() resumes the program until its next Tick, where it suspends by
+// yielding. A central scheduler then drives rounds in lockstep:
+//
+//	for each round:
+//	    resume every live node once          (sharded over a worker pool)
+//	    exchange mailboxes, update stats     (single scheduler goroutine)
+//
+// Nodes within a round are resumed in increasing id order inside each
+// shard, shards are disjoint, and nodes interact only through mailboxes
+// that are read and written at well-defined points — so the execution,
+// its statistics, and its error (always the lowest-id violation of the
+// earliest failing round) are fully deterministic regardless of worker
+// count or OS scheduling.
+//
+// Mailboxes are double-buffered flat tables indexed from-major
+// (from*n+to) and reused across rounds, so the steady-state exchange
+// path allocates nothing. There is no physical transpose: delivery swaps
+// the two tables and Recv computes the sender-major index. Storage is
+// one of two layouts picked at Run time:
+//
+//   - arenaBox: one word arena with a fixed wpp-word block per ordered
+//     pair plus an int32 length table. Sends copy into the block;
+//     clearing a round is a single memclr of the lengths. This is the
+//     fast path and covers every realistic budget.
+//   - sliceBox: a [][]uint64 cell table whose cells keep their backing
+//     arrays (length reset, capacity reused). Fallback when n^2 * wpp
+//     is too large to preallocate densely.
+type lockstepBackend struct{}
+
+func (lockstepBackend) Name() string { return "lockstep" }
+
+// arenaThresholdWords caps the dense arena at 128 MiB of words per
+// direction; beyond that the sliceBox fallback allocates per link on
+// first use instead.
+const arenaThresholdWords = 1 << 24
+
+// mailbox is the storage layer of the lockstep engine. All methods are
+// called either from a single node's coroutine (send, broadcast, recv,
+// fillRow — each touching only that node's rows) or from the scheduler
+// between rounds (exchange, outCell).
+type mailbox interface {
+	// send queues words on the (from, to) link, panicking with the
+	// canonical budget Violation if the cell would overflow.
+	send(from, round, to int, words []uint64)
+	// broadcast queues words on every outgoing link of `from`.
+	broadcast(from, round int, words []uint64)
+	// recv returns the words delivered from -> to last round, nil if none.
+	recv(to, from int) []uint64
+	// fillRow fills row[from] = recv(to, from) for all senders.
+	fillRow(to int, row [][]uint64)
+	// outCell reads a queued (not yet delivered) cell; scheduler only.
+	outCell(from, to int) []uint64
+	// exchange delivers the queued round: swap buffers and reset the
+	// new out direction. It returns the run's cumulative word count and
+	// per-pair high-water mark, tracked incrementally at send time so
+	// no per-cell statistics pass is needed. Scheduler only.
+	exchange() (cumWords int64, maxPair int)
+}
+
+// arenaBox stores each ordered pair's words in a fixed block of wpp
+// words: arena[(from*n+to)*wpp:] with the used length in lens[from*n+to].
+type arenaBox struct {
+	n, wpp    int
+	outW, inW []uint64
+	outL, inL []int32
+	sent      []senderStats
+}
+
+// senderStats is the per-sender cumulative accounting, written only by
+// the sender's own coroutine and folded by the scheduler at exchange.
+type senderStats struct {
+	words int64
+	max   int32
+}
+
+func newArenaBox(n, wpp int) *arenaBox {
+	return &arenaBox{
+		n: n, wpp: wpp,
+		outW: make([]uint64, n*n*wpp),
+		inW:  make([]uint64, n*n*wpp),
+		outL: make([]int32, n*n),
+		inL:  make([]int32, n*n),
+		sent: make([]senderStats, n),
+	}
+}
+
+// foldSent sums per-sender accounting into run-cumulative totals.
+func foldSent(sent []senderStats) (int64, int) {
+	var words int64
+	maxPair := int32(0)
+	for i := range sent {
+		words += sent[i].words
+		if sent[i].max > maxPair {
+			maxPair = sent[i].max
+		}
+	}
+	return words, int(maxPair)
+}
+
+func (b *arenaBox) send(from, round, to int, words []uint64) {
+	i := from*b.n + to
+	l := int(b.outL[i])
+	if l+len(words) > b.wpp {
+		panic(budgetViolation(from, round, l+len(words), to, b.wpp))
+	}
+	if len(words) == 1 {
+		b.outW[i*b.wpp+l] = words[0]
+	} else {
+		copy(b.outW[i*b.wpp+l:], words)
+	}
+	newLen := int32(l + len(words))
+	b.outL[i] = newLen
+	s := &b.sent[from]
+	s.words += int64(len(words))
+	if newLen > s.max {
+		s.max = newLen
+	}
+}
+
+func (b *arenaBox) broadcast(from, round int, words []uint64) {
+	n, wpp := b.n, b.wpp
+	base := from * n
+	lens := b.outL[base : base+n : base+n]
+	var queued int64
+	maxLen := int32(0)
+	if len(words) == 1 {
+		// Single-word messages are the model's common case; writing the
+		// word directly skips a memmove call per link.
+		w := words[0]
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			l := int(lens[to])
+			if l+1 > wpp {
+				panic(budgetViolation(from, round, l+1, to, wpp))
+			}
+			b.outW[(base+to)*wpp+l] = w
+			newLen := int32(l + 1)
+			lens[to] = newLen
+			queued++
+			if newLen > maxLen {
+				maxLen = newLen
+			}
+		}
+	} else {
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			l := int(lens[to])
+			if l+len(words) > wpp {
+				panic(budgetViolation(from, round, l+len(words), to, wpp))
+			}
+			copy(b.outW[(base+to)*wpp+l:], words)
+			newLen := int32(l + len(words))
+			lens[to] = newLen
+			queued += int64(len(words))
+			if newLen > maxLen {
+				maxLen = newLen
+			}
+		}
+	}
+	s := &b.sent[from]
+	s.words += queued
+	if maxLen > s.max {
+		s.max = maxLen
+	}
+}
+
+func (b *arenaBox) recv(to, from int) []uint64 {
+	i := from*b.n + to
+	l := int(b.inL[i])
+	if l == 0 {
+		return nil
+	}
+	base := i * b.wpp
+	return b.inW[base : base+l : base+l]
+}
+
+func (b *arenaBox) fillRow(to int, row [][]uint64) {
+	n, wpp := b.n, b.wpp
+	i := to
+	for from := 0; from < n; from++ {
+		if l := int(b.inL[i]); l != 0 {
+			base := i * wpp
+			row[from] = b.inW[base : base+l : base+l]
+		} else {
+			row[from] = nil
+		}
+		i += n
+	}
+}
+
+func (b *arenaBox) outCell(from, to int) []uint64 {
+	i := from*b.n + to
+	base, l := i*b.wpp, int(b.outL[i])
+	return b.outW[base : base+l : base+l]
+}
+
+func (b *arenaBox) exchange() (int64, int) {
+	b.inW, b.outW = b.outW, b.inW
+	b.inL, b.outL = b.outL, b.inL
+	// The new out direction is last round's inbox; one memclr of the
+	// lengths retires it. The word arena needs no clearing at all —
+	// stale words past a cell's length are unreachable.
+	clear(b.outL)
+	return foldSent(b.sent)
+}
+
+// sliceBox is the dynamically-sized fallback: flat from-major cell
+// tables whose cells are reset by length and keep their capacity.
+type sliceBox struct {
+	n, wpp  int
+	out, in [][]uint64
+	sent    []senderStats
+}
+
+func newSliceBox(n, wpp int) *sliceBox {
+	return &sliceBox{
+		n: n, wpp: wpp,
+		out:  make([][]uint64, n*n),
+		in:   make([][]uint64, n*n),
+		sent: make([]senderStats, n),
+	}
+}
+
+func (b *sliceBox) send(from, round, to int, words []uint64) {
+	i := from*b.n + to
+	cell := b.out[i]
+	if len(cell)+len(words) > b.wpp {
+		panic(budgetViolation(from, round, len(cell)+len(words), to, b.wpp))
+	}
+	b.out[i] = append(cell, words...)
+	s := &b.sent[from]
+	s.words += int64(len(words))
+	if newLen := int32(len(cell) + len(words)); newLen > s.max {
+		s.max = newLen
+	}
+}
+
+func (b *sliceBox) broadcast(from, round int, words []uint64) {
+	n := b.n
+	row := b.out[from*n : from*n+n : from*n+n]
+	var queued int64
+	maxLen := int32(0)
+	for to := 0; to < n; to++ {
+		if to == from {
+			continue
+		}
+		cell := row[to]
+		if len(cell)+len(words) > b.wpp {
+			panic(budgetViolation(from, round, len(cell)+len(words), to, b.wpp))
+		}
+		row[to] = append(cell, words...)
+		queued += int64(len(words))
+		if newLen := int32(len(cell) + len(words)); newLen > maxLen {
+			maxLen = newLen
+		}
+	}
+	s := &b.sent[from]
+	s.words += queued
+	if maxLen > s.max {
+		s.max = maxLen
+	}
+}
+
+func (b *sliceBox) recv(to, from int) []uint64 {
+	if s := b.in[from*b.n+to]; len(s) != 0 {
+		return s[:len(s):len(s)]
+	}
+	return nil
+}
+
+func (b *sliceBox) fillRow(to int, row [][]uint64) {
+	for from := range row {
+		row[from] = b.recv(to, from)
+	}
+}
+
+func (b *sliceBox) outCell(from, to int) []uint64 {
+	return b.out[from*b.n+to]
+}
+
+func (b *sliceBox) exchange() (int64, int) {
+	b.in, b.out = b.out, b.in
+	// Reset last round's inbox (the new outbox) by length only; the
+	// backing arrays stay and are appended into next round.
+	for i, c := range b.out {
+		if len(c) != 0 {
+			b.out[i] = c[:0]
+		}
+	}
+	return foldSent(b.sent)
+}
+
+type lockstepEngine struct {
+	cfg Config
+	n   int
+
+	round int
+	box   mailbox
+
+	// rows[v] is node v's lazily-built RecvAll view, reused per round.
+	rows [][][]uint64
+
+	// Per-node coroutine controls. yield[v] is stored by node v's
+	// coroutine on startup and invoked by Barrier to suspend it; next[v]
+	// resumes it; stop[v] cancels it (a pending yield returns false).
+	yield []func(struct{}) bool
+	next  []func() (struct{}, bool)
+	stop  []func()
+
+	// live[v] is cleared by the worker that observes node v's program
+	// return; vio[v] is set by node v's coroutine when it aborts with a
+	// model violation. Workers touch disjoint shards, and the scheduler
+	// reads both only between rounds.
+	live []bool
+	vio  []error
+
+	stats       Stats
+	transcripts []*Transcript
+}
+
+func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := cfg.N
+
+	e := &lockstepEngine{cfg: cfg, n: n}
+	if n*n*cfg.WordsPerPair <= arenaThresholdWords {
+		e.box = newArenaBox(n, cfg.WordsPerPair)
+	} else {
+		e.box = newSliceBox(n, cfg.WordsPerPair)
+	}
+	e.rows = make([][][]uint64, n)
+	e.yield = make([]func(struct{}) bool, n)
+	e.next = make([]func() (struct{}, bool), n)
+	e.stop = make([]func(), n)
+	e.live = make([]bool, n)
+	e.vio = make([]error, n)
+	if cfg.RecordTranscript {
+		e.transcripts = make([]*Transcript, n)
+		for v := range e.transcripts {
+			e.transcripts[v] = &Transcript{NodeID: v}
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		e.next[v], e.stop[v] = iter.Pull(e.program(v, body))
+		e.live[v] = true
+	}
+	liveCount := n
+	// Whatever happens below, unwind every still-suspended coroutine so
+	// their goroutines are released.
+	defer func() {
+		for v := 0; v < n; v++ {
+			e.stop[v]()
+		}
+	}()
+
+	// The worker pool: each worker owns a fixed contiguous shard of
+	// nodes for the whole run, so a given node is always resumed by the
+	// same worker, in the same within-shard order.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	starts := make([]chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		starts[w] = make(chan struct{}, 1)
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(start <-chan struct{}, lo, hi int) {
+			for range start {
+				for v := lo; v < hi; v++ {
+					if !e.live[v] {
+						continue
+					}
+					if _, ok := e.next[v](); !ok {
+						e.live[v] = false
+					}
+				}
+				wg.Done()
+			}
+		}(starts[w], lo, hi)
+	}
+	defer func() {
+		for _, s := range starts {
+			close(s)
+		}
+	}()
+
+	var err error
+	for liveCount > 0 {
+		// Resume every live node one round step: from its last Tick
+		// (or its start) to its next Tick (or its return).
+		wg.Add(workers)
+		for _, s := range starts {
+			s <- struct{}{}
+		}
+		wg.Wait()
+
+		// Model violations surface only between rounds, so the run's
+		// error is deterministically the lowest-id violator.
+		for v := 0; v < n; v++ {
+			if e.vio[v] != nil {
+				err = e.vio[v]
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+		liveCount = 0
+		for v := 0; v < n; v++ {
+			if e.live[v] {
+				liveCount++
+			}
+		}
+		if liveCount == 0 {
+			// Every program returned during this step; like the
+			// goroutine backend, a round no node finishes with Tick
+			// is not exchanged or counted.
+			break
+		}
+		if err = e.exchange(); err != nil {
+			break
+		}
+	}
+
+	return finish(e.stats, e.transcripts, n), err
+}
+
+// program wraps one node's body as a coroutine sequence. Yielding happens
+// inside Barrier; a false yield result means the scheduler cancelled the
+// run, which unwinds the body with Abort. Violations and stray panics are
+// recorded for the scheduler instead of crashing the worker.
+func (e *lockstepEngine) program(v int, body func(id int, rt NodeRuntime)) iter.Seq[struct{}] {
+	return func(yield func(struct{}) bool) {
+		e.yield[v] = yield
+		defer func() {
+			switch r := recover().(type) {
+			case nil, Abort:
+			case Violation:
+				e.vio[v] = r.Err
+			default:
+				e.vio[v] = fmt.Errorf("clique: node %d panicked: %v", v, r)
+			}
+		}()
+		body(v, e)
+	}
+}
+
+// exchange delivers the round's messages and advances the clock. It runs
+// on the scheduler goroutine while all node coroutines are suspended.
+func (e *lockstepEngine) exchange() error {
+	var err error
+	if e.cfg.BroadcastOnly {
+		if from, to := findBroadcastViolation(e.n, e.box.outCell); from >= 0 {
+			err = fmt.Errorf(
+				"clique: node %d round %d: broadcast-only model violated (message to %d differs from the rest)",
+				from, e.round, to)
+		}
+	}
+
+	// The mailbox reports run-cumulative totals (tracked at send time);
+	// assign rather than accumulate. Words queued by a round that never
+	// exchanges are never folded in, matching the goroutine backend.
+	words, maxPair := e.box.exchange()
+	e.stats.WordsSent = words
+	if maxPair > e.stats.MaxPairWords {
+		e.stats.MaxPairWords = maxPair
+	}
+
+	if e.transcripts != nil {
+		recordRound(e.transcripts, e.n, e.box.recv)
+	}
+
+	e.round++
+	e.stats.Rounds = e.round
+	if e.round > e.cfg.MaxRounds && err == nil {
+		err = fmt.Errorf("clique: exceeded MaxRounds = %d", e.cfg.MaxRounds)
+	}
+	return err
+}
+
+// Barrier suspends node id until the scheduler has exchanged the round.
+func (e *lockstepEngine) Barrier(id int) {
+	if !e.yield[id](struct{}{}) {
+		panic(Abort{})
+	}
+}
+
+func (e *lockstepEngine) Send(from, round, to int, words []uint64) {
+	e.box.send(from, round, to, words)
+}
+
+func (e *lockstepEngine) Broadcast(from, round int, words []uint64) {
+	e.box.broadcast(from, round, words)
+}
+
+func (e *lockstepEngine) Recv(to, from int) []uint64 {
+	return e.box.recv(to, from)
+}
+
+// RecvAll materialises node `to`'s inbox row into a per-node scratch
+// slice, reused across rounds; like Recv, the result is engine-owned and
+// valid until the node's next barrier.
+func (e *lockstepEngine) RecvAll(to int) [][]uint64 {
+	row := e.rows[to]
+	if row == nil {
+		row = make([][]uint64, e.n)
+		e.rows[to] = row
+	}
+	e.box.fillRow(to, row)
+	return row
+}
+
+var _ NodeRuntime = (*lockstepEngine)(nil)
