@@ -230,50 +230,76 @@ func TestBackendEquivalenceNondetVerifier(t *testing.T) {
 	}
 }
 
-// TestBackendEquivalenceFuzz drives both backends with pseudo-random
-// node programs — random per-round send patterns and message lengths,
-// derived purely from (seed, id, round) so each backend replays the
-// identical program — and compares full transcripts word for word.
-func TestBackendEquivalenceFuzz(t *testing.T) {
-	const wpp = 3
-	for seed := int64(0); seed < 12; seed++ {
-		n := 3 + int(seed%5)
-		prog := func(nd *clique.Node) {
-			rng := rand.New(rand.NewSource(seed<<32 | int64(nd.ID())))
-			rounds := 2 + rng.Intn(4)
-			for r := 0; r < rounds; r++ {
-				for _, to := range rng.Perm(n)[:1+rng.Intn(n-1)] {
-					if to == nd.ID() {
-						continue
-					}
-					words := make([]uint64, 1+rng.Intn(wpp))
-					for i := range words {
-						words[i] = rng.Uint64() % 1000
-					}
-					nd.Send(to, words...)
+// fuzzBackendProgram builds a pseudo-random node program — random
+// per-round send patterns and message lengths, derived purely from
+// (seed, id, round) — so each backend replays the identical program.
+func fuzzBackendProgram(seed int64, n, wpp int) clique.NodeFunc {
+	return func(nd *clique.Node) {
+		rng := rand.New(rand.NewSource(seed<<32 | int64(nd.ID())))
+		rounds := 2 + rng.Intn(4)
+		for r := 0; r < rounds; r++ {
+			for _, to := range rng.Perm(n)[:1+rng.Intn(n-1)] {
+				if to == nd.ID() {
+					continue
 				}
-				nd.Tick()
+				words := make([]uint64, 1+rng.Intn(wpp))
+				for i := range words {
+					words[i] = rng.Uint64() % 1000
+				}
+				nd.Send(to, words...)
 			}
-		}
-		var refStats clique.Stats
-		var refTr []*clique.Transcript
-		for i, backend := range clique.Backends() {
-			res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp, RecordTranscript: true, Backend: backend}, prog)
-			if err != nil {
-				t.Fatalf("seed %d backend %s: %v", seed, backend, err)
-			}
-			if i == 0 {
-				refStats, refTr = res.Stats, res.Transcripts
-				continue
-			}
-			if res.Stats != refStats {
-				t.Errorf("seed %d: %s stats %+v != %+v", seed, backend, res.Stats, refStats)
-			}
-			if !reflect.DeepEqual(res.Transcripts, refTr) {
-				t.Errorf("seed %d: %s transcripts diverge", seed, backend)
-			}
+			nd.Tick()
 		}
 	}
+}
+
+// checkBackendEquivalence replays the seed's program on every backend
+// and compares stats and full transcripts word for word.
+func checkBackendEquivalence(t *testing.T, seed int64, n, wpp int) {
+	t.Helper()
+	prog := fuzzBackendProgram(seed, n, wpp)
+	var refStats clique.Stats
+	var refTr []*clique.Transcript
+	for i, backend := range clique.Backends() {
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp, RecordTranscript: true, Backend: backend}, prog)
+		if err != nil {
+			t.Fatalf("seed %d backend %s: %v", seed, backend, err)
+		}
+		if i == 0 {
+			refStats, refTr = res.Stats, res.Transcripts
+			continue
+		}
+		if res.Stats != refStats {
+			t.Errorf("seed %d: %s stats %+v != %+v", seed, backend, res.Stats, refStats)
+		}
+		if !reflect.DeepEqual(res.Transcripts, refTr) {
+			t.Errorf("seed %d: %s transcripts diverge", seed, backend)
+		}
+	}
+}
+
+// TestBackendEquivalenceFuzz is the always-on slice of the fuzz target:
+// a fixed seed sweep that runs under plain `go test`.
+func TestBackendEquivalenceFuzz(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		checkBackendEquivalence(t, seed, 3+int(seed%5), 3)
+	}
+}
+
+// FuzzBackendEquivalence is the coverage-guided form: the fuzzer picks
+// arbitrary seeds (and through them n, the round counts, and the send
+// patterns) hunting for any divergence between the execution engines.
+// CI runs it for a short fixed budget; locally:
+//
+//	go test -run '^$' -fuzz FuzzBackendEquivalence -fuzztime=30s .
+func FuzzBackendEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		n := 3 + int(((seed%5)+5)%5) // 3..7, well-defined for negative seeds
+		checkBackendEquivalence(t, seed, n, 3)
+	})
 }
 
 // TestBackendEquivalenceErrors checks that model violations surface as

@@ -14,8 +14,8 @@ import (
 	"repro/internal/clique"
 	"repro/internal/counting"
 	"repro/internal/domset"
+	"repro/internal/exp"
 	"repro/internal/fgc"
-	"repro/internal/gather"
 	"repro/internal/graph"
 	"repro/internal/hierarchy"
 	"repro/internal/matmul"
@@ -52,52 +52,40 @@ func benchRounds(b *testing.B, n, wpp int, f clique.NodeFunc) {
 }
 
 // ---------------------------------------------------------------------
-// E1 / Figure 1: round scaling of the implemented problems.
+// E1 / Figure 1: round scaling of the implemented problems. The
+// workloads come from the experiment registry (exp.Fig1Workloads), the
+// same instances and node programs the cliquebench report runs, so the
+// benchmarks and the report cannot drift apart.
 
-func BenchmarkFig1_BooleanMM3D(b *testing.B) {
-	for _, n := range []int{27, 64, 125} {
-		g := graph.Gnp(n, 0.5, uint64(n))
+// benchFig1Workload benchmarks one registry probe at the given sizes.
+func benchFig1Workload(b *testing.B, name string, ns []int) {
+	b.Helper()
+	w, err := exp.Fig1Workload(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range ns {
+		f := w.Make(n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchRounds(b, n, 8, func(nd *clique.Node) {
-				row := matmul.AdjacencyRow(g, nd.ID())
-				matmul.Mul3D(nd, matmul.Boolean{}, row, row)
-			})
+			benchRounds(b, n, w.WPP, f)
 		})
 	}
+}
+
+func BenchmarkFig1_BooleanMM3D(b *testing.B) {
+	benchFig1Workload(b, "Boolean MM (3D)", []int{27, 64, 125})
 }
 
 func BenchmarkFig1_BooleanMMNaive(b *testing.B) {
-	for _, n := range []int{27, 64, 125} {
-		g := graph.Gnp(n, 0.5, uint64(n))
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchRounds(b, n, 8, func(nd *clique.Node) {
-				row := matmul.AdjacencyRow(g, nd.ID())
-				matmul.MulNaive(nd, matmul.Boolean{}, row, row)
-			})
-		})
-	}
+	benchFig1Workload(b, "Boolean MM (naive)", []int{27, 64, 125})
 }
 
 func BenchmarkFig1_APSP(b *testing.B) {
-	for _, n := range []int{27, 64} {
-		g := graph.GnpWeighted(n, 0.3, 40, false, uint64(n))
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchRounds(b, n, 8, func(nd *clique.Node) {
-				paths.APSP(nd, g.W[nd.ID()], matmul.Mul3D)
-			})
-		})
-	}
+	benchFig1Workload(b, "APSP w/ud (min,+ squaring)", []int{27, 64})
 }
 
 func BenchmarkFig1_Triangle(b *testing.B) {
-	for _, n := range []int{27, 64, 125} {
-		g := graph.Gnp(n, 0.15, uint64(n))
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchRounds(b, n, 8, func(nd *clique.Node) {
-				subgraph.DetectTriangle(nd, g.Row(nd.ID()))
-			})
-		})
-	}
+	benchFig1Workload(b, "Triangle detection", []int{27, 64, 125})
 }
 
 func BenchmarkFig1_TransitiveClosure(b *testing.B) {
@@ -122,12 +110,26 @@ func BenchmarkFig1_SSSP(b *testing.B) {
 }
 
 func BenchmarkFig1_MaxISFullGather(b *testing.B) {
-	for _, n := range []int{32, 64} {
-		g := graph.Gnp(n, 0.92, uint64(n))
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			benchRounds(b, n, 1, func(nd *clique.Node) {
-				gather.MaxIndependentSetSize(nd, g.Row(nd.ID()))
-			})
+	benchFig1Workload(b, "MaxIS (full gather)", []int{32, 64})
+}
+
+// ---------------------------------------------------------------------
+// Registry smoke: every registered experiment end to end at quick
+// sizes — the family CI's benchmark job runs so a new experiment is
+// benchmarked the moment it is registered.
+
+func BenchmarkExperiments(b *testing.B) {
+	for _, e := range exp.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, _, err := exp.RunOne(e.ID, exp.Options{Backend: *benchBackend, Quick: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Sim.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
 		})
 	}
 }

@@ -1,614 +1,111 @@
-// Command cliquebench regenerates every experiment in EXPERIMENTS.md:
-// one sub-experiment per figure/theorem of the paper, selected with
-// -exp. Running with -exp all prints the complete report.
+// Command cliquebench regenerates the experiments of EXPERIMENTS.md —
+// one per figure/theorem of the paper — from the internal/exp registry.
+// It is a thin driver: experiment list, flag help, and validation all
+// derive from the registry, so adding an experiment there is the whole
+// job.
 //
 // Usage:
 //
-//	cliquebench -exp fig1|fig2|thm2|thm4|thm8|lemma1|thm3|thm6|thm7|thm9|thm11|fpt|mst|sub|ablation|all
+//	cliquebench                               # full text report
+//	cliquebench -exp fig1,thm9                # a subset
+//	cliquebench -format=json -parallel=4      # machine-readable report
+//	cliquebench -format=json -timing          # + measured rounds/sec
+//	cliquebench -compare BENCH_baseline.json  # warn on perf regressions
+//
+// JSON output without -timing is deterministic: bit-identical across
+// repeat runs and across -parallel settings. With -timing it carries a
+// throughput block, the figure the BENCH_*.json perf trajectory and
+// the CI regression gate track.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/clique"
-	"repro/internal/counting"
-	"repro/internal/domset"
-	"repro/internal/fgc"
-	"repro/internal/gather"
-	"repro/internal/graph"
-	"repro/internal/hierarchy"
-	"repro/internal/matmul"
-	"repro/internal/mst"
-	"repro/internal/nondet"
-	"repro/internal/paths"
-	"repro/internal/reduction"
-	"repro/internal/routing"
-	"repro/internal/subgraph"
-	"repro/internal/vcover"
-)
-
-// backendName selects the execution engine for every simulated run in
-// this process; simTime and simRounds accumulate the cost of those runs
-// so the report can state simulator throughput per backend.
-var (
-	backendName string
-	simTime     time.Duration
-	simRounds   int64
+	"repro/internal/exp"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1, fig2, thm2, thm4, thm8, lemma1, thm3, thm6, thm7, thm9, thm11, fpt, mst, sub, ablation, all)")
+	expFlag := flag.String("exp", "all", exp.Help())
 	backend := flag.String("backend", "lockstep",
 		"execution backend ("+strings.Join(clique.Backends(), ", ")+")")
+	format := flag.String("format", "text", "output format (text, json)")
+	parallel := flag.Int("parallel", 1, "worker-pool width; experiments are independent and results keep registry order")
+	quick := flag.Bool("quick", false, "reduced instance sizes (CI smoke, tests)")
+	timing := flag.Bool("timing", false, "attach measured simulator throughput to JSON output (text always reports it)")
+	compare := flag.String("compare", "", "baseline report JSON to compare this run against (warn-only)")
+	threshold := flag.Float64("regress-threshold", 0.25, "rounds/sec regression fraction that triggers a -compare warning")
 	flag.Parse()
-	backendName = *backend
-	if backendName == "" {
-		backendName = clique.DefaultBackend
+	if *backend == "" {
+		*backend = clique.DefaultBackend
 	}
-	fmt.Printf("backend: %s\n", backendName)
-	defer reportThroughput()
-
-	all := map[string]func(){
-		"fig1":     expFig1,
-		"fig2":     expFig2,
-		"thm2":     expThm2,
-		"thm4":     expThm4,
-		"thm8":     expThm8,
-		"lemma1":   expLemma1,
-		"thm3":     expThm3,
-		"thm6":     expThm6,
-		"thm7":     expThm7,
-		"thm9":     expThm9,
-		"thm11":    expThm11,
-		"fpt":      expFPT,
-		"mst":      expMST,
-		"sub":      expSubstrates,
-		"ablation": expAblation,
-	}
-	if *exp == "all" {
-		for _, id := range []string{"fig1", "fig2", "thm2", "thm4", "thm8", "lemma1",
-			"thm3", "thm6", "thm7", "thm9", "thm11", "fpt", "mst", "sub", "ablation"} {
-			all[id]()
-		}
-		return
-	}
-	f, ok := all[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
 		os.Exit(2)
 	}
-	f()
-}
 
-func header(id, title string) {
-	fmt.Printf("\n===== %s: %s =====\n", id, title)
-}
-
-// runCounted executes one simulated run on the selected backend and
-// folds its cost into the process-wide throughput report. Every
-// simulation this command makes must go through here (or through
-// verify below) so the rounds/sec summary covers the whole report.
-func runCounted(cfg clique.Config, f clique.NodeFunc) (*clique.Result, error) {
-	cfg.Backend = backendName
-	start := time.Now()
-	res, err := clique.Run(cfg, f)
-	simTime += time.Since(start)
-	if err == nil {
-		simRounds += int64(res.Stats.Rounds)
-	}
-	return res, err
-}
-
-// verify is runCounted for nondeterministic verifier runs.
-func verify(cfg clique.Config, g *graph.Graph, alg nondet.Algorithm, z nondet.Labelling) (nondet.Verdict, error) {
-	cfg.Backend = backendName
-	start := time.Now()
-	v, err := nondet.RunVerifier(cfg, g, alg, z)
-	simTime += time.Since(start)
-	if err == nil {
-		simRounds += int64(v.Result.Stats.Rounds)
-	}
-	return v, err
-}
-
-// rounds runs f on an n-node clique and returns the round count.
-func rounds(n, wpp int, f clique.NodeFunc) int {
-	res, err := runCounted(clique.Config{N: n, WordsPerPair: wpp}, f)
+	ids, err := exp.Resolve(*expFlag)
 	if err != nil {
-		log.Fatal(err)
-	}
-	return res.Stats.Rounds
-}
-
-// reportThroughput prints the aggregate simulator cost of the report, so
-// BENCH_*.json trajectories can compare engines run to run.
-func reportThroughput() {
-	if simRounds == 0 || simTime <= 0 {
-		return
-	}
-	fmt.Printf("\nsimulator: %d rounds in %v on the %s backend (%.0f rounds/sec)\n",
-		simRounds, simTime.Round(time.Microsecond), backendName,
-		float64(simRounds)/simTime.Seconds())
-}
-
-// E1 — Figure 1: measured scaling and fitted exponents for the
-// implemented problems, checked against the map's implemented bounds.
-func expFig1() {
-	header("E1 / Figure 1", "measured exponents vs the fine-grained map")
-	ns := []int{27, 64, 125, 216}
-
-	type probe struct {
-		key  string
-		name string
-		run  func(n int) int
-	}
-	probes := []probe{
-		{"semiring-mm", "Boolean MM (3D)", func(n int) int {
-			g := graph.Gnp(n, 0.5, uint64(n))
-			return rounds(n, 8, func(nd *clique.Node) {
-				row := matmul.AdjacencyRow(g, nd.ID())
-				matmul.Mul3D(nd, matmul.Boolean{}, row, row)
-			})
-		}},
-		{"", "Boolean MM (naive)", func(n int) int {
-			g := graph.Gnp(n, 0.5, uint64(n))
-			return rounds(n, 8, func(nd *clique.Node) {
-				row := matmul.AdjacencyRow(g, nd.ID())
-				matmul.MulNaive(nd, matmul.Boolean{}, row, row)
-			})
-		}},
-		{"apsp-w-ud", "APSP w/ud (min,+ squaring)", func(n int) int {
-			g := graph.GnpWeighted(n, 0.3, 40, false, uint64(n))
-			return rounds(n, 8, func(nd *clique.Node) {
-				paths.APSP(nd, g.W[nd.ID()], matmul.Mul3D)
-			})
-		}},
-		{"triangle", "Triangle detection", func(n int) int {
-			g := graph.Gnp(n, 0.2, uint64(n))
-			return rounds(n, 8, func(nd *clique.Node) {
-				subgraph.DetectTriangle(nd, g.Row(nd.ID()))
-			})
-		}},
-		{"k-is", "3-IS detection", func(n int) int {
-			g := graph.Gnp(n, 0.6, uint64(n))
-			return rounds(n, 8, func(nd *clique.Node) {
-				subgraph.DetectIndependentSet(nd, g.Row(nd.ID()), 3)
-			})
-		}},
-		{"k-ds", "3-DS (Theorem 9)", func(n int) int {
-			g, _ := graph.PlantedDominatingSet(n, 3, 0.1, uint64(n))
-			return rounds(n, 8, func(nd *clique.Node) {
-				domset.Find(nd, g.Row(nd.ID()), 3)
-			})
-		}},
-		{"k-vc", "3-VC (Theorem 11)", func(n int) int {
-			g, _ := graph.PlantedVertexCover(n, 3, 0.4, uint64(n))
-			return rounds(n, 1, func(nd *clique.Node) {
-				vcover.Find(nd, g.Row(nd.ID()), 3)
-			})
-		}},
-		{"maxis", "MaxIS (full gather)", func(n int) int {
-			g := graph.Gnp(n, 0.92, uint64(n)) // dense: keeps alpha tiny, local solve fast
-			return rounds(n, 1, func(nd *clique.Node) {
-				gather.MaxIndependentSetSize(nd, g.Row(nd.ID()))
-			})
-		}},
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	m := fgc.Figure1(3)
-	fmt.Printf("%-28s", "problem")
-	for _, n := range ns {
-		fmt.Printf(" %6s", fmt.Sprintf("n=%d", n))
+	opts := exp.Options{Backend: *backend, Quick: *quick, Parallel: *parallel}
+	results, tim, err := exp.Run(ids, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	fmt.Printf(" %8s %10s\n", "fitted", "impl bound")
-	for _, p := range probes {
-		var rs []int
-		fmt.Printf("%-28s", p.name)
-		for _, n := range ns {
-			r := p.run(n)
-			rs = append(rs, r)
-			fmt.Printf(" %6d", r)
+
+	switch *format {
+	case "text":
+		// The text report always carries the throughput summary, as it
+		// always has.
+		exp.NewReport(*backend, opts, results, tim, true).WriteText(os.Stdout)
+	case "json":
+		report := exp.NewReport(*backend, opts, results, tim, *timing)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		fit := fgc.FitExponent(ns, rs)
-		bound := "-"
-		if prob, ok := m.Get(p.key); ok && p.key != "" {
-			bound = fmt.Sprintf("%.3f", prob.ImplUpper)
-		}
-		fmt.Printf(" %8.3f %10s\n", fit, bound)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
+		os.Exit(2)
 	}
 
-	if issues := m.Validate(); len(issues) > 0 {
-		fmt.Println("map validation issues:", issues)
-	} else {
-		fmt.Println("figure-1 map: all", len(m.Relations), "arrows consistent (literature and implemented bounds)")
-	}
-}
-
-// E2 — Figure 2 / Theorem 10: gadget reduction, exhaustive equivalence,
-// in-model simulation overhead.
-func expFig2() {
-	header("E2 / Figure 2, Theorem 10", "k-IS via k-DS gadget reduction")
-	// Exhaustive equivalence at n=4, k=2 over all 64 graphs.
-	mism := 0
-	for mask := 0; mask < 64; mask++ {
-		g := graph.New(4)
-		e := 0
-		for u := 0; u < 4; u++ {
-			for v := u + 1; v < 4; v++ {
-				if mask&(1<<e) != 0 {
-					g.AddEdge(u, v)
-				}
-				e++
-			}
-		}
-		r := reduction.ISDS{N: 4, K: 2}
-		if graph.HasIndependentSetOfSize(g, 2) != graph.HasDominatingSetOfSize(r.BuildGraph(g), 2) {
-			mism++
-		}
-	}
-	fmt.Printf("exhaustive n=4 k=2: %d/64 graphs violate the iff (want 0)\n", mism)
-
-	fmt.Printf("%6s %4s %8s %12s %14s %10s\n", "n", "k", "|G'|", "direct k-DS", "IS-via-DS sim", "overhead")
-	for _, n := range []int{6, 8, 10} {
-		k := 2
-		g := graph.Gnp(n, 0.5, uint64(n)+3)
-		r := reduction.ISDS{N: n, K: k}
-		direct := rounds(n, 16, func(nd *clique.Node) {
-			domset.Find(nd, g.Row(nd.ID()), k)
-		})
-		sim := rounds(n, 16, func(nd *clique.Node) {
-			reduction.FindISViaDS(nd, g.Row(nd.ID()), k)
-		})
-		fmt.Printf("%6d %4d %8d %12d %14d %9.1fx\n",
-			n, k, r.Total(), direct, sim, float64(sim)/float64(direct))
-	}
-	fmt.Println("overhead stays bounded as n grows (Theorem 10: O(k^{2 delta + 4}) factor)")
-}
-
-// E3 — Theorem 2: the counting tables behind the time hierarchy.
-func expThm2() {
-	header("E3 / Theorem 2", "protocol counting and the time hierarchy")
-	fmt.Printf("%8s %6s %6s %14s\n", "n", "b", "L", "max hard t")
-	for _, n := range []int{64, 256, 1024} {
-		b := clique.WordBits(n)
-		for _, Lfac := range []int{2, 8, 32} {
-			L := Lfac * b
-			fmt.Printf("%8d %6d %6d %14d\n", n, b, L, counting.MaxHardRounds(n, b, L))
-		}
-	}
-	fmt.Println("\nTheorem 2 witnesses (L = T log n; hard function avoids T/2-round protocols):")
-	fmt.Printf("%8s %8s %8s %8s %8s\n", "n", "T(n)", "L", "valid", "excluded")
-	n := 1 << 14
-	for Tn := 2; Tn*4*14 < n; Tn *= 4 {
-		w := counting.Theorem2Params(n, Tn)
-		fmt.Printf("%8d %8d %8d %8v %8d\n", n, Tn, w.Params.L, w.Valid, w.LowerExcluded)
-	}
-}
-
-// E6 — Theorem 4: nondeterministic hierarchy tables.
-func expThm4() {
-	header("E6 / Theorem 4", "nondeterministic time hierarchy parameters")
-	fmt.Printf("%8s %8s %10s %10s %8s %8s\n", "n", "T(n)", "M (bits)", "L", "ineq", "valid")
-	n := 1 << 12
-	for Tn := 4; Tn*4*12 < n; Tn *= 2 {
-		w := counting.Theorem4Params(n, Tn)
-		fmt.Printf("%8d %8d %10d %10d %8v %8v\n",
-			n, Tn, w.Params.M, w.Params.L, w.PaperInequality, w.Valid)
-	}
-}
-
-// E9 — Theorem 8: logarithmic hierarchy separation parameters.
-func expThm8() {
-	header("E9 / Theorem 8", "no level of the logarithmic hierarchy holds everything")
-	n := 256
-	Tn := 2 * n
-	fmt.Printf("T(n) = 2n = %d, L = T^2 log n = %d\n", Tn, Tn*Tn*clique.WordBits(n))
-	fmt.Printf("%6s %14s %14s %8s\n", "k", "lhs (bits)", "rhs (bits)", "valid")
-	for _, k := range []int{1, 2, 4, 16, 64, 512} {
-		w := counting.Theorem8Params(n, k, Tn)
-		fmt.Printf("%6d %14d %14d %8v\n", k, w.PaperLH, w.PaperRH, w.Valid)
-	}
-}
-
-// E4 — Lemma 1 made constructive.
-func expLemma1() {
-	header("E4 / Lemma 1", "exhaustive micro diagonalisation at (n,b,t) = (2,1,1)")
-	for _, L := range []int{1, 2} {
-		r := counting.Diagonalise(L)
-		fmt.Printf("L=%d: %d/%d functions realisable, %d valid protocols, Lemma-1 log2 bound %d\n",
-			L, r.Realised, r.TotalFunctions, r.ValidProtocols, r.Lemma1BoundLog2)
-		if r.HardExists {
-			fmt.Printf("      lexicographically-first hard function: table %#04x (weight %d), verified=%v\n",
-				r.FirstHard, counting.HammingWeight(r.FirstHard), counting.VerifyHard(r.FirstHard, L))
-		} else {
-			fmt.Println("      no hard function (1 bit of bandwidth carries the whole input)")
+	if *compare != "" {
+		if err := compareBaseline(*compare, exp.NewReport(*backend, opts, results, tim, true), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }
 
-// E5 — Theorem 3: transcript certificates.
-func expThm3() {
-	header("E5 / Theorem 3", "normal form: certificates become transcripts")
-	fmt.Printf("%6s %16s %16s %12s %10s\n", "n", "orig bits/node", "transcript bits", "bound Tnlogn", "B accepts")
-	for _, n := range []int{6, 10, 16, 24} {
-		g, _ := graph.PlantedColoring(n, 3, 0.7, uint64(n))
-		alg := nondet.KColoringVerifier(3)
-		z := nondet.KColoringProver(g, 3)
-		if z == nil {
-			continue
-		}
-		// TranscriptCertificate, inlined through verify so the
-		// accepting run is part of the throughput report.
-		accepting, err := verify(clique.Config{N: n, RecordTranscript: true}, g, alg, z)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !accepting.Accepted {
-			log.Fatal("nondet: A rejected the labelling; no certificate to extract")
-		}
-		certs := make(nondet.Labelling, n)
-		for v, tr := range accepting.Result.Transcripts {
-			certs[v] = nondet.EncodeTranscript(tr, n)
-		}
-		b := nondet.NormalForm(alg, 1, nondet.WordSpace(3))
-		verdict, err := verify(clique.Config{N: n}, g, b, certs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%6d %16d %16d %12d %10v\n",
-			n, z.SizeBits(n), certs.SizeBits(n), 1*n*clique.WordBits(n), verdict.Accepted)
+// compareBaseline warns — never fails — when the current run regressed
+// against the stored baseline. Warnings go to stderr in GitHub
+// Actions annotation form so the CI job surfaces them inline.
+func compareBaseline(path string, current *exp.Report, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
 	}
-	fmt.Println("transcript size grows as Theta(T n log n); the original labels were O(log n)")
-}
-
-// E7 — Theorem 6: edge labelling problems.
-func expThm6() {
-	header("E7 / Theorem 6", "NCLIQUE(1) compiled to edge labelling problems")
-	fmt.Printf("%6s %14s %12s\n", "n", "verify rounds", "accepted")
-	for _, n := range []int{5, 8, 12} {
-		g, _ := graph.PlantedColoring(n, 3, 0.7, uint64(n)+40)
-		alg := nondet.KColoringVerifier(3)
-		z := nondet.KColoringProver(g, 3)
-		verdict, err := verify(clique.Config{N: n, RecordTranscript: true}, g, alg, z)
-		if err != nil || !verdict.Accepted {
-			log.Fatal("accepting run failed")
-		}
-		// The compiled problem's labels and one-round verification.
-		rcount := rounds(n, 1, func(nd *clique.Node) {
-			// labels built centrally from the recorded transcripts
-			labels := corelabels(verdict, n, 3)
-			coreVerify(nd, g, labels)
-		})
-		fmt.Printf("%6d %14d %12v\n", n, rcount, verdict.Accepted)
+	var baseline exp.Report
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("compare: parsing %s: %w", path, err)
 	}
-	fmt.Println("verification rounds stay constant in n: the canonical family is NCLIQUE(1)-checkable")
-}
-
-// E8 — Theorem 7: the Sigma_2 collapse protocol.
-func expThm7() {
-	header("E8 / Theorem 7", "unlimited hierarchy collapses to Sigma_2")
-	for _, n := range []int{3, 4} {
-		yes := graph.Complete(n)
-		no := graph.Path(n)
-		alg := hierarchy.SigmaTwoUniversal(graph.HasTriangle)
-		run := func(g *graph.Graph, z1, z2 []([]uint64)) bool {
-			bits := make([]bool, g.N)
-			_, err := runCounted(clique.Config{N: g.N}, func(nd *clique.Node) {
-				bits[nd.ID()] = alg(nd, g.Row(nd.ID()), [][]uint64{z1[nd.ID()], z2[nd.ID()]})
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			for _, b := range bits {
-				if !b {
-					return false
-				}
-			}
-			return true
-		}
-		honest := hierarchy.HonestGuess(yes)
-		rejected := 0
-		for idx := 0; idx < n*n; idx++ {
-			z2 := hierarchy.CatchingChallenge(n, 0, idx/n, idx%n)
-			if !run(yes, honest, z2) {
-				rejected++
-			}
-		}
-		lying := hierarchy.HonestGuess(no)
-		lying[0] = hierarchy.EncodeGuess(yes)
-		caught := 0
-		for idx := 0; idx < n*n; idx++ {
-			z2 := hierarchy.CatchingChallenge(n, 0, idx/n, idx%n)
-			if !run(no, lying, z2) {
-				caught++
-			}
-		}
-		fmt.Printf("n=%d: honest yes-instance rejected by %d/%d challenges (want 0); lying prover caught by %d/%d (want >0)\n",
-			n, rejected, n*n, caught, n*n)
+	warns := exp.Compare(&baseline, current, threshold)
+	if len(warns) == 0 {
+		fmt.Fprintf(os.Stderr, "compare: no regressions vs %s (threshold %.0f%%)\n", path, 100*threshold)
+		return nil
 	}
-}
-
-// E10 — Theorem 9: k-DS scaling.
-func expThm9() {
-	header("E10 / Theorem 9", "k-dominating set in O(n^{1-1/k}) rounds")
-	ns := []int{27, 64, 125, 216}
-	for _, k := range []int{2, 3} {
-		var rs []int
-		fmt.Printf("k=%d rounds:", k)
-		for _, n := range ns {
-			g, _ := graph.PlantedDominatingSet(n, k, 0.1, uint64(n))
-			r := rounds(n, 8, func(nd *clique.Node) {
-				domset.Find(nd, g.Row(nd.ID()), k)
-			})
-			rs = append(rs, r)
-			fmt.Printf(" %5d", r)
-		}
-		fmt.Printf("   fitted delta %.3f (bound %.3f)\n",
-			fgc.FitExponent(ns, rs), 1-1/float64(k))
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "::warning title=benchmark regression::%s\n", w)
 	}
-}
-
-// E11 — Theorem 11: k-VC rounds depend only on k.
-func expThm11() {
-	header("E11 / Theorem 11", "k-vertex cover in O(k) rounds, independent of n")
-	fmt.Printf("%8s", "k\\n")
-	ns := []int{16, 32, 64, 128}
-	for _, n := range ns {
-		fmt.Printf(" %6d", n)
-	}
-	fmt.Println()
-	for _, k := range []int{2, 4, 8} {
-		fmt.Printf("%8d", k)
-		for _, n := range ns {
-			g, _ := graph.PlantedVertexCover(n, k, 0.4, uint64(n)+uint64(k))
-			fmt.Printf(" %6d", rounds(n, 1, func(nd *clique.Node) {
-				vcover.Find(nd, g.Row(nd.ID()), k)
-			}))
-		}
-		fmt.Printf("   (want %d = 1+k everywhere)\n", 1+k)
-	}
-}
-
-// E12 — the Section 7.3 FPT contrast table.
-func expFPT() {
-	header("E12 / Section 7.3", "fixed-parameter landscape: k-VC vs k-IS vs k-DS")
-	k := 3
-	fmt.Printf("%8s %10s %10s %10s\n", "n", "k-VC", "k-IS", "k-DS")
-	for _, n := range []int{27, 64, 125} {
-		gv, _ := graph.PlantedVertexCover(n, k, 0.4, uint64(n))
-		gi, _ := graph.PlantedIndependentSet(n, k, 0.5, uint64(n)+1)
-		gd, _ := graph.PlantedDominatingSet(n, k, 0.1, uint64(n)+2)
-		fmt.Printf("%8d %10d %10d %10d\n", n,
-			rounds(n, 1, func(nd *clique.Node) { vcover.Find(nd, gv.Row(nd.ID()), k) }),
-			rounds(n, 8, func(nd *clique.Node) { subgraph.DetectIndependentSet(nd, gi.Row(nd.ID()), k) }),
-			rounds(n, 8, func(nd *clique.Node) { domset.Find(nd, gd.Row(nd.ID()), k) }))
-	}
-}
-
-// Extension — deterministic MST baseline (paper conclusions).
-func expMST() {
-	header("extension / MST", "deterministic Boruvka at 2 log n + O(1) rounds")
-	fmt.Printf("%8s %10s %12s %12s\n", "n", "rounds", "forest wt", "oracle wt")
-	for _, n := range []int{16, 64, 256} {
-		g := graph.GnpWeighted(n, 0.3, 60, false, uint64(n))
-		var wt int64
-		r := rounds(n, 1, func(nd *clique.Node) {
-			wt = mst.Weight(mst.Find(nd, g.W[nd.ID()]))
-		})
-		oracle, _ := mst.KruskalOracle(g)
-		fmt.Printf("%8d %10d %12d %12d\n", n, r, wt, oracle)
-	}
-	fmt.Println("the conclusions' randomized-gap example: randomized algorithms do O(1);")
-	fmt.Println("this deterministic baseline needs Theta(log n) Boruvka phases")
-}
-
-// E13 — substrate validation.
-func expSubstrates() {
-	header("E13 / substrates", "routing, sorting, matrix multiplication")
-	fmt.Println("routing rounds vs per-node load (n=32, uniform destinations):")
-	for _, load := range []int{8, 16, 32, 64} {
-		r := rounds(32, 4, func(nd *clique.Node) {
-			var ps []routing.Packet
-			for i := 0; i < load; i++ {
-				ps = append(ps, routing.Packet{Dst: (nd.ID() + i + 1) % 32, Payload: []uint64{uint64(i)}})
-			}
-			routing.Route(nd, ps, 1, 9)
-		})
-		fmt.Printf("  load %3d: %4d rounds\n", load, r)
-	}
-	fmt.Println("sorting rounds vs keys/node (n=16, keys < n^2):")
-	for _, kn := range []int{4, 8, 16} {
-		r := rounds(16, 4, func(nd *clique.Node) {
-			keys := make([]uint64, kn)
-			for i := range keys {
-				keys[i] = uint64((nd.ID()*31 + i*17) % 256)
-			}
-			routing.Sort(nd, keys, 256)
-		})
-		fmt.Printf("  %3d keys/node: %4d rounds\n", kn, r)
-	}
-	fmt.Println("matrix multiplication, naive vs 3D:")
-	for _, n := range []int{27, 64, 125, 216} {
-		g := graph.Gnp(n, 0.5, uint64(n))
-		naive := rounds(n, 8, func(nd *clique.Node) {
-			row := matmul.AdjacencyRow(g, nd.ID())
-			matmul.MulNaive(nd, matmul.Boolean{}, row, row)
-		})
-		td := rounds(n, 8, func(nd *clique.Node) {
-			row := matmul.AdjacencyRow(g, nd.ID())
-			matmul.Mul3D(nd, matmul.Boolean{}, row, row)
-		})
-		fmt.Printf("  n=%4d: naive %5d rounds, 3D %5d rounds\n", n, naive, td)
-	}
-}
-
-// Ablation — router choice on a skewed instance.
-func expAblation() {
-	header("ablation", "balanced router vs direct delivery on a skewed instance")
-	const n, L = 16, 96
-	mk := func(balanced bool) int {
-		return rounds(n, 4, func(nd *clique.Node) {
-			var ps []routing.Packet
-			if nd.ID() == 0 {
-				for i := 0; i < L; i++ {
-					ps = append(ps, routing.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
-				}
-			}
-			if balanced {
-				routing.Route(nd, ps, 1, 5)
-			} else {
-				routing.RouteDirect(nd, ps, 1)
-			}
-		})
-	}
-	fmt.Printf("node 0 sends %d packets to node 1 (n=%d): direct %d rounds, balanced %d rounds\n",
-		L, n, mk(false), mk(true))
-}
-
-// corelabels / coreVerify adapt the Theorem 6 compilation for the
-// harness without pulling package core's full surface into main.
-func corelabels(verdict nondet.Verdict, n, k int) [][]uint64 {
-	labels := make([][]uint64, n)
-	base := uint64(k) + 2
-	for u := 0; u < n; u++ {
-		labels[u] = make([]uint64, n)
-	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			var lab uint64
-			if s := verdict.Result.Transcripts[u].Rounds[0].Sent[v]; len(s) == 1 {
-				lab += s[0] + 1
-			}
-			if s := verdict.Result.Transcripts[v].Rounds[0].Sent[u]; len(s) == 1 {
-				lab += (s[0] + 1) * base
-			}
-			labels[u][v] = lab
-			labels[v][u] = lab
-		}
-	}
-	return labels
-}
-
-func coreVerify(nd *clique.Node, g *graph.Graph, labels [][]uint64) {
-	n := nd.N()
-	me := nd.ID()
-	for v := 0; v < n; v++ {
-		if v != me {
-			nd.Send(v, labels[me][v])
-		}
-	}
-	nd.Tick()
-	for v := 0; v < n; v++ {
-		if v == me {
-			continue
-		}
-		if w := nd.Recv(v); len(w) != 1 || w[0] != labels[me][v] {
-			nd.Fail("edge label mismatch with %d", v)
-		}
-	}
+	return nil
 }

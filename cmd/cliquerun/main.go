@@ -7,7 +7,7 @@
 //	cliquerun -alg triangle -n 64 -p 0.1 -seed 7
 //	cliquerun -alg kds -n 64 -k 2
 //	cliquerun -alg apsp -n 27
-//	cliquerun -alg sort -n 16
+//	cliquerun -alg sort -n 16 -format=json   # machine-readable result
 //	cliquerun -alg dot            # print the Figure 1 map as Graphviz
 //
 // Algorithms: triangle, kis, kclique, kcycle, kpath, kds, kvc, bfs, sssp,
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -45,9 +46,14 @@ func main() {
 	maxW := flag.Int64("maxw", 20, "max edge weight for weighted problems")
 	backend := flag.String("backend", "lockstep",
 		"execution backend ("+strings.Join(clique.Backends(), ", ")+")")
+	format := flag.String("format", "text", "output format (text, json)")
 	flag.Parse()
 	if *backend == "" {
 		*backend = clique.DefaultBackend
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
+		os.Exit(2)
 	}
 
 	if *alg == "dot" {
@@ -163,12 +169,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("algorithm : %s\n", *alg)
-	fmt.Printf("backend   : %s\n", *backend)
-	fmt.Printf("instance  : n=%d p=%.2f seed=%d (%d edges)\n", *n, *p, *seed, g.NumEdges())
-	fmt.Printf("result    : %s\n", answer)
-	fmt.Printf("cost      : %d rounds, %d words, %d bits, busiest link %d words/round\n",
-		res.Stats.Rounds, res.Stats.WordsSent, res.Stats.BitsSent, res.Stats.MaxPairWords)
 	roundsPerSec := float64(res.Stats.Rounds) / elapsed.Seconds()
-	fmt.Printf("wall      : %v (%.0f rounds/sec on the %s backend)\n", elapsed.Round(time.Microsecond), roundsPerSec, *backend)
+	switch *format {
+	case "text":
+		fmt.Printf("algorithm : %s\n", *alg)
+		fmt.Printf("backend   : %s\n", *backend)
+		fmt.Printf("instance  : n=%d p=%.2f seed=%d (%d edges)\n", *n, *p, *seed, g.NumEdges())
+		fmt.Printf("result    : %s\n", answer)
+		fmt.Printf("cost      : %d rounds, %d words, %d bits, busiest link %d words/round\n",
+			res.Stats.Rounds, res.Stats.WordsSent, res.Stats.BitsSent, res.Stats.MaxPairWords)
+		fmt.Printf("wall      : %v (%.0f rounds/sec on the %s backend)\n", elapsed.Round(time.Microsecond), roundsPerSec, *backend)
+	case "json":
+		// A single-run sibling of the cliquebench report schema: the
+		// model costs are deterministic, the wall block is measured.
+		out := runReport{
+			Schema: "cliquerun/v1", Algorithm: *alg, Backend: *backend,
+			N: *n, P: *p, Seed: *seed, Edges: g.NumEdges(), Answer: answer,
+			Rounds: res.Stats.Rounds, Words: res.Stats.WordsSent,
+			Bits: res.Stats.BitsSent, MaxPairWords: res.Stats.MaxPairWords,
+			WallNS: elapsed.Nanoseconds(), RoundsPerSec: roundsPerSec,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
+		os.Exit(2)
+	}
+}
+
+// runReport is the cliquerun -format=json envelope.
+type runReport struct {
+	Schema       string  `json:"schema"`
+	Algorithm    string  `json:"algorithm"`
+	Backend      string  `json:"backend"`
+	N            int     `json:"n"`
+	P            float64 `json:"p"`
+	Seed         uint64  `json:"seed"`
+	Edges        int     `json:"edges"`
+	Answer       string  `json:"answer"`
+	Rounds       int     `json:"rounds"`
+	Words        int64   `json:"words"`
+	Bits         int64   `json:"bits"`
+	MaxPairWords int     `json:"max_pair_words"`
+	WallNS       int64   `json:"wall_ns"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
 }

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/nondet"
+)
+
+// Ctx is the handle an experiment body runs against. It routes every
+// simulated execution through counted wrappers so the per-experiment
+// SimCost (and the process throughput report built from it) covers the
+// whole run, and it accumulates the Result being built. A Ctx is used
+// by exactly one experiment on one goroutine; the parallel runner gives
+// each experiment its own, which is what makes `-parallel` sound where
+// the old per-process simTime/simRounds globals were not.
+type Ctx struct {
+	// Backend selects the execution engine for every simulated run.
+	Backend string
+	// Quick shrinks instance sizes so the full registry runs in
+	// seconds; used by tests and benchmark smoke jobs. Experiment
+	// bodies consult it through Sizes.
+	Quick bool
+
+	res      *Result
+	simWall  time.Duration
+	curTable int
+}
+
+// Sizes returns full in normal mode and quick in Quick mode; bodies
+// use it to pick instance sizes without branching inline.
+func (c *Ctx) Sizes(full, quick []int) []int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// failure aborts an experiment body; the runner recovers it.
+type failure struct{ err error }
+
+// Failf aborts the experiment with an error, e.g. when a simulated run
+// returns one. The registry runner turns it into RunOne's error.
+func (c *Ctx) Failf(format string, args ...any) {
+	panic(failure{fmt.Errorf("exp %s: %s", c.res.ID, fmt.Sprintf(format, args...))})
+}
+
+// Run executes one simulated run on the configured backend and folds
+// its model cost into the experiment's SimCost. Every simulation an
+// experiment makes must go through here or Verify so the rounds/sec
+// summary covers the whole report.
+func (c *Ctx) Run(cfg clique.Config, f clique.NodeFunc) (*clique.Result, error) {
+	cfg.Backend = c.Backend
+	start := time.Now()
+	res, err := clique.Run(cfg, f)
+	c.simWall += time.Since(start)
+	c.res.Sim.Runs++
+	if err == nil {
+		c.res.Sim.Rounds += int64(res.Stats.Rounds)
+		c.res.Sim.Words += res.Stats.WordsSent
+	}
+	return res, err
+}
+
+// Rounds runs f on an n-node clique and returns the round count,
+// aborting the experiment on error.
+func (c *Ctx) Rounds(n, wpp int, f clique.NodeFunc) int {
+	res, err := c.Run(clique.Config{N: n, WordsPerPair: wpp}, f)
+	if err != nil {
+		c.Failf("%v", err)
+	}
+	return res.Stats.Rounds
+}
+
+// Verify is Run for nondeterministic verifier executions.
+func (c *Ctx) Verify(cfg clique.Config, g *graph.Graph, alg nondet.Algorithm, z nondet.Labelling) (nondet.Verdict, error) {
+	cfg.Backend = c.Backend
+	start := time.Now()
+	v, err := nondet.RunVerifier(cfg, g, alg, z)
+	c.simWall += time.Since(start)
+	c.res.Sim.Runs++
+	if err == nil {
+		c.res.Sim.Rounds += int64(v.Result.Stats.Rounds)
+		c.res.Sim.Words += v.Result.Stats.WordsSent
+	}
+	return v, err
+}
+
+// Table starts a new typed table and returns a builder for its rows.
+func (c *Ctx) Table(name string, columns ...string) *TableBuilder {
+	c.res.Tables = append(c.res.Tables, Table{Name: name, Columns: columns})
+	return &TableBuilder{c: c, idx: len(c.res.Tables) - 1}
+}
+
+// Notef appends a free-form report line after the tables.
+func (c *Ctx) Notef(format string, args ...any) {
+	c.res.Notes = append(c.res.Notes, fmt.Sprintf(format, args...))
+}
+
+// Metric records one scalar finding.
+func (c *Ctx) Metric(name string, value float64, unit string) {
+	c.res.Metrics = append(c.res.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// TableBuilder appends rows to one table of the Result under
+// construction.
+type TableBuilder struct {
+	c   *Ctx
+	idx int
+}
+
+// Row appends one row; it must have as many cells as the table has
+// columns.
+func (t *TableBuilder) Row(cells ...Cell) {
+	tab := &t.c.res.Tables[t.idx]
+	if len(cells) != len(tab.Columns) {
+		t.c.Failf("table %q: row has %d cells, want %d", tab.Name, len(cells), len(tab.Columns))
+	}
+	tab.Rows = append(tab.Rows, cells)
+}

@@ -1,0 +1,127 @@
+// Package exp is the experiment registry: every figure, theorem table,
+// and ablation of EXPERIMENTS.md is a declared Experiment whose Run
+// produces a structured Result (typed tables, model costs in rounds and
+// words, scalar metrics such as fitted exponents) instead of printing.
+//
+// The registry is the single source of truth consumed by three layers
+// that previously each carried their own copy of the experiment list:
+// cmd/cliquebench renders Results as the human-readable report or as
+// schema-stable JSON (the BENCH_*.json perf-trajectory format), the
+// root bench_test.go benchmark families replay the same workloads under
+// `go test -bench`, and CI compares the JSON against a committed
+// baseline. Adding an experiment means one Register call; flag help,
+// dispatch, rendering, and benchmarks all follow.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// SchemaVersion identifies the JSON envelope layout. Bump only on
+// incompatible changes; CI's baseline comparison checks it.
+const SchemaVersion = "cliquebench/v1"
+
+// Result is the structured outcome of one experiment run. Every field
+// is deterministic for a fixed (experiment, backend, quick) triple:
+// wall-clock timing deliberately lives outside the Result (see Timing)
+// so that parallel and sequential runs serialise bit-identically.
+type Result struct {
+	// ID is the registry key, e.g. "fig1".
+	ID string `json:"id"`
+	// Artefact names the paper artefact, e.g. "E1 / Figure 1".
+	Artefact string `json:"artefact"`
+	// Title is the one-line experiment description.
+	Title string `json:"title"`
+	// Tables holds the experiment's typed tables in display order.
+	Tables []Table `json:"tables,omitempty"`
+	// Metrics holds scalar findings (fitted exponents, violation
+	// counts) that downstream tooling reads without parsing tables.
+	Metrics []Metric `json:"metrics,omitempty"`
+	// Notes are free-form lines printed after the tables.
+	Notes []string `json:"notes,omitempty"`
+	// Sim aggregates the model cost of every simulated run the
+	// experiment made. Zero for pure counting experiments.
+	Sim SimCost `json:"sim"`
+}
+
+// SimCost is the model-level cost of an experiment's simulated runs.
+// It is backend-invariant: both engines produce identical counts.
+type SimCost struct {
+	// Runs is the number of clique.Run / verifier executions.
+	Runs int `json:"runs"`
+	// Rounds is the total simulated rounds across those runs.
+	Rounds int64 `json:"rounds"`
+	// Words is the total words sent across those runs.
+	Words int64 `json:"words"`
+}
+
+// Metric is one scalar finding of an experiment.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Unit is optional ("exponent", "rounds", "graphs", ...).
+	Unit string `json:"unit,omitempty"`
+}
+
+// Table is a typed experiment table: a header row plus typed cells.
+type Table struct {
+	// Name distinguishes multiple tables in one experiment; empty for
+	// the experiment's single or primary table.
+	Name    string   `json:"name,omitempty"`
+	Columns []string `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
+}
+
+// CellKind discriminates the typed table cells.
+type CellKind string
+
+const (
+	KindInt    CellKind = "int"
+	KindFloat  CellKind = "float"
+	KindBool   CellKind = "bool"
+	KindString CellKind = "string"
+)
+
+// Cell is one typed table value. Text is the canonical rendering used
+// by the text report; the typed field lets JSON consumers avoid
+// re-parsing it. Exactly the field named by Kind is meaningful.
+type Cell struct {
+	Kind  CellKind `json:"kind"`
+	Int   int64    `json:"int,omitempty"`
+	Float float64  `json:"float,omitempty"`
+	Bool  bool     `json:"bool,omitempty"`
+	Str   string   `json:"str,omitempty"`
+	Text  string   `json:"text"`
+}
+
+// Int builds an integer cell rendered in decimal.
+func Int(v int) Cell { return Int64(int64(v)) }
+
+// Int64 builds an integer cell rendered in decimal.
+func Int64(v int64) Cell {
+	return Cell{Kind: KindInt, Int: v, Text: strconv.FormatInt(v, 10)}
+}
+
+// Float builds a float cell rendered with the given fmt verb (e.g.
+// "%.3f"). Non-finite values degrade to string cells so the Result
+// always marshals to valid JSON.
+func Float(v float64, format string) Cell {
+	text := fmt.Sprintf(format, v)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return Cell{Kind: KindString, Str: text, Text: text}
+	}
+	return Cell{Kind: KindFloat, Float: v, Text: text}
+}
+
+// Bool builds a boolean cell rendered as true/false.
+func Bool(v bool) Cell {
+	return Cell{Kind: KindBool, Bool: v, Text: strconv.FormatBool(v)}
+}
+
+// Str builds a string cell.
+func Str(s string) Cell { return Cell{Kind: KindString, Str: s, Text: s} }
+
+// Strf builds a formatted string cell.
+func Strf(format string, args ...any) Cell { return Str(fmt.Sprintf(format, args...)) }

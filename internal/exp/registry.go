@@ -1,0 +1,369 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clique"
+)
+
+// Experiment is one registered entry: an identifier, the paper artefact
+// it reproduces, and a body that fills in the Result through the Ctx.
+type Experiment struct {
+	// ID is the stable key used by -exp, JSON, and benchmarks.
+	ID string
+	// Artefact names the paper artefact ("E1 / Figure 1").
+	Artefact string
+	// Title is the one-line description shown in reports and -exp help.
+	Title string
+	// Run computes the experiment. It reports findings through c and
+	// aborts via c.Failf; it must be deterministic for a fixed
+	// (Backend, Quick) pair.
+	Run func(c *Ctx)
+}
+
+// registry holds the experiments in registration (= report) order.
+var (
+	regMu    sync.RWMutex
+	registry []Experiment
+	byID     = map[string]int{}
+)
+
+// Register adds an experiment; duplicate IDs panic at init time.
+func Register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := byID[e.ID]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment id %q", e.ID))
+	}
+	if e.ID == "" || e.Run == nil {
+		panic(fmt.Sprintf("exp: experiment %+v missing ID or Run", e))
+	}
+	byID[e.ID] = len(registry)
+	registry = append(registry, e)
+}
+
+// All returns the experiments in report order.
+func All() []Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns the experiment ids in report order.
+func IDs() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Get looks up one experiment by id.
+func Get(id string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	i, ok := byID[id]
+	if !ok {
+		return Experiment{}, false
+	}
+	return registry[i], true
+}
+
+// Help renders the -exp flag help from the registry so the flag can
+// never drift from the dispatch: "all" plus every id with its artefact.
+func Help() string {
+	var sb strings.Builder
+	sb.WriteString("experiment id: all")
+	for _, e := range All() {
+		sb.WriteString(", ")
+		sb.WriteString(e.ID)
+	}
+	return sb.String()
+}
+
+// Resolve expands an -exp flag value ("all", one id, or a
+// comma-separated list) into registry ids, rejecting unknown ones with
+// an error that lists the valid set — also derived from the registry.
+func Resolve(spec string) ([]string, error) {
+	if spec == "" || spec == "all" {
+		return IDs(), nil
+	}
+	var ids []string
+	seen := map[string]bool{}
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if _, ok := Get(id); !ok {
+			return nil, fmt.Errorf("unknown experiment %q (valid: all, %s)", id, strings.Join(IDs(), ", "))
+		}
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiments selected (valid: all, %s)", strings.Join(IDs(), ", "))
+	}
+	return ids, nil
+}
+
+// Options configure a registry run.
+type Options struct {
+	// Backend is the execution engine name; empty means the default.
+	Backend string
+	// Quick shrinks instance sizes (tests, smoke jobs).
+	Quick bool
+	// Parallel is the worker-pool width; values < 2 run sequentially.
+	// Results keep registry order regardless.
+	Parallel int
+}
+
+// Timing is the nondeterministic half of a run, kept out of Result so
+// serialised Results stay bit-identical across runs and worker counts.
+type Timing struct {
+	// SimWall is wall-clock spent inside simulated runs only.
+	SimWall time.Duration
+	// Rounds mirrors the summed SimCost.Rounds for convenience.
+	Rounds int64
+}
+
+// RoundsPerSec is the throughput figure tracked by the perf trajectory.
+func (t Timing) RoundsPerSec() float64 {
+	if t.SimWall <= 0 {
+		return 0
+	}
+	return float64(t.Rounds) / t.SimWall.Seconds()
+}
+
+// RunOne executes a single experiment.
+func RunOne(id string, opts Options) (res *Result, tim Timing, err error) {
+	e, ok := Get(id)
+	if !ok {
+		return nil, Timing{}, fmt.Errorf("exp: unknown experiment %q", id)
+	}
+	backend := opts.Backend
+	if backend == "" {
+		backend = clique.DefaultBackend
+	}
+	c := &Ctx{Backend: backend, Quick: opts.Quick,
+		res: &Result{ID: e.ID, Artefact: e.Artefact, Title: e.Title}}
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, f.err
+		}
+		tim = Timing{SimWall: c.simWall}
+		if res != nil {
+			tim.Rounds = res.Sim.Rounds
+		}
+	}()
+	e.Run(c)
+	return c.res, Timing{}, nil
+}
+
+// Run executes the given experiments — all independent of each other —
+// on a worker pool of opts.Parallel goroutines and returns their
+// Results in the requested order plus the aggregate Timing. The
+// ordering, and every byte of every Result, is identical whatever the
+// worker count; only Timing varies.
+func Run(ids []string, opts Options) ([]*Result, Timing, error) {
+	type slot struct {
+		res *Result
+		tim Timing
+		err error
+	}
+	slots := make([]slot, len(ids))
+	workers := opts.Parallel
+	if workers < 2 || len(ids) < 2 {
+		for i, id := range ids {
+			slots[i].res, slots[i].tim, slots[i].err = RunOne(id, opts)
+		}
+	} else {
+		if workers > len(ids) {
+			workers = len(ids)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					slots[i].res, slots[i].tim, slots[i].err = RunOne(ids[i], opts)
+				}
+			}()
+		}
+		for i := range ids {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	results := make([]*Result, len(ids))
+	var total Timing
+	var firstErr error
+	for i := range slots {
+		if slots[i].err != nil && firstErr == nil {
+			firstErr = slots[i].err
+		}
+		results[i] = slots[i].res
+		total.SimWall += slots[i].tim.SimWall
+		total.Rounds += slots[i].tim.Rounds
+	}
+	if firstErr != nil {
+		return nil, Timing{}, firstErr
+	}
+	return results, total, nil
+}
+
+// Report is the serialised envelope of a registry run: the JSON schema
+// cliquebench emits, CI archives, and the BENCH_*.json perf trajectory
+// stores. Everything outside Throughput is deterministic.
+type Report struct {
+	Schema  string `json:"schema"`
+	Backend string `json:"backend"`
+	// Quick records whether reduced sizes were used; quick and full
+	// reports are not comparable.
+	Quick       bool      `json:"quick,omitempty"`
+	Experiments []*Result `json:"experiments"`
+	// Throughput is only attached when the caller asked for timing
+	// (cliquebench -timing); without it the whole Report is
+	// bit-identical run to run and across -parallel settings.
+	Throughput *Throughput `json:"throughput,omitempty"`
+}
+
+// Throughput is the measured simulator performance of one run. WallNS
+// sums wall-clock spent inside simulated runs across all workers, so
+// comparisons are only meaningful between runs with the same Workers
+// value (the CI gate pins it).
+type Throughput struct {
+	SimRounds    int64   `json:"sim_rounds"`
+	WallNS       int64   `json:"wall_ns"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	Workers      int     `json:"workers,omitempty"`
+}
+
+// NewReport assembles the envelope; pass withTiming=false for
+// deterministic output.
+func NewReport(backend string, opts Options, results []*Result, tim Timing, withTiming bool) *Report {
+	r := &Report{Schema: SchemaVersion, Backend: backend, Quick: opts.Quick, Experiments: results}
+	if withTiming {
+		workers := opts.Parallel
+		if workers < 2 {
+			workers = 1
+		}
+		r.Throughput = &Throughput{
+			SimRounds:    tim.Rounds,
+			WallNS:       tim.SimWall.Nanoseconds(),
+			RoundsPerSec: tim.RoundsPerSec(),
+			Workers:      workers,
+		}
+	}
+	return r
+}
+
+// Regression is one warning produced by Compare.
+type Regression struct {
+	// What identifies the degraded quantity.
+	What string
+	// Baseline and Current are the compared values.
+	Baseline, Current float64
+}
+
+func (r Regression) String() string {
+	switch {
+	case r.Baseline == 0 && r.Current == 0:
+		return r.What
+	case r.Baseline == 0:
+		return fmt.Sprintf("%s: baseline 0, current %.0f", r.What, r.Current)
+	}
+	return fmt.Sprintf("%s: baseline %.0f, current %.0f (%+.1f%%)",
+		r.What, r.Baseline, r.Current, 100*(r.Current-r.Baseline)/r.Baseline)
+}
+
+// Compare checks a fresh report against a stored baseline and returns
+// warnings for simulator throughput regressions beyond threshold
+// (0.25 = warn when >25% slower) and for any change in deterministic
+// model costs — the latter with threshold 0, since model costs only
+// move when an algorithm changed. It never fails a build on its own;
+// CI surfaces the returned warnings.
+func Compare(baseline, current *Report, threshold float64) []Regression {
+	var warns []Regression
+	if baseline.Schema != current.Schema {
+		warns = append(warns, Regression{What: fmt.Sprintf("schema mismatch: baseline %q vs current %q", baseline.Schema, current.Schema)})
+		return warns
+	}
+	if baseline.Quick != current.Quick {
+		warns = append(warns, Regression{What: "quick-mode mismatch: baseline and current report are not comparable"})
+		return warns
+	}
+	if baseline.Throughput != nil && current.Throughput != nil {
+		switch {
+		case baseline.Throughput.Workers != current.Throughput.Workers:
+			warns = append(warns, Regression{What: fmt.Sprintf(
+				"worker-count mismatch (baseline %d, current %d): throughput not compared",
+				baseline.Throughput.Workers, current.Throughput.Workers)})
+		case baseline.Throughput.RoundsPerSec > 0 &&
+			current.Throughput.RoundsPerSec < baseline.Throughput.RoundsPerSec*(1-threshold):
+			warns = append(warns, Regression{
+				What:     fmt.Sprintf("simulator throughput (rounds/sec, %s backend)", current.Backend),
+				Baseline: baseline.Throughput.RoundsPerSec,
+				Current:  current.Throughput.RoundsPerSec,
+			})
+		}
+	}
+	base := map[string]*Result{}
+	for _, r := range baseline.Experiments {
+		base[r.ID] = r
+	}
+	var ids []string
+	for _, r := range current.Experiments {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	cur := map[string]*Result{}
+	for _, r := range current.Experiments {
+		cur[r.ID] = r
+	}
+	for _, id := range ids {
+		b, ok := base[id]
+		if !ok {
+			continue // new experiment: nothing to compare
+		}
+		c := cur[id]
+		if b.Sim.Rounds != c.Sim.Rounds {
+			warns = append(warns, Regression{
+				What:     fmt.Sprintf("%s: model cost changed (simulated rounds)", id),
+				Baseline: float64(b.Sim.Rounds), Current: float64(c.Sim.Rounds),
+			})
+		}
+	}
+	// A tracked experiment vanishing from the report is itself a
+	// coverage regression (renamed, unregistered, or a subset run).
+	var missing []string
+	for _, r := range baseline.Experiments {
+		if _, ok := cur[r.ID]; !ok {
+			missing = append(missing, r.ID)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		warns = append(warns, Regression{What: fmt.Sprintf(
+			"baseline experiments missing from the current report: %s", strings.Join(missing, ", "))})
+	}
+	return warns
+}

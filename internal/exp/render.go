@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteText renders the report in the human-readable cliquebench
+// format: a banner per experiment, aligned tables, notes, and (when a
+// Throughput is attached) the trailing simulator summary line.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "backend: %s\n", r.Backend)
+	for _, res := range r.Experiments {
+		res.WriteText(w)
+	}
+	if t := r.Throughput; t != nil && t.SimRounds > 0 && t.WallNS > 0 {
+		fmt.Fprintf(w, "\nsimulator: %d rounds in %v on the %s backend (%.0f rounds/sec)\n",
+			t.SimRounds, time.Duration(t.WallNS).Round(time.Microsecond), r.Backend, t.RoundsPerSec)
+	}
+}
+
+// WriteText renders one experiment as in the classic report.
+func (res *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "\n===== %s: %s =====\n", res.Artefact, res.Title)
+	for _, t := range res.Tables {
+		if t.Name != "" {
+			fmt.Fprintf(w, "%s:\n", t.Name)
+		}
+		t.writeText(w)
+	}
+	for _, n := range res.Notes {
+		fmt.Fprintln(w, n)
+	}
+}
+
+// writeText prints the table with each column padded to its widest
+// cell. String columns are left-aligned, numeric and boolean columns
+// right-aligned, matching the old hand-written printf layouts.
+func (t *Table) writeText(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	leftAlign := make([]bool, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				break
+			}
+			if len(cell.Text) > widths[i] {
+				widths[i] = len(cell.Text)
+			}
+			if cell.Kind == KindString {
+				leftAlign[i] = true
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(texts func(i int) string) {
+		sb.Reset()
+		for i := range t.Columns {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			text := texts(i)
+			pad := widths[i] - len(text)
+			if pad < 0 {
+				pad = 0
+			}
+			if leftAlign[i] {
+				sb.WriteString(text)
+				if i < len(t.Columns)-1 {
+					sb.WriteString(strings.Repeat(" ", pad))
+				}
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(text)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	writeRow(func(i int) string { return t.Columns[i] })
+	for _, row := range t.Rows {
+		r := row
+		writeRow(func(i int) string {
+			if i < len(r) {
+				return r[i].Text
+			}
+			return ""
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/domset"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/matmul"
+	"repro/internal/paths"
+	"repro/internal/subgraph"
+	"repro/internal/vcover"
+)
+
+// Workload is one simulated algorithm on a generated instance,
+// parameterised by n. The Figure 1 experiment, the root BenchmarkFig1
+// benchmark families, and any future caller all draw from the same
+// slice, so the report and the benchmarks cannot drift apart.
+type Workload struct {
+	// Key is the fine-grained map key ("" when the problem has no
+	// Figure 1 entry to check against).
+	Key string
+	// Name is the display name used in the E1 table and as the
+	// benchmark sub-name.
+	Name string
+	// WPP is the per-pair word budget the workload is run with.
+	WPP int
+	// Make builds the instance for a given n and returns the node
+	// program. Instance generation is deterministic in n.
+	Make func(n int) clique.NodeFunc
+}
+
+// Fig1Workloads returns the E1 probe set in table order.
+func Fig1Workloads() []Workload {
+	return []Workload{
+		{"semiring-mm", "Boolean MM (3D)", 8, func(n int) clique.NodeFunc {
+			g := graph.Gnp(n, 0.5, uint64(n))
+			return func(nd *clique.Node) {
+				row := matmul.AdjacencyRow(g, nd.ID())
+				matmul.Mul3D(nd, matmul.Boolean{}, row, row)
+			}
+		}},
+		{"", "Boolean MM (naive)", 8, func(n int) clique.NodeFunc {
+			g := graph.Gnp(n, 0.5, uint64(n))
+			return func(nd *clique.Node) {
+				row := matmul.AdjacencyRow(g, nd.ID())
+				matmul.MulNaive(nd, matmul.Boolean{}, row, row)
+			}
+		}},
+		{"apsp-w-ud", "APSP w/ud (min,+ squaring)", 8, func(n int) clique.NodeFunc {
+			g := graph.GnpWeighted(n, 0.3, 40, false, uint64(n))
+			return func(nd *clique.Node) {
+				paths.APSP(nd, g.W[nd.ID()], matmul.Mul3D)
+			}
+		}},
+		{"triangle", "Triangle detection", 8, func(n int) clique.NodeFunc {
+			g := graph.Gnp(n, 0.2, uint64(n))
+			return func(nd *clique.Node) {
+				subgraph.DetectTriangle(nd, g.Row(nd.ID()))
+			}
+		}},
+		{"k-is", "3-IS detection", 8, func(n int) clique.NodeFunc {
+			g := graph.Gnp(n, 0.6, uint64(n))
+			return func(nd *clique.Node) {
+				subgraph.DetectIndependentSet(nd, g.Row(nd.ID()), 3)
+			}
+		}},
+		{"k-ds", "3-DS (Theorem 9)", 8, func(n int) clique.NodeFunc {
+			g, _ := graph.PlantedDominatingSet(n, 3, 0.1, uint64(n))
+			return func(nd *clique.Node) {
+				domset.Find(nd, g.Row(nd.ID()), 3)
+			}
+		}},
+		{"k-vc", "3-VC (Theorem 11)", 1, func(n int) clique.NodeFunc {
+			g, _ := graph.PlantedVertexCover(n, 3, 0.4, uint64(n))
+			return func(nd *clique.Node) {
+				vcover.Find(nd, g.Row(nd.ID()), 3)
+			}
+		}},
+		{"maxis", "MaxIS (full gather)", 1, func(n int) clique.NodeFunc {
+			g := graph.Gnp(n, 0.92, uint64(n)) // dense: keeps alpha tiny, local solve fast
+			return func(nd *clique.Node) {
+				gather.MaxIndependentSetSize(nd, g.Row(nd.ID()))
+			}
+		}},
+	}
+}
+
+// Fig1Workload looks one probe up by display name, for benchmark
+// families that benchmark a single problem.
+func Fig1Workload(name string) (Workload, error) {
+	for _, w := range Fig1Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("exp: no Figure 1 workload named %q", name)
+}
