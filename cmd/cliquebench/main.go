@@ -8,6 +8,7 @@
 //
 //	cliquebench                               # full text report
 //	cliquebench -exp fig1,thm9                # a subset
+//	cliquebench -list -format=json            # registry listing, no runs
 //	cliquebench -format=json -parallel=4      # machine-readable report
 //	cliquebench -format=json -timing          # + measured rounds/sec
 //	cliquebench -compare BENCH_baseline.json  # warn on perf regressions
@@ -22,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -39,6 +41,7 @@ func main() {
 	timing := flag.Bool("timing", false, "attach measured simulator throughput to JSON output (text always reports it)")
 	compare := flag.String("compare", "", "baseline report JSON to compare this run against (warn-only)")
 	threshold := flag.Float64("regress-threshold", 0.25, "rounds/sec regression fraction that triggers a -compare warning")
+	list := flag.Bool("list", false, "print the experiment registry (id, artefact, title) and exit without running anything")
 	flag.Parse()
 	if *backend == "" {
 		*backend = clique.DefaultBackend
@@ -46,6 +49,13 @@ func main() {
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
 		os.Exit(2)
+	}
+	if *list {
+		if err := writeList(os.Stdout, *format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids, err := exp.Resolve(*expFlag)
@@ -68,9 +78,7 @@ func main() {
 		exp.NewReport(*backend, opts, results, tim, true).WriteText(os.Stdout)
 	case "json":
 		report := exp.NewReport(*backend, opts, results, tim, *timing)
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
+		if err := report.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -85,6 +93,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeList prints the registry without running anything. The JSON
+// shape is exp.Info — the same one GET /v1/experiments of the cliqued
+// service returns and cmd/genexperiments regenerates the
+// EXPERIMENTS.md table from.
+func writeList(w io.Writer, format string) error {
+	infos := exp.Infos()
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"experiments": infos})
+	}
+	wid, wart := 0, 0
+	for _, e := range infos {
+		wid, wart = max(wid, len(e.ID)), max(wart, len(e.Artefact))
+	}
+	for _, e := range infos {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %s\n", wid, e.ID, wart, e.Artefact, e.Title); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // compareBaseline warns — never fails — when the current run regressed

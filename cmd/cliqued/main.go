@@ -1,0 +1,106 @@
+// Command cliqued is the long-running congested clique simulation
+// service: an HTTP/JSON daemon over the internal/exp experiment
+// registry and the internal/clique simulator (package serve has the
+// full endpoint and architecture documentation).
+//
+// Usage:
+//
+//	cliqued                             # serve on :8347
+//	cliqued -addr :9000 -workers 4      # explicit socket and pool width
+//	cliqued -backend goroutine          # default engine for requests
+//
+// Quickstart against a running daemon:
+//
+//	curl localhost:8347/healthz
+//	curl localhost:8347/v1/experiments
+//	curl -X POST localhost:8347/v1/experiments/fig1:run -d '{"quick":true}'
+//	curl -X POST localhost:8347/v1/run -d '{"algorithm":"triangle","n":64,"seed":7}'
+//	curl -N 'localhost:8347/v1/experiments/thm9:run?stream=sse' -X POST
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, queued and
+// running jobs finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"slices"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "job worker pool width (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "bounded job queue depth (full queue answers 503)")
+	cacheEntries := flag.Int("cache", 256, "completed-result cache capacity (FIFO eviction)")
+	backend := flag.String("backend", "lockstep",
+		"default execution backend for requests that name none ("+strings.Join(serve.Backends(), ", ")+")")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
+	flag.Parse()
+
+	// Catch an operator typo at boot, not as a 400 on every request.
+	if !slices.Contains(serve.Backends(), *backend) {
+		log.Fatalf("cliqued: unknown -backend %q (have: %s)", *backend, strings.Join(serve.Backends(), ", "))
+	}
+
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultBackend: *backend,
+	})
+	// Make the service counters visible to standard expvar tooling as
+	// well as at the service's own /metrics endpoint.
+	expvar.Publish("cliqued", s.Vars())
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	workersLabel := "auto"
+	if *workers > 0 {
+		workersLabel = fmt.Sprint(*workers)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("cliqued: serving on %s (workers=%s, queue=%d, cache=%d, backend=%s)",
+			*addr, workersLabel, *queue, *cacheEntries, *backend)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("cliqued: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("cliqued: shutting down (drain %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("cliqued: http shutdown: %v", err)
+	}
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Printf("cliqued: job drain: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("cliqued: listener: %v", err)
+	}
+	fmt.Println("cliqued: bye")
+}

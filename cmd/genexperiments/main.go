@@ -1,0 +1,78 @@
+// Command genexperiments regenerates the experiment table of
+// EXPERIMENTS.md from the internal/exp registry, so the document can
+// never drift from the code: the table between the BEGIN/END GENERATED
+// markers is owned by this tool (the same listing `cliquebench -list`
+// prints), and CI runs `genexperiments -check` to fail the build when
+// the committed file does not match the registry.
+//
+// Usage:
+//
+//	go run ./cmd/genexperiments           # rewrite EXPERIMENTS.md in place
+//	go run ./cmd/genexperiments -check    # verify, exit 1 on drift
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+const (
+	beginMarker = "<!-- BEGIN GENERATED EXPERIMENT TABLE (go run ./cmd/genexperiments; do not edit by hand) -->"
+	endMarker   = "<!-- END GENERATED EXPERIMENT TABLE -->"
+)
+
+// table renders the registry as the generated markdown block.
+func table() string {
+	var sb strings.Builder
+	sb.WriteString(beginMarker)
+	sb.WriteString("\n| cliquebench `-exp` | paper artefact | title |\n")
+	sb.WriteString("|--------------------|----------------|-------|\n")
+	for _, e := range exp.Infos() {
+		fmt.Fprintf(&sb, "| `%s` | %s | %s |\n", e.ID, e.Artefact, e.Title)
+	}
+	sb.WriteString(endMarker)
+	return sb.String()
+}
+
+func main() {
+	file := flag.String("file", "EXPERIMENTS.md", "markdown file holding the generated block")
+	check := flag.Bool("check", false, "verify the committed file matches the registry instead of rewriting it")
+	flag.Parse()
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	text := string(data)
+	begin := strings.Index(text, beginMarker)
+	end := strings.Index(text, endMarker)
+	if begin < 0 || end < 0 || end < begin {
+		fmt.Fprintf(os.Stderr, "genexperiments: %s has no generated block (markers missing or out of order)\n", *file)
+		os.Exit(1)
+	}
+	updated := text[:begin] + table() + text[end+len(endMarker):]
+
+	if *check {
+		if updated != text {
+			fmt.Fprintf(os.Stderr,
+				"genexperiments: %s is stale relative to the internal/exp registry.\nRun: go run ./cmd/genexperiments\n", *file)
+			os.Exit(1)
+		}
+		fmt.Printf("genexperiments: %s matches the registry (%d experiments)\n", *file, len(exp.All()))
+		return
+	}
+	if updated == text {
+		fmt.Printf("genexperiments: %s already up to date\n", *file)
+		return
+	}
+	if err := os.WriteFile(*file, []byte(updated), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("genexperiments: rewrote the experiment table in %s (%d experiments)\n", *file, len(exp.All()))
+}

@@ -1,26 +1,3 @@
-// Package clique implements a synchronous congested clique simulator.
-//
-// The model follows Korhonen and Suomela, "Towards a complexity theory for
-// the congested clique" (SPAA 2018), Section 3: n nodes, fully connected,
-// computation proceeds in synchronous rounds, and in each round every
-// ordered pair of nodes may exchange an O(log n)-bit message. The simulator
-// measures messages in words; a word is any uint64 whose value the calling
-// algorithm can justify as poly(n)-bounded (a node id, an id pair, an edge
-// weight, a counter). Config.WordsPerPair bounds how many words a single
-// ordered pair may carry per round; exceeding the budget aborts the run
-// with an error, because it means the algorithm does not fit the model.
-//
-// Algorithms are written in a blocking style: each node executes a
-// NodeFunc, queues messages with Send or Broadcast, and calls Tick to
-// advance to the next synchronous round. Local computation between Ticks
-// is unlimited, matching the model.
-//
-// How the n node programs are actually scheduled is the job of an
-// execution backend (package engine), selected with Config.Backend:
-// "goroutine" runs one goroutine per node with a barrier per round, and
-// "lockstep" resumes the programs as coroutines on a sharded worker pool
-// with reused mailbox buffers. The two are result-identical; lockstep is
-// deterministic and much faster at large n.
 package clique
 
 import (
@@ -33,6 +10,12 @@ import (
 // algorithm in this repository terminates within O(n) rounds for the
 // instance sizes we simulate.
 const DefaultMaxRounds = engine.DefaultMaxRounds
+
+// MaxN and MaxWordsPerPair bound a run's shape; see package engine.
+const (
+	MaxN            = engine.MaxN
+	MaxWordsPerPair = engine.MaxWordsPerPair
+)
 
 // Config describes a simulated congested clique network.
 type Config struct {
@@ -78,21 +61,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. The model
+// fields are checked by the engine config they translate to (one copy
+// of the bounds and error strings); backend naming is checked here.
 func (c Config) Validate() error {
-	if c.N < 1 {
-		return fmt.Errorf("clique: config N = %d, need N >= 1", c.N)
-	}
-	if c.WordsPerPair < 0 {
-		return fmt.Errorf("clique: config WordsPerPair = %d, need >= 0", c.WordsPerPair)
-	}
-	if c.MaxRounds < 0 {
-		return fmt.Errorf("clique: config MaxRounds = %d, need >= 0", c.MaxRounds)
+	if err := c.engineConfig().Validate(); err != nil {
+		return err
 	}
 	if _, err := engine.New(c.Backend); err != nil {
 		return fmt.Errorf("clique: %w", err)
 	}
 	return nil
+}
+
+// engineConfig translates the model fields for package engine.
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
+		N:                c.N,
+		WordsPerPair:     c.WordsPerPair,
+		MaxRounds:        c.MaxRounds,
+		RecordTranscript: c.RecordTranscript,
+		BroadcastOnly:    c.BroadcastOnly,
+	}
 }
 
 // WordBits returns the number of bits the model charges for one word on an
@@ -132,14 +122,7 @@ func Run(cfg Config, f NodeFunc) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("clique: %w", err)
 	}
-	ecfg := engine.Config{
-		N:                cfg.N,
-		WordsPerPair:     cfg.WordsPerPair,
-		MaxRounds:        cfg.MaxRounds,
-		RecordTranscript: cfg.RecordTranscript,
-		BroadcastOnly:    cfg.BroadcastOnly,
-	}
-	return be.Run(ecfg, func(id int, rt engine.NodeRuntime) {
+	return be.Run(cfg.engineConfig(), func(id int, rt engine.NodeRuntime) {
 		f(&Node{id: id, n: cfg.N, wpp: cfg.WordsPerPair, rt: rt})
 	})
 }

@@ -1,0 +1,24 @@
+// Package clique implements a synchronous congested clique simulator.
+//
+// The model follows Korhonen and Suomela, "Towards a complexity theory for
+// the congested clique" (SPAA 2018), Section 3: n nodes, fully connected,
+// computation proceeds in synchronous rounds, and in each round every
+// ordered pair of nodes may exchange an O(log n)-bit message. The simulator
+// measures messages in words; a word is any uint64 whose value the calling
+// algorithm can justify as poly(n)-bounded (a node id, an id pair, an edge
+// weight, a counter). Config.WordsPerPair bounds how many words a single
+// ordered pair may carry per round; exceeding the budget aborts the run
+// with an error, because it means the algorithm does not fit the model.
+//
+// Algorithms are written in a blocking style: each node executes a
+// NodeFunc, queues messages with Send or Broadcast, and calls Tick to
+// advance to the next synchronous round. Local computation between Ticks
+// is unlimited, matching the model.
+//
+// How the n node programs are actually scheduled is the job of an
+// execution backend (package engine), selected with Config.Backend:
+// "goroutine" runs one goroutine per node with a barrier per round, and
+// "lockstep" resumes the programs as coroutines on a sharded worker pool
+// with reused mailbox buffers. The two are result-identical; lockstep is
+// deterministic and much faster at large n.
+package clique

@@ -1,0 +1,6 @@
+// Package core ties the repository together as the paper's complexity
+// theory: decision problems, the deterministic and nondeterministic
+// complexity classes CLIQUE(T) and NCLIQUE(T), conformance checking of
+// distributed solvers against centralized oracles, and the canonical
+// edge labelling problems of Theorem 6 that capture all of NCLIQUE(1).
+package core

@@ -1,0 +1,20 @@
+// Package counting implements Section 4's machinery: the protocol
+// counting bound of Lemma 1 (after Applebaum et al. [1]) and the
+// inequality arithmetic behind the time hierarchy theorems (Theorem 2),
+// their nondeterministic extension (Theorem 4 / Corollary 5), and the
+// logarithmic-hierarchy separation (Theorem 8).
+//
+// A (n, b, L, t)-protocol has n nodes, b bits of bandwidth per ordered
+// pair per round, L private input bits per node and t rounds; all nodes
+// must output the same bit. Lemma 1 bounds the number of distinct
+// protocols by
+//
+//	2^(2 b n^2) * 2^(2^(L + b t (n-1))),
+//
+// while the number of functions f : {0,1}^{nL} -> {0,1} is 2^(2^(nL)).
+// Whenever the former is smaller, some function has no protocol — a
+// "hard function" — and the hierarchy theorems pick their languages from
+// exactly such functions. All quantities here are handled as base-2
+// logarithms in big.Int form (the numbers themselves are doubly
+// exponential).
+package counting

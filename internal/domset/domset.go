@@ -1,14 +1,3 @@
-// Package domset implements Theorem 9 of the paper: a dominating set of
-// size k can be found in O(n^{1-1/k}) rounds in the congested clique.
-//
-// The algorithm is the paper's modification of the Dolev et al. subgraph
-// search: with the partition scheme of package partition, the node
-// labelled (j_1, ..., j_k) learns all edges *incident* to
-// S_v = S_{j_1} u ... u S_{j_k} — O(k n^{2-1/k}) words, delivered in
-// O(n^{1-1/k}) rounds via the routing substrate — and then locally checks
-// whether some k-subset of S_v dominates the whole graph. If a dominating
-// set D = {v_1, ..., v_k} exists with v_i in part j_i, the node labelled
-// (j_1, ..., j_k) finds it.
 package domset
 
 import (

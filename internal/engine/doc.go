@@ -1,0 +1,23 @@
+// Package engine provides pluggable execution backends for the congested
+// clique simulator. A backend schedules the n node programs of one run,
+// synchronises them at round barriers, performs the all-to-all message
+// exchange, and enforces the model's rules: per-pair word budgets, the
+// broadcast-only restriction, the round limit, and (optionally) per-node
+// communication transcripts.
+//
+// Package clique owns the node-side API (clique.Node, clique.Run); this
+// package owns execution. Two backends are provided:
+//
+//   - "goroutine": one goroutine per node with a condition-variable
+//     barrier per round. This is the original engine; it is simple and
+//     the reference for semantics.
+//   - "lockstep": a deterministic engine that resumes node programs as
+//     pull-style coroutines on a sharded worker pool, with preallocated
+//     mailbox buffers that are reused across rounds. No per-round
+//     allocation on the exchange path and no contended barrier, which
+//     makes large instances (n >= 256) practical.
+//
+// Both backends are required to be result- and round-count-identical for
+// every node program; the cross-backend tests in the repository root
+// enforce this.
+package engine

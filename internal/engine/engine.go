@@ -1,25 +1,3 @@
-// Package engine provides pluggable execution backends for the congested
-// clique simulator. A backend schedules the n node programs of one run,
-// synchronises them at round barriers, performs the all-to-all message
-// exchange, and enforces the model's rules: per-pair word budgets, the
-// broadcast-only restriction, the round limit, and (optionally) per-node
-// communication transcripts.
-//
-// Package clique owns the node-side API (clique.Node, clique.Run); this
-// package owns execution. Two backends are provided:
-//
-//   - "goroutine": one goroutine per node with a condition-variable
-//     barrier per round. This is the original engine; it is simple and
-//     the reference for semantics.
-//   - "lockstep": a deterministic engine that resumes node programs as
-//     pull-style coroutines on a sharded worker pool, with preallocated
-//     mailbox buffers that are reused across rounds. No per-round
-//     allocation on the exchange path and no contended barrier, which
-//     makes large instances (n >= 256) practical.
-//
-// Both backends are required to be result- and round-count-identical for
-// every node program; the cross-backend tests in the repository root
-// enforce this.
 package engine
 
 import (
@@ -51,6 +29,16 @@ type Config struct {
 // instance sizes we simulate.
 const DefaultMaxRounds = 1 << 20
 
+// MaxN and MaxWordsPerPair bound a single run's shape. They are far
+// beyond anything simulatable (a 65536-node clique has 2^32 ordered
+// pairs) but small enough that mailbox size arithmetic (n*n*wpp, in
+// int64) cannot overflow — important now that config values can arrive
+// from the network via the cliqued daemon.
+const (
+	MaxN            = 1 << 16
+	MaxWordsPerPair = 1 << 24
+)
+
 func (c Config) withDefaults() Config {
 	if c.WordsPerPair == 0 {
 		c.WordsPerPair = 1
@@ -66,8 +54,14 @@ func (c Config) Validate() error {
 	if c.N < 1 {
 		return fmt.Errorf("clique: config N = %d, need N >= 1", c.N)
 	}
+	if c.N > MaxN {
+		return fmt.Errorf("clique: config N = %d exceeds the maximum %d", c.N, MaxN)
+	}
 	if c.WordsPerPair < 0 {
 		return fmt.Errorf("clique: config WordsPerPair = %d, need >= 0", c.WordsPerPair)
+	}
+	if c.WordsPerPair > MaxWordsPerPair {
+		return fmt.Errorf("clique: config WordsPerPair = %d exceeds the maximum %d", c.WordsPerPair, MaxWordsPerPair)
 	}
 	if c.MaxRounds < 0 {
 		return fmt.Errorf("clique: config MaxRounds = %d, need >= 0", c.MaxRounds)

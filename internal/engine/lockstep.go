@@ -68,6 +68,9 @@ type mailbox interface {
 	// per-pair high-water mark, tracked incrementally at send time so
 	// no per-cell statistics pass is needed. Scheduler only.
 	exchange() (cumWords int64, maxPair int)
+	// reset returns the box to its just-allocated state so a pooled box
+	// can be reused by a fresh run (see pool.go).
+	reset()
 }
 
 // arenaBox stores each ordered pair's words in a fixed block of wpp
@@ -221,6 +224,14 @@ func (b *arenaBox) exchange() (int64, int) {
 	return foldSent(b.sent)
 }
 
+func (b *arenaBox) reset() {
+	// The word arenas need no clearing: words past a cell's recorded
+	// length are unreachable, and lengths are zeroed here.
+	clear(b.outL)
+	clear(b.inL)
+	clear(b.sent)
+}
+
 // sliceBox is the dynamically-sized fallback: flat from-major cell
 // tables whose cells are reset by length and keep their capacity.
 type sliceBox struct {
@@ -307,6 +318,22 @@ func (b *sliceBox) exchange() (int64, int) {
 	return foldSent(b.sent)
 }
 
+func (b *sliceBox) reset() {
+	// Cells keep their backing arrays (that is the point of reuse);
+	// only lengths and accounting are cleared.
+	for i, c := range b.out {
+		if len(c) != 0 {
+			b.out[i] = c[:0]
+		}
+	}
+	for i, c := range b.in {
+		if len(c) != 0 {
+			b.in[i] = c[:0]
+		}
+	}
+	clear(b.sent)
+}
+
 type lockstepEngine struct {
 	cfg Config
 	n   int
@@ -343,11 +370,11 @@ func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Resu
 	n := cfg.N
 
 	e := &lockstepEngine{cfg: cfg, n: n}
-	if n*n*cfg.WordsPerPair <= arenaThresholdWords {
-		e.box = newArenaBox(n, cfg.WordsPerPair)
-	} else {
-		e.box = newSliceBox(n, cfg.WordsPerPair)
-	}
+	e.box = getBox(n, cfg.WordsPerPair)
+	// Retire the mailbox to the pool once every coroutine has unwound
+	// (the stop defer below runs first, LIFO): node programs may touch
+	// their rows right up to the Abort that unwinds them.
+	defer func() { putBox(e.box) }()
 	e.rows = make([][][]uint64, n)
 	e.yield = make([]func(struct{}) bool, n)
 	e.next = make([]func() (struct{}, bool), n)

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mailbox pooling: the lockstep engine's dominant allocation is its
+// double-buffered mailbox storage (two n*n*wpp word arenas plus length
+// tables, or the sliceBox cell tables). A long-running process such as
+// the cliqued daemon executes many runs with a handful of recurring
+// (n, wpp) shapes, so retiring boxes to a per-shape pool instead of the
+// garbage collector removes the largest per-run allocation entirely.
+//
+// Reuse is sound because the node-side API already declares every
+// engine-owned slice (Recv, RecvAll) invalid after the run: transcripts
+// are deep-copied at record time and Stats are plain values, so nothing
+// a well-behaved caller retains aliases pooled memory.
+
+// boxKey identifies one reusable mailbox shape. n and wpp fix every
+// buffer size; the two storage layouts are pooled separately because a
+// box must be reused as the type it was built as.
+type boxKey struct {
+	n, wpp int
+	arena  bool
+}
+
+var (
+	boxPools     sync.Map // boxKey -> *sync.Pool
+	boxPoolHits  atomic.Int64
+	boxPoolMiss  atomic.Int64
+	boxPoolStops atomic.Bool
+)
+
+// DisableMailboxPool turns pooling off process-wide (every acquire
+// allocates fresh). It exists for A/B benchmarking and for tests that
+// need allocation isolation; production callers never need it.
+func DisableMailboxPool(off bool) { boxPoolStops.Store(off) }
+
+// PoolStats reports how many lockstep runs reused a pooled mailbox and
+// how many had to allocate one. The split is a cheap health signal for
+// long-running services: a hot serving loop should converge to hits.
+func PoolStats() (hits, misses int64) {
+	return boxPoolHits.Load(), boxPoolMiss.Load()
+}
+
+func boxPoolFor(key boxKey) *sync.Pool {
+	if p, ok := boxPools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := boxPools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// getBox returns a mailbox for the given shape, reusing a pooled one
+// when available. The returned box is always fully reset. The int64
+// product cannot overflow: Config.Validate caps n and wpp at
+// MaxN/MaxWordsPerPair (2^32 * 2^24 < 2^63).
+func getBox(n, wpp int) mailbox {
+	arena := int64(n)*int64(n)*int64(wpp) <= arenaThresholdWords
+	if !boxPoolStops.Load() {
+		key := boxKey{n: n, wpp: wpp, arena: arena}
+		if b, _ := boxPoolFor(key).Get().(mailbox); b != nil {
+			boxPoolHits.Add(1)
+			b.reset()
+			return b
+		}
+	}
+	boxPoolMiss.Add(1)
+	if arena {
+		return newArenaBox(n, wpp)
+	}
+	return newSliceBox(n, wpp)
+}
+
+// putBox retires a run's mailbox to the pool for the next run of the
+// same shape.
+func putBox(b mailbox) {
+	if boxPoolStops.Load() {
+		return
+	}
+	switch x := b.(type) {
+	case *arenaBox:
+		boxPoolFor(boxKey{n: x.n, wpp: x.wpp, arena: true}).Put(b)
+	case *sliceBox:
+		boxPoolFor(boxKey{n: x.n, wpp: x.wpp, arena: false}).Put(b)
+	}
+}

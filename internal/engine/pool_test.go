@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"testing"
+)
+
+// exchangeBody is a tiny broadcast-heavy node program used to exercise
+// the mailbox across several rounds.
+func exchangeBody(rounds int) func(id int, rt NodeRuntime) {
+	return func(id int, rt NodeRuntime) {
+		for r := 0; r < rounds; r++ {
+			rt.Broadcast(id, r, []uint64{uint64(id<<8 | r)})
+			rt.Barrier(id)
+		}
+	}
+}
+
+// TestMailboxPoolReuse pins that back-to-back lockstep runs of the same
+// shape reuse the pooled mailbox rather than allocating a fresh one.
+func TestMailboxPoolReuse(t *testing.T) {
+	be := lockstepBackend{}
+	cfg := Config{N: 16, WordsPerPair: 2}
+
+	run := func() *Result {
+		res, err := be.Run(cfg, exchangeBody(3))
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+
+	first := run()
+	second := run()
+	if first.Stats != second.Stats {
+		t.Fatalf("pooled rerun changed stats: %+v vs %+v", first.Stats, second.Stats)
+	}
+
+	// Reuse is asserted via the hit counter rather than object
+	// identity: sync.Pool may legitimately drop a Put item at any GC,
+	// so a single-shot identity check would be a latent flake. A GC
+	// landing inside the put-then-get window on five consecutive
+	// attempts is not a plausible accident.
+	reused := false
+	for attempt := 0; attempt < 5 && !reused; attempt++ {
+		h0, _ := PoolStats()
+		putBox(getBox(16, 2))
+		getBox(16, 2)
+		h1, _ := PoolStats()
+		reused = h1 == h0+1
+	}
+	if !reused {
+		t.Fatal("putBox/getBox never reused the pooled mailbox in 5 attempts")
+	}
+}
+
+// TestMailboxPoolResetIsolation pins that a reused mailbox leaks
+// nothing from the previous run: a quiet round after a noisy run must
+// observe an empty inbox, and stats must restart from zero.
+func TestMailboxPoolResetIsolation(t *testing.T) {
+	be := lockstepBackend{}
+	cfg := Config{N: 8, WordsPerPair: 4}
+
+	if _, err := be.Run(cfg, exchangeBody(5)); err != nil {
+		t.Fatalf("noisy run: %v", err)
+	}
+
+	sawWords := make([]bool, cfg.N) // one slot per node: race-free
+	res, err := be.Run(cfg, func(id int, rt NodeRuntime) {
+		rt.Barrier(id) // send nothing, then inspect the inbox
+		for from := 0; from < cfg.N; from++ {
+			if from != id && len(rt.Recv(id, from)) != 0 {
+				sawWords[id] = true
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("quiet run: %v", err)
+	}
+	for id, saw := range sawWords {
+		if saw {
+			t.Fatalf("reused mailbox delivered stale words to node %d", id)
+		}
+	}
+	if res.Stats.WordsSent != 0 || res.Stats.MaxPairWords != 0 {
+		t.Fatalf("reused mailbox leaked accounting: %+v", res.Stats)
+	}
+}
+
+// TestMailboxPoolDisable pins the A/B escape hatch.
+func TestMailboxPoolDisable(t *testing.T) {
+	DisableMailboxPool(true)
+	defer DisableMailboxPool(false)
+
+	be := lockstepBackend{}
+	cfg := Config{N: 4, WordsPerPair: 1}
+	if _, err := be.Run(cfg, exchangeBody(2)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h0, _ := PoolStats()
+	if _, err := be.Run(cfg, exchangeBody(2)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h1, _ := PoolStats()
+	if h1 != h0 {
+		t.Fatalf("pool disabled but hit count moved: %d -> %d", h0, h1)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,9 +25,26 @@ type Ctx struct {
 	// bodies consult it through Sizes.
 	Quick bool
 
+	// ctx cancels the experiment between simulated runs; nil means
+	// never (direct Ctx construction in tests). progress, when set, is
+	// told the cumulative SimCost after every simulated run.
+	ctx      context.Context
+	progress func(SimCost)
+
 	res      *Result
 	simWall  time.Duration
 	curTable int
+}
+
+// checkCancelled aborts the experiment when its context has been
+// cancelled; Run and Verify call it before starting a simulated run so
+// cancellation takes effect at the next run boundary.
+func (c *Ctx) checkCancelled() {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			panic(failure{fmt.Errorf("exp %s: %w", c.res.ID, err)})
+		}
+	}
 }
 
 // Sizes returns full in normal mode and quick in Quick mode; bodies
@@ -52,6 +70,7 @@ func (c *Ctx) Failf(format string, args ...any) {
 // experiment makes must go through here or Verify so the rounds/sec
 // summary covers the whole report.
 func (c *Ctx) Run(cfg clique.Config, f clique.NodeFunc) (*clique.Result, error) {
+	c.checkCancelled()
 	cfg.Backend = c.Backend
 	start := time.Now()
 	res, err := clique.Run(cfg, f)
@@ -60,6 +79,9 @@ func (c *Ctx) Run(cfg clique.Config, f clique.NodeFunc) (*clique.Result, error) 
 	if err == nil {
 		c.res.Sim.Rounds += int64(res.Stats.Rounds)
 		c.res.Sim.Words += res.Stats.WordsSent
+	}
+	if c.progress != nil {
+		c.progress(c.res.Sim)
 	}
 	return res, err
 }
@@ -76,6 +98,7 @@ func (c *Ctx) Rounds(n, wpp int, f clique.NodeFunc) int {
 
 // Verify is Run for nondeterministic verifier executions.
 func (c *Ctx) Verify(cfg clique.Config, g *graph.Graph, alg nondet.Algorithm, z nondet.Labelling) (nondet.Verdict, error) {
+	c.checkCancelled()
 	cfg.Backend = c.Backend
 	start := time.Now()
 	v, err := nondet.RunVerifier(cfg, g, alg, z)
@@ -84,6 +107,9 @@ func (c *Ctx) Verify(cfg clique.Config, g *graph.Graph, alg nondet.Algorithm, z 
 	if err == nil {
 		c.res.Sim.Rounds += int64(v.Result.Stats.Rounds)
 		c.res.Sim.Words += v.Result.Stats.WordsSent
+	}
+	if c.progress != nil {
+		c.progress(c.res.Sim)
 	}
 	return v, err
 }

@@ -1,0 +1,14 @@
+// Package exp is the experiment registry: every figure, theorem table,
+// and ablation of EXPERIMENTS.md is a declared Experiment whose Run
+// produces a structured Result (typed tables, model costs in rounds and
+// words, scalar metrics such as fitted exponents) instead of printing.
+//
+// The registry is the single source of truth consumed by three layers
+// that previously each carried their own copy of the experiment list:
+// cmd/cliquebench renders Results as the human-readable report or as
+// schema-stable JSON (the BENCH_*.json perf-trajectory format), the
+// root bench_test.go benchmark families replay the same workloads under
+// `go test -bench`, and CI compares the JSON against a committed
+// baseline. Adding an experiment means one Register call; flag help,
+// dispatch, rendering, and benchmarks all follow.
+package exp

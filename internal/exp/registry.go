@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -66,6 +67,26 @@ func IDs() []string {
 	return ids
 }
 
+// Info is the serialisable registry-listing entry. It is the one shape
+// shared by `cliquebench -list`, the cliqued service's /v1/experiments
+// endpoint, and the cmd/genexperiments table generator, so the three
+// listings cannot drift apart.
+type Info struct {
+	ID       string `json:"id"`
+	Artefact string `json:"artefact"`
+	Title    string `json:"title"`
+}
+
+// Infos returns the registry listing in report order.
+func Infos() []Info {
+	all := All()
+	infos := make([]Info, len(all))
+	for i, e := range all {
+		infos[i] = Info{ID: e.ID, Artefact: e.Artefact, Title: e.Title}
+	}
+	return infos
+}
+
 // Get looks up one experiment by id.
 func Get(id string) (Experiment, bool) {
 	regMu.RLock()
@@ -126,6 +147,13 @@ type Options struct {
 	// Parallel is the worker-pool width; values < 2 run sequentially.
 	// Results keep registry order regardless.
 	Parallel int
+	// Progress, when non-nil, is invoked after every simulated run with
+	// the experiment's cumulative SimCost so far. It is called on the
+	// goroutine executing the experiment; with Parallel > 1 that means
+	// concurrently, so a shared Progress must be safe for concurrent
+	// use. Long-running callers (the cliqued SSE stream) use it to
+	// report liveness without touching the deterministic Result.
+	Progress func(SimCost)
 }
 
 // Timing is the nondeterministic half of a run, kept out of Result so
@@ -145,17 +173,44 @@ func (t Timing) RoundsPerSec() float64 {
 	return float64(t.Rounds) / t.SimWall.Seconds()
 }
 
-// RunOne executes a single experiment.
-func RunOne(id string, opts Options) (res *Result, tim Timing, err error) {
+// RunOne executes a single registered experiment without cancellation.
+func RunOne(id string, opts Options) (*Result, Timing, error) {
+	return RunOneContext(context.Background(), id, opts)
+}
+
+// RunOneContext executes a single registered experiment. Cancelling ctx
+// aborts the experiment at its next simulated-run boundary (individual
+// clique runs are not interrupted mid-flight; they are short relative
+// to any realistic deadline) and returns the context's error.
+func RunOneContext(ctx context.Context, id string, opts Options) (*Result, Timing, error) {
 	e, ok := Get(id)
 	if !ok {
 		return nil, Timing{}, fmt.Errorf("exp: unknown experiment %q", id)
+	}
+	return RunExperiment(ctx, e, opts)
+}
+
+// RunExperiment executes one Experiment value, which need not be in the
+// registry: the cliqued daemon runs ad-hoc algorithm requests by
+// wrapping them as ephemeral Experiments, so they get the same counted
+// Ctx, the same Result envelope, and the same cancellation semantics as
+// registered experiments.
+func RunExperiment(ctx context.Context, e Experiment, opts Options) (res *Result, tim Timing, err error) {
+	if e.ID == "" || e.Run == nil {
+		return nil, Timing{}, fmt.Errorf("exp: experiment %q missing ID or Run", e.ID)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Timing{}, fmt.Errorf("exp %s: %w", e.ID, err)
 	}
 	backend := opts.Backend
 	if backend == "" {
 		backend = clique.DefaultBackend
 	}
 	c := &Ctx{Backend: backend, Quick: opts.Quick,
+		ctx: ctx, progress: opts.Progress,
 		res: &Result{ID: e.ID, Artefact: e.Artefact, Title: e.Title}}
 	defer func() {
 		if r := recover(); r != nil {
@@ -174,12 +229,20 @@ func RunOne(id string, opts Options) (res *Result, tim Timing, err error) {
 	return c.res, Timing{}, nil
 }
 
-// Run executes the given experiments — all independent of each other —
-// on a worker pool of opts.Parallel goroutines and returns their
-// Results in the requested order plus the aggregate Timing. The
-// ordering, and every byte of every Result, is identical whatever the
-// worker count; only Timing varies.
+// Run executes the given experiments without cancellation; see
+// RunContext.
 func Run(ids []string, opts Options) ([]*Result, Timing, error) {
+	return RunContext(context.Background(), ids, opts)
+}
+
+// RunContext executes the given experiments — all independent of each
+// other — on a worker pool of opts.Parallel goroutines and returns
+// their Results in the requested order plus the aggregate Timing. The
+// ordering, and every byte of every Result, is identical whatever the
+// worker count; only Timing varies. Cancelling ctx makes every
+// still-running or not-yet-started experiment fail fast, surfacing the
+// context's error.
+func RunContext(ctx context.Context, ids []string, opts Options) ([]*Result, Timing, error) {
 	type slot struct {
 		res *Result
 		tim Timing
@@ -189,7 +252,7 @@ func Run(ids []string, opts Options) ([]*Result, Timing, error) {
 	workers := opts.Parallel
 	if workers < 2 || len(ids) < 2 {
 		for i, id := range ids {
-			slots[i].res, slots[i].tim, slots[i].err = RunOne(id, opts)
+			slots[i].res, slots[i].tim, slots[i].err = RunOneContext(ctx, id, opts)
 		}
 	} else {
 		if workers > len(ids) {
@@ -202,7 +265,7 @@ func Run(ids []string, opts Options) ([]*Result, Timing, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					slots[i].res, slots[i].tim, slots[i].err = RunOne(ids[i], opts)
+					slots[i].res, slots[i].tim, slots[i].err = RunOneContext(ctx, ids[i], opts)
 				}
 			}()
 		}

@@ -1,11 +1,22 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 )
+
+// WriteJSON serialises the report in the canonical cliquebench/v1
+// wire form: two-space indent, trailing newline. Every producer of the
+// envelope (cliquebench -format=json, the cliqued service) must go
+// through here so their bytes can never diverge.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
 
 // WriteText renders the report in the human-readable cliquebench
 // format: a banner per experiment, aligned tables, notes, and (when a

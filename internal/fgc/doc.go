@@ -1,0 +1,9 @@
+// Package fgc encodes Section 7 of the paper: the fine-grained
+// complexity map of Figure 1. Problems carry two exponent upper bounds —
+// the literature bound the paper cites and the bound realised by an
+// implementation in this repository — and directed relations
+// delta(Lo) <= delta(Hi) (an arrow *to* Lo *from* Hi in the figure).
+// The package can propagate bounds through the relation closure, check
+// the map for internal consistency, fit empirical exponents from
+// measured round counts, and render the map as DOT.
+package fgc

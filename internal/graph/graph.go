@@ -1,8 +1,3 @@
-// Package graph provides the input objects of the congested clique model:
-// simple undirected graphs on the vertex set {0, ..., n-1}, weighted and
-// directed variants for the shortest-path problems of Section 7 of the
-// paper, deterministic generators for test and benchmark instances, and
-// exponential-time brute-force oracles used as ground truth in tests.
 package graph
 
 import (

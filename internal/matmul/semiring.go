@@ -1,16 +1,3 @@
-// Package matmul implements distributed matrix multiplication over
-// semirings in the congested clique, the workhorse of the centre column
-// of Figure 1 of the paper (Boolean MM, ring MM, (min,+) MM, and through
-// them transitive closure and the shortest-path problems).
-//
-// Two communication schedules are provided: the naive all-to-all
-// broadcast at Theta(n) rounds and the 3D block decomposition of
-// Censor-Hillel, Kaski, Korhonen, Lenzen, Paz and Suomela (PODC 2015,
-// reference [10] of the paper) at O(n^{1/3}) rounds for any semiring.
-// The paper additionally cites an O(n^{1-2/omega}) schedule for ring
-// matrix multiplication; we record that as a literature bound in package
-// fgc rather than re-implementing fast bilinear algorithms — see
-// DESIGN.md section 5.
 package matmul
 
 import "repro/internal/graph"

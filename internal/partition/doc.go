@@ -1,0 +1,8 @@
+// Package partition implements the label scheme shared by the Dolev,
+// Lenzen and Peled subgraph-detection algorithm ([16] in the paper) and
+// the paper's Theorem 9 dominating-set algorithm: the vertex set is split
+// into p = floor(n^{1/k}) parts of size ceil(n/p), and each node v is
+// assigned a label l(v) in [p]^k so that every possible label is assigned
+// to some node (p^k <= n). Node v is then responsible for the union
+// S_v = S_{l(v)_1} u ... u S_{l(v)_k}.
+package partition

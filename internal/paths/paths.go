@@ -1,13 +1,3 @@
-// Package paths implements the shortest-path and reachability problems
-// from the left column of Figure 1 of the paper: BFS trees, single-source
-// shortest paths (unweighted/weighted), all-pairs shortest paths via
-// (min,+) matrix squaring, transitive closure via Boolean squaring, and
-// (1+eps)-approximate distances via rounded squaring.
-//
-// Inputs follow the model's convention: every algorithm takes only the
-// calling node's local view (its adjacency or weight row) plus globally
-// known parameters (source id, epsilon), and returns the node's own share
-// of the output.
 package paths
 
 import (

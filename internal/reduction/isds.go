@@ -1,13 +1,3 @@
-// Package reduction implements the fine-grained reductions of Section 7
-// of the paper: the Theorem 10 reduction from k-independent set to
-// k-dominating set with its Figure 2 gadgets, the k-colouring to maximum
-// independent set blow-up, and the Dor-Halperin-Zwick reduction from
-// Boolean matrix multiplication to (2-eps)-approximate APSP. Each
-// reduction comes in two forms: a centralized graph construction (used
-// to validate the combinatorics against brute-force oracles) and an
-// in-model simulation that runs the target algorithm on a virtual clique
-// built over the real one, which is how the paper argues the round
-// complexity transfers.
 package reduction
 
 import (

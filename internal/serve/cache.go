@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/exp"
+)
+
+// entry is one unit of work identified by its canonical request hash.
+// It is created when the first request for that hash arrives and is the
+// coalescing point for every later identical request: waiters block on
+// done, progress subscribers receive SimCost snapshots while the job
+// runs, and the final envelope bytes are immutable once done closes.
+type entry struct {
+	hash string
+	req  exp.Request
+
+	done chan struct{} // closed exactly once, after data/err are set
+	data []byte        // the cliquebench/v1 envelope, verbatim
+	err  error
+
+	mu   sync.Mutex
+	subs []chan exp.SimCost
+	last exp.SimCost
+}
+
+func newEntry(hash string, req exp.Request) *entry {
+	return &entry{hash: hash, req: req, done: make(chan struct{})}
+}
+
+// subscribe registers a progress listener. The channel has capacity 1
+// and is written latest-wins, so a slow SSE client sees a fresh
+// snapshot when it catches up instead of a backlog. The returned cancel
+// is idempotent and safe after completion.
+func (e *entry) subscribe() (<-chan exp.SimCost, func()) {
+	ch := make(chan exp.SimCost, 1)
+	e.mu.Lock()
+	if e.last.Runs > 0 {
+		ch <- e.last // late subscriber: start from the current state
+	}
+	e.subs = append(e.subs, ch)
+	e.mu.Unlock()
+	cancel := func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for i, s := range e.subs {
+			if s == ch {
+				e.subs = append(e.subs[:i], e.subs[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// publishProgress fans a SimCost snapshot out to subscribers,
+// latest-wins and never blocking the worker.
+func (e *entry) publishProgress(sc exp.SimCost) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.last = sc
+	for _, ch := range e.subs {
+		select {
+		case ch <- sc:
+		default:
+			select { // replace the stale snapshot
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- sc:
+			default:
+			}
+		}
+	}
+}
+
+// complete publishes the job's outcome and wakes every waiter.
+func (e *entry) complete(data []byte, err error) {
+	e.mu.Lock()
+	e.subs = nil
+	e.mu.Unlock()
+	e.data, e.err = data, err
+	close(e.done)
+}
+
+// resultCache is the deduplicating result store: canonical request hash
+// -> entry. In-flight entries are the request-coalescing point and are
+// never evicted; completed entries are retained FIFO up to max.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	fifo    []string // completed hashes in completion order
+	max     int
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{entries: map[string]*entry{}, max: max}
+}
+
+// lookupOrCreate returns the entry for hash, creating it when absent.
+// created reports whether this caller is responsible for scheduling the
+// job (exactly one caller per hash is).
+func (c *resultCache) lookupOrCreate(hash string, req exp.Request) (e *entry, created bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[hash]; ok {
+		return e, false
+	}
+	e = newEntry(hash, req)
+	c.entries[hash] = e
+	return e, true
+}
+
+// markCompleted enters a finished entry into the eviction order (or
+// drops it immediately on failure, so transient errors — cancellation,
+// shutdown — never poison the cache) and evicts the oldest completed
+// entries beyond capacity.
+func (c *resultCache) markCompleted(e *entry, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if failed {
+		delete(c.entries, e.hash)
+		return
+	}
+	c.fifo = append(c.fifo, e.hash)
+	for len(c.fifo) > c.max {
+		victim := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.entries, victim)
+	}
+}
+
+// len reports the number of resident entries (in-flight + completed).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

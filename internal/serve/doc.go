@@ -1,0 +1,31 @@
+// Package serve is the long-running simulation service behind the
+// cliqued daemon: an HTTP/JSON layer over the internal/exp experiment
+// registry and the internal/clique simulator.
+//
+// The service exposes:
+//
+//   - GET  /v1/experiments            — the registry (id, artefact, title)
+//   - GET  /v1/experiments/{id}       — one registry entry
+//   - POST /v1/experiments/{id}:run   — run a registered experiment
+//   - GET  /v1/algorithms             — the ad-hoc algorithm catalogue
+//   - POST /v1/run                    — ad-hoc run (algorithm, n, backend, seed)
+//   - GET  /healthz                   — liveness
+//   - GET  /metrics                   — expvar counters (jobs, cache, rounds/sec)
+//
+// Both run endpoints answer with the same cliquebench/v1 JSON envelope
+// that `cliquebench -format=json` prints, byte for byte, so clients and
+// stored reports never see two shapes for one result.
+//
+// Execution is organised as a bounded job queue drained by a fixed
+// worker pool. Every request is first canonicalised and hashed
+// (exp.Request.Hash); the hash keys a deduplicating result cache, so
+// concurrent identical requests coalesce onto one running job and
+// repeated requests are served from memory without simulating anything.
+// Workers run experiments on the lockstep engine whose mailbox arenas
+// are pooled across runs (internal/engine), so a hot serving loop stops
+// allocating its largest buffers. Clients that ask for
+// `Accept: text/event-stream` (or `?stream=sse`) get queued/progress
+// events while the job runs and the envelope as the final event.
+// Shutdown is graceful: the queue stops accepting, running jobs drain
+// (or are cancelled at the drain deadline), and waiters are notified.
+package serve

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the service's error shape.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": exp.Infos()})
+}
+
+func (s *Server) handleGetExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := exp.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, exp.Info{ID: e.ID, Artefact: e.Artefact, Title: e.Title})
+}
+
+func (s *Server) handleListAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": Algorithms(), "max_n": maxAdhocN})
+}
+
+// runExperimentBody is the optional POST body of {id}:run.
+type runExperimentBody struct {
+	Backend string `json:"backend,omitempty"`
+	Quick   bool   `json:"quick,omitempty"`
+}
+
+// handleRunExperiment serves POST /v1/experiments/{id}:run. The mux
+// captures "fig1:run" as one path segment; the :run suffix is the only
+// recognised operation.
+func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
+	idop := r.PathValue("idop")
+	id, op, ok := strings.Cut(idop, ":")
+	if !ok || op != "run" {
+		writeError(w, http.StatusNotFound, "unknown operation %q (try POST /v1/experiments/{id}:run)", idop)
+		return
+	}
+	var body runExperimentBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	req := exp.Request{Kind: exp.KindExperiment, Experiment: id,
+		Backend: body.Backend, Quick: body.Quick}
+	s.scheduleAndRespond(w, r, req)
+}
+
+// adhocRunBody is the POST /v1/run body.
+type adhocRunBody struct {
+	Algorithm    string `json:"algorithm"`
+	N            int    `json:"n"`
+	WordsPerPair int    `json:"words_per_pair,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	Backend      string `json:"backend,omitempty"`
+	Quick        bool   `json:"quick,omitempty"`
+}
+
+func (s *Server) handleAdhocRun(w http.ResponseWriter, r *http.Request) {
+	var body adhocRunBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	alg, ok := algorithms[body.Algorithm]
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q (valid: %v)", body.Algorithm, AlgorithmNames())
+		return
+	}
+	if body.N > maxAdhocN {
+		writeError(w, http.StatusBadRequest, "n = %d exceeds the ad-hoc limit %d", body.N, maxAdhocN)
+		return
+	}
+	// Resolve the catalogue's per-algorithm word budget before hashing,
+	// so the omitted and explicit-default spellings share a cache slot.
+	if body.WordsPerPair == 0 {
+		body.WordsPerPair = alg.WPP
+	}
+	req := exp.Request{Kind: exp.KindAdhoc, Algorithm: body.Algorithm,
+		N: body.N, WordsPerPair: body.WordsPerPair, Seed: body.Seed,
+		Backend: body.Backend, Quick: body.Quick}
+	s.scheduleAndRespond(w, r, req)
+}
+
+// decodeBody parses an optional JSON request body strictly. An empty
+// body leaves v at its zero value. Returns false after answering 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// scheduleAndRespond canonicalises, schedules (dedup + queue) and then
+// answers either as one JSON envelope or as an SSE stream.
+func (s *Server) scheduleAndRespond(w http.ResponseWriter, r *http.Request, req exp.Request) {
+	if req.Backend == "" {
+		req.Backend = s.cfg.DefaultBackend
+	}
+	req, err := req.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.schedule(req)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if wantsSSE(r) {
+		s.respondSSE(w, r, e)
+		return
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			writeError(w, runErrorStatus(e.err), "%v", e.err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("X-Request-Hash", e.hash)
+		_, _ = w.Write(e.data)
+	case <-r.Context().Done():
+		// Client went away. The job keeps running: its result is cached
+		// for the retry, and other waiters may be coalesced on it.
+	}
+}
+
+// runErrorStatus maps a job error to an HTTP status: shutdown and
+// cancellation are unavailability, anything else is a server-side run
+// failure.
+func runErrorStatus(err error) int {
+	if errors.Is(err, errShuttingDown) || errors.Is(err, errQueueFull) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}

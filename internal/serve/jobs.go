@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+var (
+	errQueueFull    = errors.New("job queue full")
+	errShuttingDown = errors.New("server shutting down")
+)
+
+// schedule resolves a request against the cache: it either coalesces
+// onto an existing entry (in-flight or completed — both count as cache
+// hits: nothing new is simulated) or creates the entry and enqueues its
+// job. The caller then waits on the returned entry.
+func (s *Server) schedule(req exp.Request) (*entry, error) {
+	hash := req.Hash()
+	e, created := s.cache.lookupOrCreate(hash, req)
+	if !created {
+		s.metrics.cacheHits.Add(1)
+		return e, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	if err := s.enqueue(e); err != nil {
+		// The entry never ran; remove it so a retry can schedule anew,
+		// and fail any concurrent waiters that already coalesced on it.
+		s.cache.markCompleted(e, true)
+		e.complete(nil, err)
+		s.metrics.jobsRejected.Add(1)
+		return nil, err
+	}
+	return e, nil
+}
+
+// enqueue adds a job to the bounded queue without ever blocking: a full
+// queue is load shedding, not backpressure-by-hanging.
+func (s *Server) enqueue(e *entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShuttingDown
+	}
+	select {
+	case s.queue <- e:
+		s.metrics.jobsQueued.Add(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for e := range s.queue {
+		s.metrics.jobsQueued.Add(-1)
+		s.metrics.jobsRunning.Add(1)
+		s.runJob(e)
+		s.metrics.jobsRunning.Add(-1)
+		s.metrics.jobsDone.Add(1)
+	}
+}
+
+// runJob executes one entry's request and completes the entry exactly
+// once, whatever happens inside — including a panic escaping the
+// experiment body: a serving daemon turns that into a failed job, never
+// a dead process. The result bytes are the cliquebench/v1 envelope
+// exactly as cliquebench -format=json would print it for the same
+// experiment, backend and quick setting — one result shape across the
+// whole system.
+func (s *Server) runJob(e *entry) {
+	data, err := s.executeJob(e)
+	if err != nil {
+		s.metrics.jobsFailed.Add(1)
+	}
+	s.cache.markCompleted(e, err != nil)
+	e.complete(data, err)
+}
+
+// executeJob is runJob's fallible body, with panics converted to
+// errors so completion bookkeeping always runs exactly once.
+func (s *Server) executeJob(e *entry) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			data, err = nil, fmt.Errorf("job %s panicked: %v", e.req.Kind, r)
+		}
+	}()
+	experiment, err := s.experimentFor(e.req)
+	if err != nil {
+		return nil, err
+	}
+	opts := exp.Options{Backend: e.req.Backend, Quick: e.req.Quick, Progress: e.publishProgress}
+	res, tim, err := exp.RunExperiment(s.baseCtx, experiment, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.simRounds.Add(tim.Rounds)
+	s.metrics.simWallNS.Add(tim.SimWall.Nanoseconds())
+	return marshalEnvelope(e.req.Backend, opts, res)
+}
+
+// experimentFor resolves a canonical request to a runnable Experiment.
+func (s *Server) experimentFor(req exp.Request) (exp.Experiment, error) {
+	switch req.Kind {
+	case exp.KindExperiment:
+		e, ok := exp.Get(req.Experiment)
+		if !ok {
+			return exp.Experiment{}, fmt.Errorf("unknown experiment %q", req.Experiment)
+		}
+		return e, nil
+	case exp.KindAdhoc:
+		return adhocExperiment(req)
+	}
+	return exp.Experiment{}, fmt.Errorf("unknown request kind %q", req.Kind)
+}
+
+// marshalEnvelope serialises one Result as a timing-free Report via
+// Report.WriteJSON — the same code path cmd/cliquebench's JSON output
+// uses, so byte equality with the CLI (a tested invariant) holds by
+// construction.
+func marshalEnvelope(backend string, opts exp.Options, res *exp.Result) ([]byte, error) {
+	report := exp.NewReport(backend, opts, []*exp.Result{res}, exp.Timing{}, false)
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+)
+
+// metrics are the service counters served at /metrics. They use expvar
+// types but live in an unregistered expvar.Map owned by the Server, so
+// tests can build many Servers in one process without tripping expvar's
+// global duplicate-name panic. cmd/cliqued additionally publishes the
+// map into the process-global expvar namespace.
+type metrics struct {
+	jobsQueued   expvar.Int // currently waiting in the queue
+	jobsRunning  expvar.Int // currently executing on a worker
+	jobsDone     expvar.Int // completed, success or failure
+	jobsFailed   expvar.Int // completed with an error
+	jobsRejected expvar.Int // refused: queue full or shutting down
+	cacheHits    expvar.Int // answered from cache or coalesced
+	cacheMisses  expvar.Int // scheduled a fresh run
+	simRounds    expvar.Int // total simulated rounds served
+	simWallNS    expvar.Int // wall-clock inside simulated runs
+
+	vars *expvar.Map
+}
+
+func newMetrics() *metrics {
+	m := &metrics{vars: new(expvar.Map).Init()}
+	m.vars.Set("jobs_queued", &m.jobsQueued)
+	m.vars.Set("jobs_running", &m.jobsRunning)
+	m.vars.Set("jobs_done", &m.jobsDone)
+	m.vars.Set("jobs_failed", &m.jobsFailed)
+	m.vars.Set("jobs_rejected", &m.jobsRejected)
+	m.vars.Set("cache_hits", &m.cacheHits)
+	m.vars.Set("cache_misses", &m.cacheMisses)
+	m.vars.Set("sim_rounds", &m.simRounds)
+	m.vars.Set("sim_wall_ns", &m.simWallNS)
+	m.vars.Set("cache_hit_rate", expvar.Func(func() any {
+		hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
+		if hits+misses == 0 {
+			return 0.0
+		}
+		return float64(hits) / float64(hits+misses)
+	}))
+	m.vars.Set("rounds_per_sec", expvar.Func(func() any {
+		wall := m.simWallNS.Value()
+		if wall <= 0 {
+			return 0.0
+		}
+		return float64(m.simRounds.Value()) / (float64(wall) / 1e9)
+	}))
+	m.vars.Set("arena_pool", expvar.Func(func() any {
+		hits, misses := engine.PoolStats()
+		return map[string]int64{"hits": hits, "misses": misses}
+	}))
+	return m
+}
+
+// Vars exposes the server's metrics map, e.g. for publishing under a
+// name in the process-global expvar namespace.
+func (s *Server) Vars() *expvar.Map { return s.metrics.vars }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, s.metrics.vars.String())
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// do performs one request against the server's handler.
+func do(t *testing.T, s *Server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestHandlers is the endpoint table test: status codes and shape
+// checks for every route.
+func TestHandlers(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	cases := []struct {
+		name, method, target, body string
+		wantStatus                 int
+		wantInBody                 string
+	}{
+		{"healthz", "GET", "/healthz", "", 200, `"ok"`},
+		{"metrics", "GET", "/metrics", "", 200, `"jobs_done"`},
+		{"metrics has cache rate", "GET", "/metrics", "", 200, `"cache_hit_rate"`},
+		{"metrics has rounds per sec", "GET", "/metrics", "", 200, `"rounds_per_sec"`},
+		{"list experiments", "GET", "/v1/experiments", "", 200, `"fig1"`},
+		{"get experiment", "GET", "/v1/experiments/thm2", "", 200, `E3 / Theorem 2`},
+		{"get unknown experiment", "GET", "/v1/experiments/nope", "", 404, "unknown experiment"},
+		{"list algorithms", "GET", "/v1/algorithms", "", 200, `"triangle"`},
+		{"run bad op", "POST", "/v1/experiments/thm2:dance", "", 404, "unknown operation"},
+		{"run no op", "POST", "/v1/experiments/thm2", "", 404, "unknown operation"},
+		{"run unknown experiment", "POST", "/v1/experiments/nope:run", "", 400, "unknown experiment"},
+		{"run counting experiment", "POST", "/v1/experiments/thm2:run", `{"quick":true}`, 200, `"cliquebench/v1"`},
+		{"run bad body", "POST", "/v1/experiments/thm2:run", `{"bogus":1}`, 400, "invalid request body"},
+		{"run bad backend", "POST", "/v1/experiments/thm2:run", `{"backend":"warp"}`, 400, "unknown backend"},
+		{"adhoc run", "POST", "/v1/run", `{"algorithm":"exchange","n":8,"seed":3,"quick":true}`, 200, `"adhoc:exchange"`},
+		{"adhoc unknown algorithm", "POST", "/v1/run", `{"algorithm":"nope","n":8}`, 400, "unknown algorithm"},
+		{"adhoc zero n", "POST", "/v1/run", `{"algorithm":"exchange"}`, 400, "ad-hoc request n = 0"},
+		{"adhoc oversized n", "POST", "/v1/run", `{"algorithm":"exchange","n":1000000}`, 400, "exceeds the ad-hoc limit"},
+		{"adhoc overflow wpp", "POST", "/v1/run", `{"algorithm":"exchange","n":2,"words_per_pair":2305843009213693952}`, 400, "exceeds the maximum"},
+		{"method mismatch", "GET", "/v1/run", "", 405, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, tc.method, tc.target, tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("%s %s: status %d, want %d (body: %s)",
+					tc.method, tc.target, rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if tc.wantInBody != "" && !strings.Contains(rec.Body.String(), tc.wantInBody) {
+				t.Fatalf("%s %s: body %q does not contain %q",
+					tc.method, tc.target, rec.Body.String(), tc.wantInBody)
+			}
+		})
+	}
+}
+
+// TestEnvelopeMatchesCliquebench pins the tentpole invariant: the
+// service's response for an experiment run is byte-identical to what
+// cmd/cliquebench -format=json prints for the same experiment, backend
+// and quick setting.
+func TestEnvelopeMatchesCliquebench(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	rec := do(t, s, "POST", "/v1/experiments/fig1:run", `{"backend":"lockstep","quick":true}`)
+	if rec.Code != 200 {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Reproduce the CLI's exact serialisation path.
+	opts := exp.Options{Backend: "lockstep", Quick: true}
+	results, _, err := exp.Run([]string{"fig1"}, opts)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want, err := marshalEnvelope("lockstep", opts, results[0])
+	if err != nil {
+		t.Fatalf("reference marshal: %v", err)
+	}
+	if got := rec.Body.String(); got != string(want) {
+		t.Fatalf("served envelope differs from the cliquebench envelope:\n--- served ---\n%s\n--- cli ---\n%s", got, want)
+	}
+}
+
+// TestCacheHitDeterminism pins that a repeated identical request is
+// served from cache, bit-identically, without simulating again.
+func TestCacheHitDeterminism(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	body := `{"algorithm":"triangle","n":32,"seed":11,"backend":"lockstep"}`
+	first := do(t, s, "POST", "/v1/run", body)
+	if first.Code != 200 {
+		t.Fatalf("first run: status %d: %s", first.Code, first.Body.String())
+	}
+	misses := s.metrics.cacheMisses.Value()
+	hits := s.metrics.cacheHits.Value()
+
+	second := do(t, s, "POST", "/v1/run", body)
+	if second.Code != 200 {
+		t.Fatalf("second run: status %d: %s", second.Code, second.Body.String())
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cache hit returned different bytes than the original run")
+	}
+	if got := s.metrics.cacheMisses.Value(); got != misses {
+		t.Fatalf("second identical request scheduled a fresh run: misses %d -> %d", misses, got)
+	}
+	if got := s.metrics.cacheHits.Value(); got != hits+1 {
+		t.Fatalf("cache hits %d -> %d, want +1", hits, got)
+	}
+
+	// A request that spells a default explicitly — the backend, or the
+	// algorithm's catalogue word budget (triangle: 8) — must hash to
+	// the same cache slot as one that omits it.
+	for _, spelling := range []string{
+		`{"algorithm":"triangle","n":32,"seed":11}`,
+		`{"algorithm":"triangle","n":32,"seed":11,"words_per_pair":8,"backend":"lockstep"}`,
+	} {
+		rec := do(t, s, "POST", "/v1/run", spelling)
+		if rec.Code != 200 {
+			t.Fatalf("spelling %s: status %d: %s", spelling, rec.Code, rec.Body.String())
+		}
+		if rec.Body.String() != first.Body.String() {
+			t.Fatalf("spelling %s missed the cache", spelling)
+		}
+		if got := s.metrics.cacheMisses.Value(); got != misses {
+			t.Fatalf("spelling %s scheduled a fresh run: misses %d -> %d", spelling, misses, got)
+		}
+	}
+}
+
+// TestSSEStream pins the SSE lifecycle: queued, at least one progress
+// event for a simulating run, then the result event carrying the same
+// envelope as the plain response.
+func TestSSEStream(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	rec := do(t, s, "POST", "/v1/run?stream=sse",
+		`{"algorithm":"exchange","n":16,"seed":5,"backend":"lockstep"}`)
+	if rec.Code != 200 {
+		t.Fatalf("sse run: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	out := rec.Body.String()
+	for _, ev := range []string{"event: queued", "event: progress", "event: result"} {
+		if !strings.Contains(out, ev) {
+			t.Fatalf("stream missing %q:\n%s", ev, out)
+		}
+	}
+	if strings.Contains(out, "event: error") {
+		t.Fatalf("stream carried an error event:\n%s", out)
+	}
+
+	// The result event's payload reassembles to the plain envelope.
+	plain := do(t, s, "POST", "/v1/run", `{"algorithm":"exchange","n":16,"seed":5,"backend":"lockstep"}`)
+	var envelope strings.Builder
+	inResult := false
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case line == "event: result":
+			inResult = true
+		case inResult && strings.HasPrefix(line, "data: "):
+			envelope.WriteString(strings.TrimPrefix(line, "data: "))
+			envelope.WriteString("\n")
+		case inResult && line == "":
+			inResult = false
+		}
+	}
+	if envelope.String() != plain.Body.String() {
+		t.Fatalf("SSE result differs from plain envelope:\n--- sse ---\n%s\n--- plain ---\n%s",
+			envelope.String(), plain.Body.String())
+	}
+}
+
+// TestMetricsProgress pins that serving work moves the counters the
+// operator dashboards read.
+func TestMetricsProgress(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	if rec := do(t, s, "POST", "/v1/run", `{"algorithm":"exchange","n":8,"seed":1}`); rec.Code != 200 {
+		t.Fatalf("run: status %d", rec.Code)
+	}
+	rec := do(t, s, "GET", "/metrics", "")
+	var got map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("metrics is not JSON: %v", err)
+	}
+	for _, key := range []string{"jobs_done", "sim_rounds"} {
+		v, ok := got[key].(float64)
+		if !ok || v < 1 {
+			t.Fatalf("metric %q = %v, want >= 1 (all: %s)", key, got[key], rec.Body.String())
+		}
+	}
+	if _, ok := got["arena_pool"]; !ok {
+		t.Fatalf("metrics missing arena_pool: %s", rec.Body.String())
+	}
+}
+
+// TestEnvelopeParses pins the envelope schema from the client's side.
+func TestEnvelopeParses(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	rec := do(t, s, "POST", "/v1/run", `{"algorithm":"mst","n":16,"seed":2}`)
+	if rec.Code != 200 {
+		t.Fatalf("run: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var report exp.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatalf("envelope does not parse as exp.Report: %v", err)
+	}
+	if report.Schema != exp.SchemaVersion {
+		t.Fatalf("schema %q, want %q", report.Schema, exp.SchemaVersion)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].Sim.Runs != 1 {
+		t.Fatalf("unexpected envelope contents: %+v", report)
+	}
+	if report.Throughput != nil {
+		t.Fatal("served envelope must not carry nondeterministic throughput")
+	}
+}
+
+// TestDifferentRequestsDifferentResults guards against overzealous
+// caching: distinct seeds are distinct cache slots.
+func TestDifferentRequestsDifferentResults(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	a := do(t, s, "POST", "/v1/run", `{"algorithm":"mst","n":24,"seed":1}`)
+	b := do(t, s, "POST", "/v1/run", `{"algorithm":"mst","n":24,"seed":2}`)
+	if a.Code != 200 || b.Code != 200 {
+		t.Fatalf("status %d / %d", a.Code, b.Code)
+	}
+	if a.Body.String() == b.Body.String() {
+		t.Fatal("different seeds served identical envelopes — cache key ignores seed?")
+	}
+	if s.metrics.cacheMisses.Value() < 2 {
+		t.Fatalf("expected two fresh runs, misses = %d", s.metrics.cacheMisses.Value())
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// wantsSSE reports whether the client asked for a progress stream
+// instead of a single JSON response.
+func wantsSSE(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "sse" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// writeSSEEvent emits one event. Multi-line payloads (the indented
+// envelope) become one data: line each, per the SSE framing rules.
+func writeSSEEvent(w http.ResponseWriter, f http.Flusher, event string, data []byte) {
+	fmt.Fprintf(w, "event: %s\n", event)
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		fmt.Fprintf(w, "data: %s\n", line)
+	}
+	fmt.Fprint(w, "\n")
+	f.Flush()
+}
+
+// respondSSE streams a job's lifecycle: a queued event with the request
+// hash, progress events with the cumulative SimCost after each
+// simulated run (latest-wins — a slow client skips intermediate
+// snapshots, it never lags behind), and finally either the result event
+// carrying the verbatim cliquebench/v1 envelope or an error event.
+func (s *Server) respondSSE(w http.ResponseWriter, r *http.Request, e *entry) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	progress, cancel := e.subscribe()
+	defer cancel()
+
+	queued, _ := json.Marshal(map[string]string{"hash": e.hash})
+	writeSSEEvent(w, f, "queued", queued)
+
+	for {
+		select {
+		case sc := <-progress:
+			data, _ := json.Marshal(sc)
+			writeSSEEvent(w, f, "progress", data)
+		case <-e.done:
+			// Deliver the final snapshot before the terminal event so
+			// clients always see the run's last progress state.
+			select {
+			case sc := <-progress:
+				data, _ := json.Marshal(sc)
+				writeSSEEvent(w, f, "progress", data)
+			default:
+			}
+			if e.err != nil {
+				data, _ := json.Marshal(map[string]string{"error": e.err.Error()})
+				writeSSEEvent(w, f, "error", data)
+				return
+			}
+			writeSSEEvent(w, f, "result", e.data)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package subgraph implements deterministic subgraph detection in the
+// congested clique after Dolev, Lenzen and Peled ("Tri, tri again",
+// DISC 2012; reference [16] of the paper): with the partition scheme of
+// package partition, the node labelled (j_1, ..., j_k) learns all edges
+// inside S_v = S_{j_1} u ... u S_{j_k} and brute-forces its share of
+// k-tuples locally. Any k vertices lie inside some union, so detection is
+// complete; the per-node receive volume is O(k^2 n^{2-2/k}) words, giving
+// O(k^2 n^{1-2/k}) rounds — the k-IS, triangle, k-clique and k-cycle
+// upper bounds in Figure 1 of the paper.
+package subgraph

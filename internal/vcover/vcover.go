@@ -1,13 +1,3 @@
-// Package vcover implements Theorem 11 of the paper: a vertex cover of
-// size k can be found in O(k) rounds in the congested clique — the
-// round complexity depends only on the parameter k, not on n, which is
-// the paper's point of contrast with k-IS and k-DS in Section 7.3.
-//
-// The algorithm is the distributed Buss kernelisation (Lemma 12): every
-// vertex of degree > k must belong to any size-k cover, so such vertices
-// join the cover and announce it (one round); the remaining vertices
-// have degree <= k, so each can broadcast all of its still-uncovered
-// edges in k rounds; every node then solves the kernel locally.
 package vcover
 
 import (

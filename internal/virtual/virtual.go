@@ -1,10 +1,3 @@
-// Package virtual simulates an m-node congested clique on top of a
-// (typically smaller) real clique: each real node hosts a set of virtual
-// nodes and relays their traffic. This is the substrate behind the
-// paper's Theorem 10 simulation argument, where each of the n input
-// nodes simulates the O(k^2) gadget copies it owns in the constructed
-// graph G', and the real round cost per virtual round is bounded by the
-// largest number of virtual pairs sharing a real link.
 package virtual
 
 import (

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# lint-docs.sh — documentation lint, run by the CI docs job.
+#
+# Enforces that every internal/* package keeps its package comment in a
+# dedicated doc.go: present, named after the package, and substantive
+# (not a one-line stub), with no competing package comment in any other
+# file of the package. This is what keeps `go doc ./internal/...`
+# useful everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in internal/*/; do
+  pkg=$(basename "$dir")
+  doc="$dir/doc.go"
+  if [ ! -f "$doc" ]; then
+    echo "docs lint: $dir is missing doc.go" >&2
+    fail=1
+    continue
+  fi
+  if ! grep -q "^// Package $pkg " "$doc"; then
+    echo "docs lint: $doc must open with '// Package $pkg ...'" >&2
+    fail=1
+  fi
+  if [ "$(grep -c '^//' "$doc")" -lt 3 ]; then
+    echo "docs lint: $doc package comment is too thin (< 3 comment lines)" >&2
+    fail=1
+  fi
+  for f in "$dir"*.go; do
+    [ "$(basename "$f")" = "doc.go" ] && continue
+    if grep -q "^// Package " "$f"; then
+      echo "docs lint: $f carries a second package comment (doc.go owns it)" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs lint: FAIL" >&2
+  exit 1
+fi
+echo "docs lint: OK ($(ls -d internal/*/ | wc -l | tr -d ' ') packages)"

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# smoke-cliqued.sh — CI smoke test for the cliqued daemon.
+#
+# Boots cliqued on a local port, asserts /healthz answers 200 ok,
+# runs one quick experiment through POST /v1/experiments/{id}:run and
+# checks the response is a valid cliquebench/v1 envelope — byte-equal
+# to what the cliquebench CLI prints for the same request — exercises
+# the cache and /metrics, and verifies graceful shutdown on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:18347
+base="http://$addr"
+tmp=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/cliqued" ./cmd/cliqued
+"$tmp/cliqued" -addr "$addr" &
+pid=$!
+
+# Wait for the listener.
+for _ in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+echo "smoke: /healthz"
+status=$(curl -sS -o "$tmp/healthz.json" -w '%{http_code}' "$base/healthz")
+[ "$status" = 200 ] || { echo "healthz status $status" >&2; exit 1; }
+grep -q '"ok"' "$tmp/healthz.json"
+
+echo "smoke: run one quick experiment"
+status=$(curl -sS -o "$tmp/run.json" -w '%{http_code}' \
+  -X POST -d '{"quick":true}' "$base/v1/experiments/thm2:run")
+[ "$status" = 200 ] || { echo "run status $status: $(cat "$tmp/run.json")" >&2; exit 1; }
+grep -q '"schema": "cliquebench/v1"' "$tmp/run.json"
+
+echo "smoke: envelope is byte-identical to the cliquebench CLI"
+go run ./cmd/cliquebench -exp thm2 -quick -backend=lockstep -format=json > "$tmp/cli.json"
+cmp "$tmp/run.json" "$tmp/cli.json"
+
+echo "smoke: repeat request hits the cache"
+curl -fsS -X POST -d '{"quick":true}' "$base/v1/experiments/thm2:run" > "$tmp/run2.json"
+cmp "$tmp/run.json" "$tmp/run2.json"
+curl -fsS "$base/metrics" > "$tmp/metrics.json"
+grep -q '"cache_hits": 1' "$tmp/metrics.json"
+
+echo "smoke: graceful shutdown"
+kill -TERM "$pid"
+wait "$pid"
+
+echo "smoke: OK"
