@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/domset"
 	"repro/internal/gather"
 	"repro/internal/graph"
@@ -123,13 +124,13 @@ func backendCases() []backendCase {
 				func() any { return out }
 		}},
 		{"route", 4, 32, func(n int) (clique.NodeFunc, func() any) {
-			out := make([][]routing.Packet, n)
+			out := make([][]comm.Packet, n)
 			return func(nd *clique.Node) {
-					var ps []routing.Packet
+					var ps []comm.Packet
 					for i := 0; i < 16; i++ {
-						ps = append(ps, routing.Packet{Dst: (nd.ID() + i + 1) % n, Payload: []uint64{uint64(nd.ID()*100 + i)}})
+						ps = append(ps, comm.Packet{Dst: (nd.ID() + i + 1) % n, Payload: []uint64{uint64(nd.ID()*100 + i)}})
 					}
-					out[nd.ID()] = routing.Route(nd, ps, 1, 9)
+					out[nd.ID()] = comm.Route(nd, ps, 1, 9)
 				},
 				func() any { return out }
 		}},

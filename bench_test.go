@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/counting"
 	"repro/internal/domset"
 	"repro/internal/exp"
@@ -239,17 +240,16 @@ func BenchmarkThm6_EdgeLabelling(b *testing.B) {
 				// One consistency round over incident labels, the
 				// verification skeleton of the canonical problems.
 				me := nd.ID()
+				labels := make([]uint64, n)
 				for v := 0; v < n; v++ {
-					if v != me {
-						nd.Send(v, uint64((me+v)%7))
-					}
+					labels[v] = uint64((me + v) % 7)
 				}
-				nd.Tick()
+				peers, delivered := comm.AllToAllWord(nd, labels)
 				for v := 0; v < n; v++ {
 					if v == me {
 						continue
 					}
-					if w := nd.Recv(v); len(w) != 1 || w[0] != uint64((me+v)%7) {
+					if !delivered[v] || peers[v] != labels[v] {
 						nd.Fail("label mismatch")
 					}
 				}
@@ -322,11 +322,11 @@ func BenchmarkSub_Routing(b *testing.B) {
 	for _, load := range []int{8, 32} {
 		b.Run(fmt.Sprintf("load=%d", load), func(b *testing.B) {
 			benchRounds(b, 32, 4, func(nd *clique.Node) {
-				var ps []routing.Packet
+				var ps []comm.Packet
 				for i := 0; i < load; i++ {
-					ps = append(ps, routing.Packet{Dst: (nd.ID() + i + 1) % 32, Payload: []uint64{uint64(i)}})
+					ps = append(ps, comm.Packet{Dst: (nd.ID() + i + 1) % 32, Payload: []uint64{uint64(i)}})
 				}
-				routing.Route(nd, ps, 1, 9)
+				comm.Route(nd, ps, 1, 9)
 			})
 		})
 	}
@@ -344,7 +344,7 @@ func BenchmarkSub_Sorting(b *testing.B) {
 
 func BenchmarkSub_AllBroadcast(b *testing.B) {
 	benchRounds(b, 64, 4, func(nd *clique.Node) {
-		routing.AllBroadcast(nd, make([]uint64, 64), 64)
+		comm.BroadcastAll(nd, make([]uint64, 64), 64)
 	})
 }
 
@@ -353,25 +353,25 @@ func BenchmarkSub_AllBroadcast(b *testing.B) {
 
 func BenchmarkAblation_RouterBalanced(b *testing.B) {
 	benchRounds(b, 16, 4, func(nd *clique.Node) {
-		var ps []routing.Packet
+		var ps []comm.Packet
 		if nd.ID() == 0 {
 			for i := 0; i < 96; i++ {
-				ps = append(ps, routing.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
+				ps = append(ps, comm.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
 			}
 		}
-		routing.Route(nd, ps, 1, 5)
+		comm.Route(nd, ps, 1, 5)
 	})
 }
 
 func BenchmarkAblation_RouterDirect(b *testing.B) {
 	benchRounds(b, 16, 4, func(nd *clique.Node) {
-		var ps []routing.Packet
+		var ps []comm.Packet
 		if nd.ID() == 0 {
 			for i := 0; i < 96; i++ {
-				ps = append(ps, routing.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
+				ps = append(ps, comm.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
 			}
 		}
-		routing.RouteDirect(nd, ps, 1)
+		comm.RouteDirect(nd, ps, 1)
 	})
 }
 
@@ -386,7 +386,7 @@ func BenchmarkAblation_Bandwidth(b *testing.B) {
 				for j := 0; j < 64; j++ {
 					row[j] = clique.BoolWord(g.HasEdge(nd.ID(), j))
 				}
-				routing.AllBroadcast(nd, row, 64)
+				comm.BroadcastAll(nd, row, 64)
 			})
 		})
 	}

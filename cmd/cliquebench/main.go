@@ -71,6 +71,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The allocation probe needs a quiet process, so it runs after the
+	// worker pool has drained. Like Throughput, it rides the -timing
+	// opt-in (without it the report stays deterministic) — but only
+	// where something consumes it: the JSON envelope or -compare.
+	var bench *exp.BenchProbe
+	if *timing && (*format == "json" || *compare != "") {
+		bench, err = exp.MeasureBenchProbe(*backend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	switch *format {
 	case "text":
 		// The text report always carries the throughput summary, as it
@@ -78,6 +91,7 @@ func main() {
 		exp.NewReport(*backend, opts, results, tim, true).WriteText(os.Stdout)
 	case "json":
 		report := exp.NewReport(*backend, opts, results, tim, *timing)
+		report.Bench = bench
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -88,7 +102,9 @@ func main() {
 	}
 
 	if *compare != "" {
-		if err := compareBaseline(*compare, exp.NewReport(*backend, opts, results, tim, true), *threshold); err != nil {
+		current := exp.NewReport(*backend, opts, results, tim, true)
+		current.Bench = bench
+		if err := compareBaseline(*compare, current, *threshold); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

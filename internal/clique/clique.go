@@ -157,16 +157,60 @@ func (nd *Node) WordsPerPair() int { return nd.wpp }
 // exceeded or if `to` is out of range or equal to the sender: a node
 // talking to itself needs no network.
 func (nd *Node) Send(to int, words ...uint64) {
+	nd.SendWords(to, words)
+}
+
+// SendWords is the batched form of Send: it queues an existing slice
+// without the varargs indirection, so hot loops that reuse a staging
+// buffer allocate nothing per call.
+func (nd *Node) SendWords(to int, words []uint64) {
 	if to < 0 || to >= nd.n || to == nd.id {
 		panic(engine.Violation{Err: fmt.Errorf("clique: node %d: invalid Send target %d", nd.id, to)})
 	}
 	nd.rt.Send(nd.id, nd.completed, to, words)
 }
 
+// SendBuf reserves k words on the link to node `to` and returns the
+// engine's mailbox storage for the caller to fill in place — the
+// zero-copy send path. The budget is charged at reservation exactly as
+// Send would charge it; the returned slice is writable until the next
+// Tick and must be fully written.
+func (nd *Node) SendBuf(to, k int) []uint64 {
+	if to < 0 || to >= nd.n || to == nd.id {
+		panic(engine.Violation{Err: fmt.Errorf("clique: node %d: invalid Send target %d", nd.id, to)})
+	}
+	if k < 0 {
+		panic(engine.Violation{Err: fmt.Errorf("clique: node %d: negative SendBuf size %d", nd.id, k)})
+	}
+	return nd.rt.SendBuf(nd.id, nd.completed, to, k)
+}
+
 // Broadcast queues the same words for every other node. It consumes
 // len(words) of the budget on each outgoing link.
 func (nd *Node) Broadcast(words ...uint64) {
+	nd.BroadcastWords(words)
+}
+
+// BroadcastWords is the batched form of Broadcast: it queues an
+// existing slice on every outgoing link without the varargs
+// indirection. The engine copies straight from the caller's slice into
+// each link with no intermediate buffer.
+func (nd *Node) BroadcastWords(words []uint64) {
 	nd.rt.Broadcast(nd.id, nd.completed, words)
+}
+
+// BroadcastBuf returns a reusable k-word staging buffer to fill — the
+// allocation-free broadcast path for callers that would otherwise
+// build an argument slice per call. The filled words are delivered by
+// one fused Broadcast at the node's next send operation or Tick, with
+// exactly Broadcast's budget checks and ordering (later Sends of the
+// same round queue after them). The buffer must be fully written
+// before that point and is invalid after.
+func (nd *Node) BroadcastBuf(k int) []uint64 {
+	if k < 0 {
+		panic(engine.Violation{Err: fmt.Errorf("clique: node %d: negative BroadcastBuf size %d", nd.id, k)})
+	}
+	return nd.rt.BroadcastBuf(nd.id, nd.completed, k)
 }
 
 // Tick completes the current round: all queued messages across the whole
@@ -189,6 +233,20 @@ func (nd *Node) Recv(from int) []uint64 {
 		return nil
 	}
 	return nd.rt.Recv(nd.id, from)
+}
+
+// RecvInto appends the words received from node `from` in the most
+// recently completed round to buf and returns the result. Unlike Recv,
+// the returned memory is caller-owned and survives Tick, so multi-round
+// collectives can accumulate streams into one reused buffer.
+func (nd *Node) RecvInto(from int, buf []uint64) []uint64 {
+	if from < 0 || from >= nd.n || from == nd.id {
+		panic(engine.Violation{Err: fmt.Errorf("clique: node %d: invalid Recv source %d", nd.id, from)})
+	}
+	if nd.completed == 0 {
+		return buf
+	}
+	return nd.rt.RecvInto(nd.id, from, buf)
 }
 
 // RecvAll returns the full inbox of the most recently completed round,
@@ -224,12 +282,27 @@ type Endpoint interface {
 	WordsPerPair() int
 	// Send queues words for delivery to node `to` this round.
 	Send(to int, words ...uint64)
+	// SendWords queues an existing slice for node `to` (batched Send).
+	SendWords(to int, words []uint64)
+	// SendBuf reserves k words on the link to `to` and returns the
+	// mailbox storage to fill in place (zero-copy Send).
+	SendBuf(to, k int) []uint64
 	// Broadcast queues the same words for every other node.
 	Broadcast(words ...uint64)
+	// BroadcastWords queues an existing slice on every outgoing link
+	// (batched Broadcast).
+	BroadcastWords(words []uint64)
+	// BroadcastBuf reserves k words on every outgoing link and returns
+	// one buffer to fill (zero-copy Broadcast); the words replicate at
+	// the next send operation or Tick.
+	BroadcastBuf(k int) []uint64
 	// Tick completes the current round.
 	Tick()
 	// Recv returns the words received from `from` in the last round.
 	Recv(from int) []uint64
+	// RecvInto appends the words received from `from` in the last round
+	// to buf and returns caller-owned memory.
+	RecvInto(from int, buf []uint64) []uint64
 	// Fail aborts the run with an algorithm-level error.
 	Fail(format string, args ...any)
 }

@@ -1,0 +1,424 @@
+package comm
+
+import (
+	"repro/internal/clique"
+)
+
+// chunk returns the half-open word range [off, end) of the round that
+// starts at off when moving k words under a per-link budget of wpp.
+func chunkEnd(off, k, wpp int) int {
+	end := off + wpp
+	if end > k {
+		end = k
+	}
+	return end
+}
+
+// BroadcastAll has every node contribute exactly k words; it returns,
+// at every node, the full table indexed by sender. Each node's own
+// entry is a copy of its input. Takes ceil(k / wordsPerPair) rounds:
+// optimal up to constants, since every node must receive (n-1)k words
+// over n-1 links.
+func BroadcastAll(nd clique.Endpoint, words []uint64, k int) [][]uint64 {
+	if len(words) != k {
+		nd.Fail("comm: BroadcastAll given %d words, contract is exactly k=%d", len(words), k)
+	}
+	n := nd.N()
+	me := nd.ID()
+	out := make([][]uint64, n)
+	for i := range out {
+		out[i] = make([]uint64, 0, k)
+	}
+	out[me] = append(out[me], words...)
+
+	wpp := nd.WordsPerPair()
+	for off := 0; off < k; off += wpp {
+		nd.BroadcastWords(words[off:chunkEnd(off, k, wpp)])
+		nd.Tick()
+		for p := 0; p < n; p++ {
+			if p != me {
+				out[p] = nd.RecvInto(p, out[p])
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		if len(out[p]) != k {
+			nd.Fail("comm: BroadcastAll received %d words from %d, want %d", len(out[p]), p, k)
+		}
+	}
+	return out
+}
+
+// BroadcastWord is BroadcastAll for a single word per node: one round,
+// returning the flat table indexed by sender (own entry included).
+func BroadcastWord(nd clique.Endpoint, w uint64) []uint64 {
+	return BroadcastWordInto(nd, w, nil)
+}
+
+// BroadcastWordInto is BroadcastWord writing into a caller-provided
+// table of length n (allocated when nil), so iterative protocols that
+// broadcast every round reuse one buffer.
+func BroadcastWordInto(nd clique.Endpoint, w uint64, into []uint64) []uint64 {
+	n := nd.N()
+	me := nd.ID()
+	buf := nd.BroadcastBuf(1)
+	buf[0] = w
+	nd.Tick()
+	if into == nil {
+		into = make([]uint64, n)
+	} else if len(into) != n {
+		nd.Fail("comm: BroadcastWordInto table has %d entries, want n=%d", len(into), n)
+	}
+	into[me] = w
+	for p := 0; p < n; p++ {
+		if p == me {
+			continue
+		}
+		got := nd.Recv(p)
+		if len(got) != 1 {
+			nd.Fail("comm: BroadcastWord received %d words from %d, want 1", len(got), p)
+		}
+		into[p] = got[0]
+	}
+	return into
+}
+
+// BroadcastWordOK is BroadcastWord for protocols whose peers may fail
+// to deliver exactly one word (nondeterministic verifiers replayed
+// against adversarial transcripts, for instance): instead of aborting,
+// it reports per-sender whether exactly one word arrived. Entries with
+// ok[p] == false hold zero.
+func BroadcastWordOK(nd clique.Endpoint, w uint64) (words []uint64, ok []bool) {
+	n := nd.N()
+	me := nd.ID()
+	buf := nd.BroadcastBuf(1)
+	buf[0] = w
+	nd.Tick()
+	words = make([]uint64, n)
+	ok = make([]bool, n)
+	words[me], ok[me] = w, true
+	for p := 0; p < n; p++ {
+		if p == me {
+			continue
+		}
+		if got := nd.Recv(p); len(got) == 1 {
+			words[p], ok[p] = got[0], true
+		}
+	}
+	return words, ok
+}
+
+// MaxWord computes the global maximum of one word per node in one round.
+func MaxWord(nd clique.Endpoint, w uint64) uint64 {
+	max := uint64(0)
+	for _, x := range BroadcastWord(nd, w) {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// SumWord computes the global sum of one word per node in one round.
+func SumWord(nd clique.Endpoint, w uint64) uint64 {
+	total := uint64(0)
+	for _, x := range BroadcastWord(nd, w) {
+		total += x
+	}
+	return total
+}
+
+// OrBool computes the global OR of one bit per node in one round; every
+// node returns the same decision, as the model requires.
+func OrBool(nd clique.Endpoint, b bool) bool {
+	return MaxWord(nd, clique.BoolWord(b)) != 0
+}
+
+// AndBool computes the global AND of one bit per node in one round.
+func AndBool(nd clique.Endpoint, b bool) bool {
+	return MaxWord(nd, clique.BoolWord(!b)) == 0
+}
+
+// Flags is the presence-coded announcement round: nodes with flag set
+// broadcast a single word, the rest send nothing, and every node
+// returns who announced (its own entry is its own flag). One round;
+// only announcing nodes spend budget.
+func Flags(nd clique.Endpoint, flag bool) []bool {
+	n := nd.N()
+	me := nd.ID()
+	if flag {
+		buf := nd.BroadcastBuf(1)
+		buf[0] = 1
+	}
+	nd.Tick()
+	got := make([]bool, n)
+	got[me] = flag
+	for p := 0; p < n; p++ {
+		if p != me {
+			got[p] = len(nd.Recv(p)) > 0
+		}
+	}
+	return got
+}
+
+// BroadcastRounds runs exactly `rounds` one-word broadcast rounds: in
+// round r, a node broadcasts words[r] if r < len(words) and stays
+// silent otherwise, and `on` is invoked for every word received from a
+// peer (the caller's own words are not echoed back). The fixed round
+// count keeps yes- and no-instances indistinguishable by cost, the
+// shape of the paper's kernelisation protocols (Theorem 11).
+func BroadcastRounds(nd clique.Endpoint, words []uint64, rounds int, on func(round, from int, w uint64)) {
+	n := nd.N()
+	me := nd.ID()
+	if len(words) > rounds {
+		nd.Fail("comm: BroadcastRounds has %d words but only %d rounds", len(words), rounds)
+	}
+	for r := 0; r < rounds; r++ {
+		if r < len(words) {
+			buf := nd.BroadcastBuf(1)
+			buf[0] = words[r]
+		}
+		nd.Tick()
+		for p := 0; p < n; p++ {
+			if p == me {
+				continue
+			}
+			if got := nd.Recv(p); len(got) == 1 {
+				on(r, p, got[0])
+			}
+		}
+	}
+}
+
+// BroadcastFrom ships k words from node root to every node, in
+// ceil(k / wordsPerPair) rounds. All nodes must agree on root and k;
+// only the root's words argument is consulted (it must hold exactly k
+// words), and every node returns the k words, the root its own slice.
+func BroadcastFrom(nd clique.Endpoint, root int, words []uint64, k int) []uint64 {
+	me := nd.ID()
+	if root < 0 || root >= nd.N() {
+		nd.Fail("comm: BroadcastFrom root %d out of range", root)
+	}
+	if me == root && len(words) != k {
+		nd.Fail("comm: BroadcastFrom root holds %d words, contract is exactly k=%d", len(words), k)
+	}
+	wpp := nd.WordsPerPair()
+	var out []uint64
+	if me != root && k > 0 {
+		out = make([]uint64, 0, k)
+	}
+	for off := 0; off < k; off += wpp {
+		if me == root {
+			nd.BroadcastWords(words[off:chunkEnd(off, k, wpp)])
+		}
+		nd.Tick()
+		if me != root {
+			out = nd.RecvInto(root, out)
+		}
+	}
+	if me == root {
+		return words
+	}
+	if len(out) != k {
+		nd.Fail("comm: BroadcastFrom received %d words from root %d, want %d", len(out), root, k)
+	}
+	return out
+}
+
+// Gather collects exactly k words from every node at root, in
+// ceil(k / wordsPerPair) rounds. The root returns the table indexed by
+// sender (its own entry a copy of its input); other nodes return nil.
+func Gather(nd clique.Endpoint, root int, words []uint64, k int) [][]uint64 {
+	var into [][]uint64
+	if nd.ID() == root {
+		into = make([][]uint64, nd.N())
+	}
+	return GatherTo(nd, root, words, k, into)
+}
+
+// GatherTo is Gather appending into a caller-provided table (length n,
+// entries may be pre-allocated and are appended to), so steady-state
+// callers reuse their buffers. Only the root's `into` is consulted;
+// non-root nodes return nil.
+func GatherTo(nd clique.Endpoint, root int, words []uint64, k int, into [][]uint64) [][]uint64 {
+	n := nd.N()
+	me := nd.ID()
+	if root < 0 || root >= n {
+		nd.Fail("comm: Gather root %d out of range", root)
+	}
+	if len(words) != k {
+		nd.Fail("comm: Gather given %d words, contract is exactly k=%d", len(words), k)
+	}
+	if me == root {
+		if len(into) != n {
+			nd.Fail("comm: GatherTo table has %d entries, want n=%d", len(into), n)
+		}
+		into[me] = append(into[me], words...)
+	}
+	wpp := nd.WordsPerPair()
+	for off := 0; off < k; off += wpp {
+		if me != root {
+			nd.SendWords(root, words[off:chunkEnd(off, k, wpp)])
+		}
+		nd.Tick()
+		if me == root {
+			for p := 0; p < n; p++ {
+				if p != me {
+					into[p] = nd.RecvInto(p, into[p])
+				}
+			}
+		}
+	}
+	if me != root {
+		return nil
+	}
+	return into
+}
+
+// Scatter distributes k words to every node from root: parts[v] is the
+// k-word slice bound for node v (only the root's parts is consulted;
+// parts[root] stays local). Takes ceil(k / wordsPerPair) rounds; every
+// node returns its part, the root its own slice.
+func Scatter(nd clique.Endpoint, root int, parts [][]uint64, k int) []uint64 {
+	n := nd.N()
+	me := nd.ID()
+	if root < 0 || root >= n {
+		nd.Fail("comm: Scatter root %d out of range", root)
+	}
+	if me == root {
+		if len(parts) != n {
+			nd.Fail("comm: Scatter has %d parts, want n=%d", len(parts), n)
+		}
+		for v, part := range parts {
+			if len(part) != k {
+				nd.Fail("comm: Scatter part for %d holds %d words, contract is exactly k=%d", v, len(part), k)
+			}
+		}
+	}
+	var out []uint64
+	if me != root && k > 0 {
+		out = make([]uint64, 0, k)
+	}
+	wpp := nd.WordsPerPair()
+	for off := 0; off < k; off += wpp {
+		if me == root {
+			end := chunkEnd(off, k, wpp)
+			for v := 0; v < n; v++ {
+				if v != me {
+					nd.SendWords(v, parts[v][off:end])
+				}
+			}
+		}
+		nd.Tick()
+		if me != root {
+			out = nd.RecvInto(root, out)
+		}
+	}
+	if me == root {
+		return parts[me]
+	}
+	if len(out) != k {
+		nd.Fail("comm: Scatter received %d words from root %d, want %d", len(out), root, k)
+	}
+	return out
+}
+
+// AllToAllWord is the one-word personalised exchange: node v receives
+// out[p] from every peer p, in one round over the zero-copy send path.
+// The returned ok flags report which peers delivered exactly one word
+// (own entry always true, set to out[me]); protocols replayed against
+// adversarial transcripts use them instead of trusting the wire.
+func AllToAllWord(nd clique.Endpoint, out []uint64) (in []uint64, ok []bool) {
+	n := nd.N()
+	me := nd.ID()
+	if len(out) != n {
+		nd.Fail("comm: AllToAllWord given %d words, want one per node (n=%d)", len(out), n)
+	}
+	for v := 0; v < n; v++ {
+		if v != me {
+			buf := nd.SendBuf(v, 1)
+			buf[0] = out[v]
+		}
+	}
+	nd.Tick()
+	in = make([]uint64, n)
+	ok = make([]bool, n)
+	in[me], ok[me] = out[me], true
+	for v := 0; v < n; v++ {
+		if v == me {
+			continue
+		}
+		if got := nd.Recv(v); len(got) == 1 {
+			in[v], ok[v] = got[0], true
+		}
+	}
+	return in, ok
+}
+
+// AllToAll delivers arbitrary per-destination word streams: queue[t] is
+// the stream this node owes node t (queue[own id] must be empty). All
+// nodes agree on the number of rounds via a one-round max-reduction,
+// then ship wordsPerPair words per link per round. Returns the
+// concatenated stream received from each sender. Rounds:
+// 1 + ceil(maxLinkLoad / wordsPerPair).
+func AllToAll(nd clique.Endpoint, queue [][]uint64) [][]uint64 {
+	n := nd.N()
+	me := nd.ID()
+	local := 0
+	for t, q := range queue {
+		if t == me && len(q) > 0 {
+			nd.Fail("comm: AllToAll queued %d words to itself", len(q))
+		}
+		if len(q) > local {
+			local = len(q)
+		}
+	}
+	max := int(MaxWord(nd, uint64(local)))
+
+	in := make([][]uint64, n)
+	wpp := nd.WordsPerPair()
+	for off := 0; off < max; off += wpp {
+		for t := 0; t < n; t++ {
+			if t == me || off >= len(queue[t]) {
+				continue
+			}
+			nd.SendWords(t, queue[t][off:chunkEnd(off, len(queue[t]), wpp)])
+		}
+		nd.Tick()
+		for p := 0; p < n; p++ {
+			if p != me {
+				in[p] = nd.RecvInto(p, in[p])
+			}
+		}
+	}
+	return in
+}
+
+// BroadcastBits has every node broadcast an arbitrary bit vector (all
+// nodes must pass the same length); it returns the table indexed by
+// sender. Bits are packed clique.WordBits(n) per word — the honest
+// O(log n)-bit packing — so broadcasting b bits takes
+// ceil(b / WordBits(n) / wordsPerPair) rounds. Broadcasting the full
+// input graph this way (b = n) realises the trivial O(n / log n)
+// upper bound that every problem has in the model.
+func BroadcastBits(nd clique.Endpoint, bits []bool) [][]bool {
+	n := nd.N()
+	wb := clique.WordBits(n)
+	nwords := (len(bits) + wb - 1) / wb
+	words := make([]uint64, nwords)
+	for i, b := range bits {
+		if b {
+			words[i/wb] |= 1 << (i % wb)
+		}
+	}
+	table := BroadcastAll(nd, words, nwords)
+	out := make([][]bool, n)
+	for p := 0; p < n; p++ {
+		row := make([]bool, len(bits))
+		for i := range row {
+			row[i] = table[p][i/wb]&(1<<(i%wb)) != 0
+		}
+		out[p] = row
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/clique"
+)
+
+// runBoth executes the node program on every backend and requires
+// identical model Stats; it returns the per-backend results keyed by
+// backend name. Collectives must be bit-equivalent across engines —
+// that is the contract that lets algorithm packages ignore the backend.
+func runBoth(t *testing.T, cfg clique.Config, f clique.NodeFunc) map[string]*clique.Result {
+	t.Helper()
+	out := map[string]*clique.Result{}
+	for _, backend := range clique.Backends() {
+		cfg := cfg
+		cfg.Backend = backend
+		res, err := clique.Run(cfg, f)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		out[backend] = res
+	}
+	ref := out[clique.Backends()[0]]
+	for name, res := range out {
+		if res.Stats != ref.Stats {
+			t.Fatalf("stats diverge across backends: %s %+v vs %+v", name, res.Stats, ref.Stats)
+		}
+	}
+	return out
+}
+
+func TestBroadcastAll(t *testing.T) {
+	const n, k = 6, 5
+	for _, backend := range clique.Backends() {
+		tables := make([][][]uint64, n)
+		res, err := clique.Run(clique.Config{N: n, Backend: backend}, func(nd *clique.Node) {
+			words := make([]uint64, k)
+			for i := range words {
+				words[i] = uint64(nd.ID()*100 + i)
+			}
+			tables[nd.ID()] = BroadcastAll(nd, words, k)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Rounds != k {
+			t.Errorf("%s: BroadcastAll rounds = %d, want %d", backend, res.Stats.Rounds, k)
+		}
+		for v := 0; v < n; v++ {
+			for p := 0; p < n; p++ {
+				for i := 0; i < k; i++ {
+					if tables[v][p][i] != uint64(p*100+i) {
+						t.Fatalf("%s: node %d table[%d][%d] = %d", backend, v, p, i, tables[v][p][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastAllChunksAgainstBudget(t *testing.T) {
+	const n, k = 4, 6
+	res := runBoth(t, clique.Config{N: n, WordsPerPair: 3}, func(nd *clique.Node) {
+		BroadcastAll(nd, make([]uint64, k), k)
+	})
+	for backend, r := range res {
+		if r.Stats.Rounds != 2 { // ceil(6/3)
+			t.Errorf("%s: rounds = %d, want 2", backend, r.Stats.Rounds)
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	const n = 7
+	runBoth(t, clique.Config{N: n}, func(nd *clique.Node) {
+		if got := MaxWord(nd, uint64(nd.ID()*3)); got != 3*(n-1) {
+			nd.Fail("MaxWord = %d", got)
+		}
+		if got := SumWord(nd, uint64(nd.ID())); got != n*(n-1)/2 {
+			nd.Fail("SumWord = %d", got)
+		}
+		if !OrBool(nd, nd.ID() == 3) {
+			nd.Fail("OrBool missed the one true vote")
+		}
+		if OrBool(nd, false) {
+			nd.Fail("OrBool invented a vote")
+		}
+		if AndBool(nd, nd.ID() != 3) {
+			nd.Fail("AndBool missed the one false vote")
+		}
+		if !AndBool(nd, true) {
+			nd.Fail("AndBool rejected unanimity")
+		}
+	})
+}
+
+func TestBroadcastWordOK(t *testing.T) {
+	const n = 5
+	runBoth(t, clique.Config{N: n}, func(nd *clique.Node) {
+		words, ok := BroadcastWordOK(nd, uint64(nd.ID()+10))
+		for p := 0; p < n; p++ {
+			if !ok[p] || words[p] != uint64(p+10) {
+				nd.Fail("peer %d: ok=%v words=%d", p, ok[p], words[p])
+			}
+		}
+	})
+}
+
+func TestFlags(t *testing.T) {
+	const n = 8
+	runBoth(t, clique.Config{N: n}, func(nd *clique.Node) {
+		got := Flags(nd, nd.ID()%3 == 0)
+		for p := 0; p < n; p++ {
+			if got[p] != (p%3 == 0) {
+				nd.Fail("flag of %d = %v", p, got[p])
+			}
+		}
+	})
+}
+
+func TestFlagsCostsNothingWhenSilent(t *testing.T) {
+	const n = 6
+	res := runBoth(t, clique.Config{N: n}, func(nd *clique.Node) {
+		Flags(nd, false)
+	})
+	for backend, r := range res {
+		if r.Stats.WordsSent != 0 {
+			t.Errorf("%s: silent Flags sent %d words", backend, r.Stats.WordsSent)
+		}
+		if r.Stats.Rounds != 1 {
+			t.Errorf("%s: Flags rounds = %d, want 1", backend, r.Stats.Rounds)
+		}
+	}
+}
+
+func TestBroadcastRounds(t *testing.T) {
+	const n, rounds = 5, 4
+	res := runBoth(t, clique.Config{N: n}, func(nd *clique.Node) {
+		// Node v broadcasts min(v+1, rounds) words; everyone
+		// reconstructs everyone.
+		words := make([]uint64, min(nd.ID()+1, rounds))
+		for i := range words {
+			words[i] = uint64(nd.ID()*10 + i)
+		}
+		seen := make(map[[2]int]uint64)
+		BroadcastRounds(nd, words, rounds, func(r, from int, w uint64) {
+			seen[[2]int{r, from}] = w
+		})
+		for from := 0; from < n; from++ {
+			if from == nd.ID() {
+				continue
+			}
+			for r := 0; r < rounds; r++ {
+				w, there := seen[[2]int{r, from}]
+				if r < min(from+1, rounds) {
+					if !there || w != uint64(from*10+r) {
+						nd.Fail("round %d from %d: got %d (present %v)", r, from, w, there)
+					}
+				} else if there {
+					nd.Fail("round %d from %d: unexpected word %d", r, from, w)
+				}
+			}
+		}
+	})
+	for backend, r := range res {
+		if r.Stats.Rounds != rounds {
+			t.Errorf("%s: rounds = %d, want %d", backend, r.Stats.Rounds, rounds)
+		}
+	}
+}
+
+func TestBroadcastFromChunks(t *testing.T) {
+	const n, k, wpp = 6, 7, 3
+	res := runBoth(t, clique.Config{N: n, WordsPerPair: wpp}, func(nd *clique.Node) {
+		const root = 2
+		var words []uint64
+		if nd.ID() == root {
+			words = make([]uint64, k)
+			for i := range words {
+				words[i] = uint64(1000 + i)
+			}
+		}
+		got := BroadcastFrom(nd, root, words, k)
+		if len(got) != k {
+			nd.Fail("got %d words", len(got))
+		}
+		for i, w := range got {
+			if w != uint64(1000+i) {
+				nd.Fail("word %d = %d", i, w)
+			}
+		}
+	})
+	for backend, r := range res {
+		if want := (k + wpp - 1) / wpp; r.Stats.Rounds != want {
+			t.Errorf("%s: rounds = %d, want %d", backend, r.Stats.Rounds, want)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n, k, wpp = 5, 5, 2
+	res := runBoth(t, clique.Config{N: n, WordsPerPair: wpp}, func(nd *clique.Node) {
+		const root = 1
+		words := make([]uint64, k)
+		for i := range words {
+			words[i] = uint64(nd.ID()*100 + i)
+		}
+		table := Gather(nd, root, words, k)
+		if nd.ID() != root {
+			if table != nil {
+				nd.Fail("non-root got a gather table")
+			}
+		} else {
+			for p := 0; p < n; p++ {
+				for i := 0; i < k; i++ {
+					if table[p][i] != uint64(p*100+i) {
+						nd.Fail("gather table[%d][%d] = %d", p, i, table[p][i])
+					}
+				}
+			}
+		}
+		// Scatter the gathered table straight back; every node must
+		// recover its own contribution.
+		back := Scatter(nd, root, table, k)
+		for i, w := range back {
+			if w != words[i] {
+				nd.Fail("scatter word %d = %d, want %d", i, w, words[i])
+			}
+		}
+	})
+	for backend, r := range res {
+		if want := 2 * ((k + wpp - 1) / wpp); r.Stats.Rounds != want {
+			t.Errorf("%s: rounds = %d, want %d", backend, r.Stats.Rounds, want)
+		}
+	}
+}
+
+func TestAllToAllWord(t *testing.T) {
+	const n = 6
+	runBoth(t, clique.Config{N: n}, func(nd *clique.Node) {
+		out := make([]uint64, n)
+		for v := range out {
+			out[v] = uint64(nd.ID()*n + v)
+		}
+		in, ok := AllToAllWord(nd, out)
+		for p := 0; p < n; p++ {
+			if !ok[p] || in[p] != uint64(p*n+nd.ID()) {
+				nd.Fail("from %d: ok=%v in=%d", p, ok[p], in[p])
+			}
+		}
+	})
+}
+
+func TestAllToAllStreams(t *testing.T) {
+	// Raw stream exchange: node v owes each peer p the words
+	// [v, p, v*p]; verify exact delivery across backends.
+	const n = 5
+	runBoth(t, clique.Config{N: n, WordsPerPair: 2}, func(nd *clique.Node) {
+		queues := make([][]uint64, n)
+		for p := 0; p < n; p++ {
+			if p != nd.ID() {
+				queues[p] = []uint64{uint64(nd.ID()), uint64(p), uint64(nd.ID() * p)}
+			}
+		}
+		in := AllToAll(nd, queues)
+		for p := 0; p < n; p++ {
+			if p == nd.ID() {
+				continue
+			}
+			want := []uint64{uint64(p), uint64(nd.ID()), uint64(p * nd.ID())}
+			if !reflect.DeepEqual(in[p], want) {
+				nd.Fail("stream from %d = %v, want %v", p, in[p], want)
+			}
+		}
+	})
+}
+
+func TestBroadcastBitsRoundTrip(t *testing.T) {
+	const n, k = 9, 23
+	for _, backend := range clique.Backends() {
+		tables := make([][][]bool, n)
+		res, err := clique.Run(clique.Config{N: n, Backend: backend}, func(nd *clique.Node) {
+			bits := make([]bool, k)
+			for i := range bits {
+				bits[i] = (nd.ID()+i)%3 == 0
+			}
+			tables[nd.ID()] = BroadcastBits(nd, bits)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			for p := 0; p < n; p++ {
+				for i := 0; i < k; i++ {
+					if tables[v][p][i] != ((p+i)%3 == 0) {
+						t.Fatalf("%s: node %d sees wrong bit %d of %d", backend, v, i, p)
+					}
+				}
+			}
+		}
+		// Round count: ceil(k / WordBits(n)) at one word per pair.
+		want := (k + clique.WordBits(n) - 1) / clique.WordBits(n)
+		if res.Stats.Rounds != want {
+			t.Errorf("%s: rounds = %d, want %d", backend, res.Stats.Rounds, want)
+		}
+	}
+}
+
+// routeInstance runs Route on a random (s, r)-style instance on every
+// backend and checks exact multiset delivery plus cross-backend Stats.
+func routeInstance(t *testing.T, n, perNode int, skewed bool, seed uint64) *clique.Result {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 99))
+	sentTo := make([][][2]uint64, n) // per destination: (src, tag)
+	instance := make([][]Packet, n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < perNode; i++ {
+			dst := rng.IntN(n)
+			if skewed {
+				dst = (v + 1) % n // everyone floods one neighbour pattern
+			}
+			if dst == v {
+				dst = (dst + 1) % n
+			}
+			tag := uint64(v*1000 + i)
+			instance[v] = append(instance[v], Packet{Dst: dst, Payload: []uint64{tag}})
+			sentTo[dst] = append(sentTo[dst], [2]uint64{uint64(v), tag})
+		}
+	}
+	var ref *clique.Result
+	got := make([][]Packet, n)
+	res := runBoth(t, clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
+		got[nd.ID()] = Route(nd, instance[nd.ID()], 1, 42)
+	})
+	for v := 0; v < n; v++ {
+		if len(got[v]) != len(sentTo[v]) {
+			t.Fatalf("node %d received %d packets, want %d", v, len(got[v]), len(sentTo[v]))
+		}
+		want := append([][2]uint64(nil), sentTo[v]...)
+		have := make([][2]uint64, len(got[v]))
+		for i, p := range got[v] {
+			have[i] = [2]uint64{uint64(p.Src), p.Payload[0]}
+		}
+		sortPairs(want)
+		sortPairs(have)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("node %d delivery mismatch: got %v want %v", v, have[i], want[i])
+			}
+		}
+	}
+	for _, r := range res {
+		ref = r
+	}
+	return ref
+}
+
+func sortPairs(ps [][2]uint64) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+func TestRouteUniform(t *testing.T) {
+	routeInstance(t, 8, 10, false, 1)
+}
+
+func TestRouteSkewed(t *testing.T) {
+	routeInstance(t, 8, 10, true, 2)
+}
+
+func TestRouteEmpty(t *testing.T) {
+	const n = 5
+	runBoth(t, clique.Config{N: n}, func(nd *clique.Node) {
+		if out := Route(nd, nil, 1, 7); len(out) != 0 {
+			nd.Fail("empty route returned %d packets", len(out))
+		}
+	})
+}
+
+func TestRouteSelfAddressed(t *testing.T) {
+	const n = 4
+	runBoth(t, clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
+		out := Route(nd, []Packet{{Dst: nd.ID(), Payload: []uint64{uint64(nd.ID())}}}, 1, 3)
+		if len(out) != 1 || out[0].Payload[0] != uint64(nd.ID()) || out[0].Src != nd.ID() {
+			nd.Fail("self-route failed: %v", out)
+		}
+	})
+}
+
+func TestRouteWidePayload(t *testing.T) {
+	const n = 5
+	runBoth(t, clique.Config{N: n, WordsPerPair: 2}, func(nd *clique.Node) {
+		var ps []Packet
+		for dst := 0; dst < n; dst++ {
+			if dst != nd.ID() {
+				ps = append(ps, Packet{Dst: dst, Payload: []uint64{uint64(nd.ID()), uint64(dst), 7}})
+			}
+		}
+		out := Route(nd, ps, 3, 11)
+		if len(out) != n-1 {
+			nd.Fail("got %d packets, want %d", len(out), n-1)
+		}
+		for _, p := range out {
+			if p.Payload[0] != uint64(p.Src) || p.Payload[1] != uint64(nd.ID()) || p.Payload[2] != 7 {
+				nd.Fail("corrupted payload %v from %d", p.Payload, p.Src)
+			}
+		}
+	})
+}
+
+func TestRouteScalesWithLoad(t *testing.T) {
+	// Doubling the per-node load should roughly double the rounds, the
+	// O(s + r) regime of Lenzen's theorem.
+	r1 := routeInstance(t, 8, 8, false, 3).Stats.Rounds
+	r2 := routeInstance(t, 8, 32, false, 3).Stats.Rounds
+	if r2 < 2*r1/2 || r2 > 12*r1 {
+		t.Errorf("rounds did not scale plausibly with load: %d -> %d", r1, r2)
+	}
+}
+
+func TestDirectVsBalancedOnSkew(t *testing.T) {
+	// Adversarial-for-direct instance: node 0 sends L packets all to
+	// node 1. Direct routing needs ~L rounds on the single link; the
+	// balanced router spreads phase 1 across n intermediates.
+	const n, L = 16, 64
+	run := func(balanced bool) int {
+		var rounds int
+		for _, r := range runBoth(t, clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
+			var ps []Packet
+			if nd.ID() == 0 {
+				for i := 0; i < L; i++ {
+					ps = append(ps, Packet{Dst: 1, Payload: []uint64{uint64(i)}})
+				}
+			}
+			var got []Packet
+			if balanced {
+				got = Route(nd, ps, 1, 5)
+			} else {
+				got = RouteDirect(nd, ps, 1)
+			}
+			if nd.ID() == 1 && len(got) != L {
+				nd.Fail("node 1 got %d packets, want %d", len(got), L)
+			}
+		}) {
+			rounds = r.Stats.Rounds
+		}
+		return rounds
+	}
+	direct, bal := run(false), run(true)
+	if bal >= direct {
+		t.Errorf("balanced router (%d rounds) not better than direct (%d rounds) on skewed instance", bal, direct)
+	}
+}
+
+// TestCollectiveBackendEquivalence drives every collective in one node
+// program on both backends and requires bit-identical outputs, Stats,
+// and transcripts — the contract the migrated algorithm suite rests on.
+func TestCollectiveBackendEquivalence(t *testing.T) {
+	const n = 6
+	type snapshot struct {
+		stats       clique.Stats
+		transcripts string
+		outputs     string
+	}
+	shots := map[string]snapshot{}
+	for _, backend := range clique.Backends() {
+		outputs := make([]string, n)
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: 3, Backend: backend, RecordTranscript: true},
+			func(nd *clique.Node) {
+				me := nd.ID()
+				var log []any
+
+				table := BroadcastAll(nd, []uint64{uint64(me), uint64(me * 2), uint64(me * 3)}, 3)
+				log = append(log, table)
+				log = append(log, BroadcastWord(nd, uint64(me+7)))
+				log = append(log, MaxWord(nd, uint64(me*me)))
+				log = append(log, SumWord(nd, uint64(me)))
+				log = append(log, Flags(nd, me%2 == 0))
+				words := make([]uint64, me%3)
+				for i := range words {
+					words[i] = uint64(me*100 + i)
+				}
+				heard := map[string]uint64{}
+				BroadcastRounds(nd, words, 2, func(r, from int, w uint64) {
+					heard[fmt.Sprintf("%d/%d", r, from)] = w
+				})
+				log = append(log, heard)
+				var wit []uint64
+				if me == 1 {
+					wit = []uint64{3, 1, 4, 1, 5}
+				}
+				log = append(log, BroadcastFrom(nd, 1, wit, 5))
+				mine := []uint64{uint64(me), uint64(me + 1)}
+				log = append(log, Gather(nd, 0, mine, 2))
+				var parts [][]uint64
+				if me == 0 {
+					parts = make([][]uint64, n)
+					for v := range parts {
+						parts[v] = []uint64{uint64(v * 11)}
+					}
+				}
+				log = append(log, Scatter(nd, 0, parts, 1))
+				out := make([]uint64, n)
+				for v := range out {
+					out[v] = uint64(me ^ v)
+				}
+				in, _ := AllToAllWord(nd, out)
+				log = append(log, in)
+				queues := make([][]uint64, n)
+				for p := 0; p < n; p++ {
+					if p != me {
+						for j := 0; j < (me+p)%4; j++ {
+							queues[p] = append(queues[p], uint64(me*1000+p*10+j))
+						}
+					}
+				}
+				log = append(log, AllToAll(nd, queues))
+				log = append(log, Route(nd, []Packet{{Dst: (me + 1) % n, Payload: []uint64{uint64(me), 9}}}, 2, 77))
+				outputs[me] = fmt.Sprintf("%v", log)
+			})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		var trs []string
+		for _, tr := range res.Transcripts {
+			trs = append(trs, fmt.Sprintf("%d:%v", tr.NodeID, tr.Rounds))
+		}
+		shots[backend] = snapshot{
+			stats:       res.Stats,
+			transcripts: fmt.Sprintf("%v", trs),
+			outputs:     fmt.Sprintf("%v", outputs),
+		}
+	}
+	ref := shots[clique.Backends()[0]]
+	for backend, s := range shots {
+		if s.stats != ref.stats {
+			t.Errorf("%s stats = %+v, reference %+v", backend, s.stats, ref.stats)
+		}
+		if s.outputs != ref.outputs {
+			t.Errorf("%s collective outputs diverge from reference", backend)
+		}
+		if s.transcripts != ref.transcripts {
+			t.Errorf("%s transcripts diverge from reference", backend)
+		}
+	}
+}

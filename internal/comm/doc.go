@@ -1,0 +1,44 @@
+// Package comm is the collective-communication layer of the congested
+// clique simulator: the reusable vocabulary of communication patterns —
+// broadcasts, reductions, gather/scatter, personalised all-to-all
+// exchanges, and Lenzen-style balanced routing — that every algorithm
+// package builds on instead of hand-rolling per-word Send loops.
+//
+// All collectives are global operations written against
+// clique.Endpoint: every node of the clique must call the same
+// collective with compatible arguments at the same point of its
+// program, exactly as in the paper's constructions (the Theorem 2–3
+// simulations and the fine-grained upper bounds of Figure 1 are all
+// phrased over this vocabulary, as are the algebraic and MST algorithms
+// of the related work). Each collective is budget-aware: operations
+// that move more than WordsPerPair() words per link split themselves
+// into ceil(k / wordsPerPair) rounds automatically, so algorithms state
+// *what* moves and the collective owns the round schedule.
+//
+// The collectives ride the batched engine paths (BroadcastWords,
+// SendWords, SendBuf, BroadcastBuf, RecvInto), so a migrated algorithm
+// allocates nothing per round beyond its own result buffers. Which
+// collective to reach for:
+//
+//   - BroadcastAll: every node contributes k words, all nodes learn the
+//     full table (the all-gather of the suite).
+//   - BroadcastWord / BroadcastWordOK: the one-word special case, with
+//     OK-flags when peers may legally stay silent.
+//   - MaxWord / SumWord / OrBool / AndBool: one-round reductions,
+//     identical at every node.
+//   - Flags: presence-coded one-round announcements (nothing on the
+//     wire for false).
+//   - BroadcastRounds: a fixed number of optional one-word broadcast
+//     rounds (kernelisation-style protocols).
+//   - BroadcastFrom: one root ships k words to everyone (leader
+//     agreement, witness publication).
+//   - Gather / GatherTo / Scatter: k words per node to or from a root.
+//   - AllToAllWord: one word to every peer, one round (transposes,
+//     label-consistency checks).
+//   - AllToAll: arbitrary per-destination streams, the raw substrate
+//     under Route.
+//   - Route / RouteDirect: Lenzen's balanced packet routing [43] and
+//     its unbalanced ablation baseline.
+//   - BroadcastBits: bit-packed broadcast at the honest O(log n)-bit
+//     word size.
+package comm

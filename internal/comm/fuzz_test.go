@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/clique"
+)
+
+// FuzzAllToAllChunking drives AllToAll with pseudo-random stream shapes
+// under varying per-pair budgets and checks, on every backend, that (a)
+// each destination receives exactly the stream each sender owed it, in
+// order, (b) the round count matches the collective's contract
+// (1 + ceil(maxLinkLoad / wpp), zero-traffic instances pay only the
+// max-reduction round), and (c) both backends agree on Stats.
+func FuzzAllToAllChunking(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(1))
+	f.Add(uint64(7), uint8(6), uint8(3))
+	f.Add(uint64(42), uint8(3), uint8(7))
+	f.Add(uint64(99), uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, wppRaw uint8) {
+		n := 2 + int(nRaw%7)     // 2..8 nodes
+		wpp := 1 + int(wppRaw%8) // 1..8 words per pair
+
+		rng := rand.New(rand.NewPCG(seed, uint64(n*100+wpp)))
+		queues := make([][][]uint64, n) // queues[v][t] = words v owes t
+		maxLoad := 0
+		for v := 0; v < n; v++ {
+			queues[v] = make([][]uint64, n)
+			for dst := 0; dst < n; dst++ {
+				if dst == v {
+					continue
+				}
+				l := rng.IntN(3 * wpp)
+				for i := 0; i < l; i++ {
+					queues[v][dst] = append(queues[v][dst], uint64(v)<<32|uint64(dst)<<16|uint64(i))
+				}
+				if l > maxLoad {
+					maxLoad = l
+				}
+			}
+		}
+
+		var refStats *clique.Stats
+		for _, backend := range clique.Backends() {
+			got := make([][][]uint64, n)
+			res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp, Backend: backend},
+				func(nd *clique.Node) {
+					mine := make([][]uint64, n)
+					for t := range mine {
+						mine[t] = queues[nd.ID()][t]
+					}
+					got[nd.ID()] = AllToAll(nd, mine)
+				})
+			if err != nil {
+				t.Fatalf("%s: %v", backend, err)
+			}
+			wantRounds := 1
+			if maxLoad > 0 {
+				wantRounds += (maxLoad + wpp - 1) / wpp
+			}
+			if res.Stats.Rounds != wantRounds {
+				t.Fatalf("%s: rounds = %d, want %d (maxLoad %d, wpp %d)",
+					backend, res.Stats.Rounds, wantRounds, maxLoad, wpp)
+			}
+			for to := 0; to < n; to++ {
+				for from := 0; from < n; from++ {
+					if from == to {
+						continue
+					}
+					want := queues[from][to]
+					have := got[to][from]
+					if len(want) == 0 && len(have) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(have, want) {
+						t.Fatalf("%s: stream %d->%d = %v, want %v", backend, from, to, have, want)
+					}
+				}
+			}
+			if refStats == nil {
+				s := res.Stats
+				refStats = &s
+			} else if *refStats != res.Stats {
+				t.Fatalf("%s stats %+v diverge from reference %+v", backend, res.Stats, *refStats)
+			}
+		}
+	})
+}

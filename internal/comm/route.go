@@ -1,0 +1,135 @@
+package comm
+
+import (
+	"repro/internal/clique"
+)
+
+// Packet is one routed message: a fixed-width payload bound for Dst.
+// Within a single Route call all packets must have the same payload
+// width, which keeps the wire format self-delimiting.
+type Packet struct {
+	Src     int
+	Dst     int
+	Payload []uint64
+}
+
+// splitmix64 is the fixed hash used to pick routing intermediates. It is
+// part of the (uniform, deterministic) algorithm, playing the role of
+// Lenzen's explicit balancing computation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Route delivers an arbitrary multiset of fixed-width packets and returns
+// the packets addressed to this node, with Src filled in. All nodes must
+// call Route together (it is a global operation), and every packet in the
+// instance must have payload width w. Cost: O((s + r) * (w + 2) /
+// wordsPerPair) rounds plus a constant, where s*n and r*n bound per-node
+// send and receive counts — the Lenzen [43] regime.
+//
+// seed selects the intermediate assignment; algorithms fix it so the
+// whole computation stays deterministic.
+func Route(nd clique.Endpoint, packets []Packet, w int, seed uint64) []Packet {
+	n := nd.N()
+	me := nd.ID()
+
+	// Phase 1: spread every packet to a pseudo-random intermediate.
+	// Wire format per packet: dst, src, payload words.
+	queues := make([][]uint64, n)
+	for idx, p := range packets {
+		if len(p.Payload) != w {
+			nd.Fail("comm: packet %d has payload width %d, instance width is %d", idx, len(p.Payload), w)
+		}
+		if p.Dst < 0 || p.Dst >= n {
+			nd.Fail("comm: packet %d has bad destination %d", idx, p.Dst)
+		}
+		mid := int(splitmix64(seed^uint64(me)*0x100000001b3^uint64(idx)) % uint64(n))
+		rec := make([]uint64, 0, w+2)
+		rec = append(rec, uint64(p.Dst), uint64(me))
+		rec = append(rec, p.Payload...)
+		queues[mid] = append(queues[mid], rec...)
+	}
+	// Packets whose intermediate is the sender itself never hit the
+	// network in phase 1; hold them aside and let them join phase 2.
+	held := queues[me]
+	queues[me] = nil
+
+	in := AllToAll(nd, queues)
+
+	// Phase 2: every intermediate forwards to true destinations.
+	// Wire format per packet: src, payload words.
+	queues2 := make([][]uint64, n)
+	var local []Packet
+	forward := func(stream []uint64) {
+		for off := 0; off+w+2 <= len(stream); off += w + 2 {
+			dst := int(stream[off])
+			src := stream[off+1]
+			payload := stream[off+2 : off+2+w]
+			if dst == me {
+				local = append(local, Packet{Src: int(src), Dst: me, Payload: append([]uint64(nil), payload...)})
+				continue
+			}
+			rec := make([]uint64, 0, w+1)
+			rec = append(rec, src)
+			rec = append(rec, payload...)
+			queues2[dst] = append(queues2[dst], rec...)
+		}
+	}
+	forward(held)
+	for p := 0; p < n; p++ {
+		forward(in[p])
+	}
+
+	in2 := AllToAll(nd, queues2)
+
+	out := local
+	for p := 0; p < n; p++ {
+		stream := in2[p]
+		for off := 0; off+w+1 <= len(stream); off += w + 1 {
+			out = append(out, Packet{
+				Src:     int(stream[off]),
+				Dst:     me,
+				Payload: append([]uint64(nil), stream[off+1:off+1+w]...),
+			})
+		}
+	}
+	return out
+}
+
+// RouteDirect is the ablation baseline: every packet travels straight to
+// its destination with no balancing. Its round count is 1 + the maximum
+// number of words any single ordered pair must carry, so skewed instances
+// degrade to Theta(max pair load) instead of O(s + r).
+func RouteDirect(nd clique.Endpoint, packets []Packet, w int) []Packet {
+	n := nd.N()
+	me := nd.ID()
+	queues := make([][]uint64, n)
+	for idx, p := range packets {
+		if len(p.Payload) != w {
+			nd.Fail("comm: packet %d has payload width %d, instance width is %d", idx, len(p.Payload), w)
+		}
+		rec := make([]uint64, 0, w+1)
+		rec = append(rec, uint64(me))
+		rec = append(rec, p.Payload...)
+		if p.Dst == me {
+			nd.Fail("comm: RouteDirect packet addressed to self")
+		}
+		queues[p.Dst] = append(queues[p.Dst], rec...)
+	}
+	in := AllToAll(nd, queues)
+	var out []Packet
+	for p := 0; p < n; p++ {
+		stream := in[p]
+		for off := 0; off+w+1 <= len(stream); off += w + 1 {
+			out = append(out, Packet{
+				Src:     int(stream[off]),
+				Dst:     me,
+				Payload: append([]uint64(nil), stream[off+1:off+1+w]...),
+			})
+		}
+	}
+	return out
+}

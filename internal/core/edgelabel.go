@@ -2,10 +2,10 @@ package core
 
 import (
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/gather"
 	"repro/internal/graph"
 	"repro/internal/nondet"
-	"repro/internal/routing"
 )
 
 // This file implements Theorem 6's canonical problem family for
@@ -65,19 +65,13 @@ func (l EdgeLabelling) Set(u, v int, label uint64) {
 func VerifyEdgeLabelling(nd clique.Endpoint, row graph.Bitset, p EdgeLabellingProblem, myLabels []uint64) bool {
 	n := nd.N()
 	me := nd.ID()
-	for v := 0; v < n; v++ {
-		if v != me {
-			nd.Send(v, myLabels[v])
-		}
-	}
-	nd.Tick()
+	peers, delivered := comm.AllToAllWord(nd, myLabels)
 	ok := true
 	for v := 0; v < n; v++ {
 		if v == me {
 			continue
 		}
-		w := nd.Recv(v)
-		if len(w) != 1 || w[0] != myLabels[v] {
+		if !delivered[v] || peers[v] != myLabels[v] {
 			ok = false // endpoints disagree about the edge's label
 			continue
 		}
@@ -253,18 +247,13 @@ func CompileNCLIQUE1(name string, alg nondet.Algorithm, T int, space nondet.Labe
 func VerifyCompiled(nd clique.Endpoint, row graph.Bitset, p CompiledProblem, labelRow []uint64) bool {
 	n := nd.N()
 	me := nd.ID()
-	for v := 0; v < n; v++ {
-		if v != me {
-			nd.Send(v, labelRow[v])
-		}
-	}
-	nd.Tick()
+	peers, delivered := comm.AllToAllWord(nd, labelRow)
 	ok := true
 	for v := 0; v < n; v++ {
 		if v == me {
 			continue
 		}
-		if w := nd.Recv(v); len(w) != 1 || w[0] != labelRow[v] {
+		if !delivered[v] || peers[v] != labelRow[v] {
 			ok = false
 		}
 	}
@@ -317,7 +306,7 @@ func wordsEq(a, b []uint64) bool {
 // SumWordsCheck is a tiny helper kept for examples: the global AND of
 // each node's verdict, computed in one round.
 func SumWordsCheck(nd clique.Endpoint, ok bool) bool {
-	votes := routing.BroadcastWord(nd, clique.BoolWord(ok))
+	votes := comm.BroadcastWord(nd, clique.BoolWord(ok))
 	for _, v := range votes {
 		if v == 0 {
 			return false

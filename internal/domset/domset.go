@@ -2,9 +2,9 @@ package domset
 
 import (
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/partition"
-	"repro/internal/routing"
 	"repro/internal/subgraph"
 )
 
@@ -19,8 +19,9 @@ type Result struct {
 }
 
 // Find looks for a dominating set of size k. row is this node's
-// adjacency bitset. Rounds: O(n^{1-1/k}) for the gather plus k+2
-// bookkeeping rounds to agree on the witness.
+// adjacency bitset. Rounds: O(n^{1-1/k}) for the gather plus
+// 1 + ceil(k / wordsPerPair) bookkeeping rounds to agree on the
+// witness.
 func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 	n := nd.N()
 	if k < 1 {
@@ -74,12 +75,13 @@ func searchDominating(g *graph.Graph, candidates []int, k int) []int {
 
 // agreeOnWitness publishes the lowest-id node's witness (if any) so that
 // all nodes produce identical output: one round to announce success,
-// then k rounds in which the elected node broadcasts its witness.
+// then a budget-chunked BroadcastFrom in which the elected node ships
+// its k witness vertices.
 func agreeOnWitness(nd clique.Endpoint, witness []int, k int) Result {
 	n := nd.N()
 	me := nd.ID()
 	has := clique.BoolWord(witness != nil)
-	flags := routing.BroadcastWord(nd, has)
+	flags := comm.BroadcastWord(nd, has)
 	leader := -1
 	for v := 0; v < n; v++ {
 		if flags[v] != 0 {
@@ -90,19 +92,17 @@ func agreeOnWitness(nd clique.Endpoint, witness []int, k int) Result {
 	if leader < 0 {
 		return Result{}
 	}
+	var words []uint64
+	if me == leader {
+		words = make([]uint64, k)
+		for i, v := range witness {
+			words[i] = uint64(v)
+		}
+	}
+	got := comm.BroadcastFrom(nd, leader, words, k)
 	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		if me == leader {
-			nd.Broadcast(uint64(witness[i]))
-		}
-		nd.Tick()
-		if me == leader {
-			out[i] = witness[i]
-		} else if w := nd.Recv(leader); len(w) == 1 {
-			out[i] = int(w[0])
-		} else {
-			nd.Fail("domset: missing witness word %d from leader %d", i, leader)
-		}
+	for i, w := range got {
+		out[i] = int(w)
 	}
 	return Result{Found: true, Witness: out}
 }

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runAll executes the same body on every backend and returns results
+// keyed by backend name, failing on any backend error.
+func runAll(t *testing.T, cfg Config, body func(id int, rt NodeRuntime)) map[string]*Result {
+	t.Helper()
+	out := map[string]*Result{}
+	for _, name := range Names() {
+		be, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := be.Run(cfg, body)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = res
+	}
+	return out
+}
+
+// transcriptKey flattens transcripts for cross-backend comparison.
+func transcriptKey(ts []*Transcript) string {
+	var sb strings.Builder
+	for _, tr := range ts {
+		fmt.Fprintf(&sb, "%d:%v;", tr.NodeID, tr.Rounds)
+	}
+	return sb.String()
+}
+
+// TestBatchedMatchesVarargs pins the core contract of the batched
+// paths: a program written with SendBuf/BroadcastBuf/RecvInto produces
+// exactly the Stats and transcripts of its Send/Broadcast/Recv twin,
+// on every backend.
+func TestBatchedMatchesVarargs(t *testing.T) {
+	const n, wpp, rounds = 5, 3, 4
+	cfg := Config{N: n, WordsPerPair: wpp, RecordTranscript: true}
+
+	classic := runAll(t, cfg, func(id int, rt NodeRuntime) {
+		for r := 0; r < rounds; r++ {
+			rt.Broadcast(id, r, []uint64{uint64(id*10 + r)})
+			rt.Send(id, r, (id+1)%n, []uint64{uint64(id), uint64(r)})
+			rt.Barrier(id)
+			for p := 0; p < n; p++ {
+				if p != id {
+					_ = rt.Recv(id, p)
+				}
+			}
+		}
+	})
+	batched := runAll(t, cfg, func(id int, rt NodeRuntime) {
+		var scratch []uint64
+		for r := 0; r < rounds; r++ {
+			buf := rt.BroadcastBuf(id, r, 1)
+			buf[0] = uint64(id*10 + r)
+			sb := rt.SendBuf(id, r, (id+1)%n, 2)
+			sb[0], sb[1] = uint64(id), uint64(r)
+			rt.Barrier(id)
+			for p := 0; p < n; p++ {
+				if p != id {
+					scratch = rt.RecvInto(id, p, scratch[:0])
+				}
+			}
+		}
+	})
+
+	refStats := classic["goroutine"].Stats
+	refTr := transcriptKey(classic["goroutine"].Transcripts)
+	for name, res := range classic {
+		if res.Stats != refStats || transcriptKey(res.Transcripts) != refTr {
+			t.Fatalf("classic %s diverges from goroutine reference", name)
+		}
+	}
+	for name, res := range batched {
+		if res.Stats != refStats {
+			t.Errorf("batched %s stats = %+v, want %+v", name, res.Stats, refStats)
+		}
+		if transcriptKey(res.Transcripts) != refTr {
+			t.Errorf("batched %s transcripts diverge from the varargs run", name)
+		}
+	}
+}
+
+// TestBroadcastBufOrdersBeforeLaterSends verifies the replication
+// contract: words reserved by BroadcastBuf land on every link *before*
+// words queued by later Sends of the same round, on every backend.
+func TestBroadcastBufOrdersBeforeLaterSends(t *testing.T) {
+	const n = 3
+	for name, res := range runAll(t, Config{N: n, WordsPerPair: 4, RecordTranscript: true},
+		func(id int, rt NodeRuntime) {
+			buf := rt.BroadcastBuf(id, 0, 1)
+			buf[0] = uint64(100 + id)
+			rt.Send(id, 0, (id+1)%n, []uint64{uint64(200 + id)})
+			rt.Barrier(id)
+		}) {
+		tr := res.Transcripts[1].Rounds[0]
+		want := []uint64{100, 200} // broadcast word first, then the send
+		got := tr.Recv[0]
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("%s: node 1 received %v from node 0, want %v", name, got, want)
+		}
+		if w := tr.Recv[2]; len(w) != 1 || w[0] != 102 {
+			t.Errorf("%s: node 1 received %v from node 2, want [102]", name, w)
+		}
+	}
+}
+
+// TestBroadcastBufFlushOnReturn: a node that fills its broadcast buffer
+// and returns without ever reaching another runtime call still delivers
+// the words to the round its peers complete.
+func TestBroadcastBufFlushOnReturn(t *testing.T) {
+	const n = 4
+	for name, res := range runAll(t, Config{N: n, RecordTranscript: true},
+		func(id int, rt NodeRuntime) {
+			if id == 0 {
+				buf := rt.BroadcastBuf(id, 0, 1)
+				buf[0] = 7
+				return // no Barrier: the leave path must flush
+			}
+			rt.Barrier(id)
+			if w := rt.Recv(id, 0); len(w) != 1 || w[0] != 7 {
+				panic(Violation{Err: fmt.Errorf("node %d saw %v from the returning broadcaster", id, w)})
+			}
+		}) {
+		if res.Stats.WordsSent != n-1 {
+			t.Errorf("%s: words = %d, want %d", name, res.Stats.WordsSent, n-1)
+		}
+	}
+}
+
+// TestSendBufStaysAliasedAcrossLaterSends pins the SendBuf contract on
+// every backend and storage layout: the returned slice aliases the
+// mailbox until the barrier, even when a later Send grows the same
+// cell (the slice-backed layouts pre-grow to the full budget so the
+// append cannot reallocate the cell out from under the buffer).
+func TestSendBufStaysAliasedAcrossLaterSends(t *testing.T) {
+	const n = 3
+	for name, res := range runAll(t, Config{N: n, WordsPerPair: 4, RecordTranscript: true},
+		func(id int, rt NodeRuntime) {
+			buf := rt.SendBuf(id, 0, (id+1)%n, 1)
+			rt.Send(id, 0, (id+1)%n, []uint64{7})
+			buf[0] = 42 // late write, after the cell grew
+			rt.Barrier(id)
+		}) {
+		got := res.Transcripts[1].Rounds[0].Recv[0]
+		if len(got) != 2 || got[0] != 42 || got[1] != 7 {
+			t.Errorf("%s: node 1 received %v from node 0, want [42 7]", name, got)
+		}
+	}
+}
+
+// TestBatchedBudgetViolations: SendBuf and BroadcastBuf must raise the
+// canonical budget violation, deterministically on the lockstep engine.
+func TestBatchedBudgetViolations(t *testing.T) {
+	for _, name := range Names() {
+		be, _ := New(name)
+		_, err := be.Run(Config{N: 3, WordsPerPair: 2}, func(id int, rt NodeRuntime) {
+			buf := rt.SendBuf(id, 0, (id+1)%3, 3)
+			for i := range buf {
+				buf[i] = 1
+			}
+		})
+		if err == nil || !strings.Contains(err.Error(), "bandwidth exceeded") {
+			t.Errorf("%s: SendBuf overflow error = %v", name, err)
+		}
+		_, err = be.Run(Config{N: 3, WordsPerPair: 2}, func(id int, rt NodeRuntime) {
+			rt.Send(id, 0, (id+1)%3, []uint64{1})
+			rt.BroadcastBuf(id, 0, 2) // 1 + 2 > budget on the link already used
+		})
+		if err == nil || !strings.Contains(err.Error(), "bandwidth exceeded") {
+			t.Errorf("%s: BroadcastBuf overflow error = %v", name, err)
+		}
+	}
+}
+
+// TestBroadcastBufBroadcastOnly: the zero-copy broadcast is uniform by
+// construction and must satisfy the broadcast-only model; a SendBuf to
+// a single link must violate it.
+func TestBroadcastBufBroadcastOnly(t *testing.T) {
+	for _, name := range Names() {
+		be, _ := New(name)
+		_, err := be.Run(Config{N: 4, BroadcastOnly: true}, func(id int, rt NodeRuntime) {
+			buf := rt.BroadcastBuf(id, 0, 1)
+			buf[0] = uint64(id)
+			rt.Barrier(id)
+		})
+		if err != nil {
+			t.Errorf("%s: uniform BroadcastBuf flagged in broadcast-only mode: %v", name, err)
+		}
+		_, err = be.Run(Config{N: 4, BroadcastOnly: true}, func(id int, rt NodeRuntime) {
+			if id == 0 {
+				buf := rt.SendBuf(id, 0, 1, 1)
+				buf[0] = 9
+			}
+			rt.Barrier(id)
+		})
+		if err == nil || !strings.Contains(err.Error(), "broadcast-only") {
+			t.Errorf("%s: single-link SendBuf not flagged in broadcast-only mode: %v", name, err)
+		}
+	}
+}
+
+// TestBroadcastBufSingleNode: with n == 1 there are no links; the
+// buffer must still be writable and the run clean.
+func TestBroadcastBufSingleNode(t *testing.T) {
+	for name, res := range runAll(t, Config{N: 1}, func(id int, rt NodeRuntime) {
+		buf := rt.BroadcastBuf(id, 0, 3)
+		for i := range buf {
+			buf[i] = uint64(i)
+		}
+		rt.Barrier(id)
+	}) {
+		if res.Stats.WordsSent != 0 {
+			t.Errorf("%s: single-node broadcast counted %d words", name, res.Stats.WordsSent)
+		}
+	}
+}
+
+// TestRecvIntoAppends: RecvInto must append to the caller's buffer and
+// return memory that survives the next barrier.
+func TestRecvIntoAppends(t *testing.T) {
+	const n, rounds = 3, 3
+	runAll(t, Config{N: n}, func(id int, rt NodeRuntime) {
+		var acc []uint64
+		for r := 0; r < rounds; r++ {
+			rt.Broadcast(id, r, []uint64{uint64(id*100 + r)})
+			rt.Barrier(id)
+			acc = rt.RecvInto(id, (id+1)%n, acc)
+		}
+		if len(acc) != rounds {
+			panic(Violation{Err: fmt.Errorf("accumulated %d words, want %d", len(acc), rounds)})
+		}
+		peer := (id + 1) % n
+		for r, w := range acc {
+			if w != uint64(peer*100+r) {
+				panic(Violation{Err: fmt.Errorf("acc[%d] = %d", r, w)})
+			}
+		}
+	})
+}
+
+// TestBatchedStatsCounters: completed runs fold their batched-path op
+// counts into the process totals.
+func TestBatchedStatsCounters(t *testing.T) {
+	sb0, bb0, ri0 := BatchedStats()
+	const n = 4
+	runAll(t, Config{N: n, WordsPerPair: 2}, func(id int, rt NodeRuntime) {
+		buf := rt.BroadcastBuf(id, 0, 1)
+		buf[0] = 1
+		sb := rt.SendBuf(id, 0, (id+1)%n, 1)
+		sb[0] = 2
+		rt.Barrier(id)
+		rt.RecvInto(id, (id+1)%n, nil)
+	})
+	sb1, bb1, ri1 := BatchedStats()
+	backends := int64(len(Names()))
+	if sb1-sb0 != backends*n || bb1-bb0 != backends*n || ri1-ri0 != backends*n {
+		t.Errorf("batched counters moved by (%d, %d, %d), want (%d, %d, %d)",
+			sb1-sb0, bb1-bb0, ri1-ri0, backends*n, backends*n, backends*n)
+	}
+}
+
+// TestRegistryNamesMatchNew: every listed backend constructs, and the
+// unknown-backend error enumerates exactly the listed names — the two
+// can no longer drift because both derive from the registry map.
+func TestRegistryNamesMatchNew(t *testing.T) {
+	for _, name := range Names() {
+		be, err := New(name)
+		if err != nil || be.Name() != name {
+			t.Errorf("New(%q) = %v, %v", name, be, err)
+		}
+	}
+	_, err := New("no-such-backend")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-backend error %q does not list %q", err, name)
+		}
+	}
+	if def, err := New(""); err != nil || def.Name() != DefaultBackend {
+		t.Errorf("empty name resolved to %v, %v; want %s", def, err, DefaultBackend)
+	}
+}

@@ -81,6 +81,96 @@ func benchExchange(b *testing.B, reads int) {
 	}
 }
 
+// BenchmarkBackendExchangeBatched is the canonical exchange rewritten
+// on the zero-copy paths (BroadcastBuf + RecvInto): the allocs/op gap
+// against BenchmarkBackendExchange is the benefit the batched engine
+// API buys the collective layer.
+func BenchmarkBackendExchangeBatched(b *testing.B) {
+	const roundsPerRun = 256
+	for _, name := range Names() {
+		be, err := New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var sink uint64
+					res, err := be.Run(Config{N: n, WordsPerPair: 1}, func(id int, rt NodeRuntime) {
+						var sum uint64
+						var scratch []uint64
+						for r := 0; r < roundsPerRun; r++ {
+							buf := rt.BroadcastBuf(id, r, 1)
+							buf[0] = uint64(id + r)
+							rt.Barrier(id)
+							for j := 1; j <= 8; j++ {
+								p := (id + r + j) % n
+								if p != id {
+									scratch = rt.RecvInto(id, p, scratch[:0])
+									sum += scratch[0]
+								}
+							}
+						}
+						if id == 0 {
+							sink = sum
+						}
+					})
+					_ = sink
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Stats.Rounds != roundsPerRun {
+						b.Fatalf("rounds = %d", res.Stats.Rounds)
+					}
+				}
+				b.ReportMetric(float64(roundsPerRun)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkBackendTranscript measures transcript-recording runs: the
+// full-traffic exchange with RecordTranscript on, where recordRound's
+// copy strategy (one shared copy per delivered pair, nil rows stay nil)
+// dominates the per-round overhead.
+func BenchmarkBackendTranscript(b *testing.B) {
+	const roundsPerRun = 32
+	for _, name := range Names() {
+		be, err := New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range []int{64} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := be.Run(Config{N: n, WordsPerPair: 1, RecordTranscript: true},
+						func(id int, rt NodeRuntime) {
+							word := make([]uint64, 1)
+							for r := 0; r < roundsPerRun; r++ {
+								// Half the nodes stay silent so the empty-row
+								// fast path is exercised alongside the copies.
+								if id%2 == 0 {
+									word[0] = uint64(id + r)
+									rt.Broadcast(id, r, word)
+								}
+								rt.Barrier(id)
+							}
+						})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Stats.Rounds != roundsPerRun {
+						b.Fatalf("rounds = %d", res.Stats.Rounds)
+					}
+				}
+				b.ReportMetric(float64(roundsPerRun)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkBackendBarrier isolates the scheduling cost: nodes tick with
 // no traffic at all, so the barrier/resume machinery is everything.
 func BenchmarkBackendBarrier(b *testing.B) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strings"
+	"sync/atomic"
 )
 
 // Config describes one simulated network execution. It mirrors the model
@@ -166,10 +168,33 @@ type NodeRuntime interface {
 	// but backends keep it on a fast path: broadcast is the densest and
 	// most common traffic pattern in the algorithm suite.
 	Broadcast(from, round int, words []uint64)
+	// SendBuf reserves k words on the (from, to) link and returns the
+	// mailbox storage itself for the caller to fill in place — the
+	// zero-copy send path. The budget is charged at reservation, with
+	// the same Violation as an equivalent Send; the returned slice is
+	// writable until the node's next Barrier. Contents left unwritten
+	// are unspecified, so callers must fill all k words.
+	SendBuf(from, round, to, k int) []uint64
+	// BroadcastBuf returns a k-word staging buffer, reused across the
+	// node's broadcasts, that the node fills in place of building an
+	// argument slice. The filled words are delivered by one fused
+	// Broadcast when the node next calls any send operation or
+	// Barrier, or when its program returns — with exactly Broadcast's
+	// budget checks, violation choice, and round attribution, and
+	// ordering before any later Send of the same round (the fused
+	// Broadcast runs first). The buffer must be fully written by that
+	// point and is invalid after it.
+	BroadcastBuf(from, round, k int) []uint64
 	// Recv returns the words `to` received from `from` in the most
 	// recently completed round, or nil if none. The slice is owned by
 	// the backend and valid only until the node's next barrier.
 	Recv(to, from int) []uint64
+	// RecvInto appends the words `to` received from `from` in the most
+	// recently completed round to buf and returns the result. The
+	// returned memory is caller-owned (unlike Recv), so collectives
+	// can accumulate multi-round streams without retaining or
+	// re-copying backend memory.
+	RecvInto(to, from int, buf []uint64) []uint64
 	// RecvAll returns node `to`'s full inbox for the most recently
 	// completed round, indexed by sender. Backend-owned, like Recv.
 	RecvAll(to int) [][]uint64
@@ -190,21 +215,33 @@ type Backend interface {
 // DefaultBackend is the backend used when no name is given.
 const DefaultBackend = "goroutine"
 
+// backends is the single backend registry: New, Names, and the
+// unknown-backend error string are all derived from this map, so adding
+// a backend is one entry here and cannot desynchronise validation, flag
+// help, and error text.
+var backendRegistry = map[string]Backend{
+	"goroutine": goroutineBackend{},
+	"lockstep":  lockstepBackend{},
+}
+
 // New returns the backend with the given name; the empty string selects
 // DefaultBackend.
 func New(name string) (Backend, error) {
-	switch name {
-	case "", "goroutine":
-		return goroutineBackend{}, nil
-	case "lockstep":
-		return lockstepBackend{}, nil
+	if name == "" {
+		name = DefaultBackend
 	}
-	return nil, fmt.Errorf("engine: unknown backend %q (have: goroutine, lockstep)", name)
+	if be, ok := backendRegistry[name]; ok {
+		return be, nil
+	}
+	return nil, fmt.Errorf("engine: unknown backend %q (have: %s)", name, strings.Join(Names(), ", "))
 }
 
 // Names lists the available backend names, sorted.
 func Names() []string {
-	names := []string{"goroutine", "lockstep"}
+	names := make([]string, 0, len(backendRegistry))
+	for name := range backendRegistry {
+		names = append(names, name)
+	}
 	sort.Strings(names)
 	return names
 }
@@ -250,16 +287,30 @@ func findBroadcastViolation(n int, out func(from, to int) []uint64) (int, int) {
 
 // recordRound appends one round of transcripts. in(to, from) reads the
 // just-exchanged inbox. Empty slices are recorded as nil so transcripts
-// compare identically across backends.
+// compare identically across backends; nil rows stay nil without an
+// append(nil, ...) pass, and each delivered (from, to) stream is copied
+// exactly once — the sender's Sent entry and the receiver's Recv entry
+// share the copy, which is safe because transcripts are immutable
+// snapshots.
 func recordRound(ts []*Transcript, n int, in func(to, from int) []uint64) {
 	for v := 0; v < n; v++ {
-		sent := make([][]uint64, n)
-		recv := make([][]uint64, n)
-		for p := 0; p < n; p++ {
-			recv[p] = append([]uint64(nil), in(v, p)...)
-			sent[p] = append([]uint64(nil), in(p, v)...)
+		ts[v].Rounds = append(ts[v].Rounds, TranscriptRound{
+			Sent: make([][]uint64, n),
+			Recv: make([][]uint64, n),
+		})
+	}
+	for to := 0; to < n; to++ {
+		round := &ts[to].Rounds[len(ts[to].Rounds)-1]
+		for from := 0; from < n; from++ {
+			words := in(to, from)
+			if len(words) == 0 {
+				continue
+			}
+			cp := append([]uint64(nil), words...)
+			round.Recv[from] = cp
+			sender := &ts[from].Rounds[len(ts[from].Rounds)-1]
+			sender.Sent[to] = cp
 		}
-		ts[v].Rounds = append(ts[v].Rounds, TranscriptRound{Sent: sent, Recv: recv})
 	}
 }
 
@@ -267,4 +318,50 @@ func recordRound(ts []*Transcript, n int, in func(to, from int) []uint64) {
 func finish(stats Stats, ts []*Transcript, n int) *Result {
 	stats.BitsSent = stats.WordsSent * int64(WordBits(n))
 	return &Result{Stats: stats, Transcripts: ts}
+}
+
+// batchOps counts one node's batched-path operations. Each node
+// increments only its own entry (no synchronisation on the hot path);
+// the entry is padded to a cache line so neighbouring nodes do not
+// false-share. Runs fold the counts into the process-wide totals at
+// finish.
+type batchOps struct {
+	sendBuf      int64
+	broadcastBuf int64
+	recvInto     int64
+	_            [5]int64 // pad to 64 bytes
+}
+
+// Process-wide batched-path totals, the serving daemon's evidence that
+// traffic moved onto the zero-copy paths (exported at /metrics).
+var (
+	batchedSendBuf      atomic.Int64
+	batchedBroadcastBuf atomic.Int64
+	batchedRecvInto     atomic.Int64
+)
+
+// foldBatchOps adds a finished run's per-node counts to the totals.
+func foldBatchOps(ops []batchOps) {
+	var sb, bb, ri int64
+	for i := range ops {
+		sb += ops[i].sendBuf
+		bb += ops[i].broadcastBuf
+		ri += ops[i].recvInto
+	}
+	if sb != 0 {
+		batchedSendBuf.Add(sb)
+	}
+	if bb != 0 {
+		batchedBroadcastBuf.Add(bb)
+	}
+	if ri != 0 {
+		batchedRecvInto.Add(ri)
+	}
+}
+
+// BatchedStats reports the cumulative number of batched-path operations
+// (SendBuf, BroadcastBuf, RecvInto) executed by completed runs in this
+// process, across both backends.
+func BatchedStats() (sendBuf, broadcastBuf, recvInto int64) {
+	return batchedSendBuf.Load(), batchedBroadcastBuf.Load(), batchedRecvInto.Load()
 }

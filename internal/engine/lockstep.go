@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"slices"
 	"sync"
 )
 
@@ -57,8 +58,13 @@ type mailbox interface {
 	send(from, round, to int, words []uint64)
 	// broadcast queues words on every outgoing link of `from`.
 	broadcast(from, round int, words []uint64)
+	// sendBuf reserves k words on the (from, to) link and returns the
+	// reserved storage for the caller to fill in place.
+	sendBuf(from, round, to, k int) []uint64
 	// recv returns the words delivered from -> to last round, nil if none.
 	recv(to, from int) []uint64
+	// recvInto appends the words delivered from -> to last round to buf.
+	recvInto(to, from int, buf []uint64) []uint64
 	// fillRow fills row[from] = recv(to, from) for all senders.
 	fillRow(to int, row [][]uint64)
 	// outCell reads a queued (not yet delivered) cell; scheduler only.
@@ -184,6 +190,23 @@ func (b *arenaBox) broadcast(from, round int, words []uint64) {
 	}
 }
 
+func (b *arenaBox) sendBuf(from, round, to, k int) []uint64 {
+	i := from*b.n + to
+	l := int(b.outL[i])
+	if l+k > b.wpp {
+		panic(budgetViolation(from, round, l+k, to, b.wpp))
+	}
+	newLen := int32(l + k)
+	b.outL[i] = newLen
+	s := &b.sent[from]
+	s.words += int64(k)
+	if newLen > s.max {
+		s.max = newLen
+	}
+	base := i*b.wpp + l
+	return b.outW[base : base+k : base+k]
+}
+
 func (b *arenaBox) recv(to, from int) []uint64 {
 	i := from*b.n + to
 	l := int(b.inL[i])
@@ -192,6 +215,16 @@ func (b *arenaBox) recv(to, from int) []uint64 {
 	}
 	base := i * b.wpp
 	return b.inW[base : base+l : base+l]
+}
+
+func (b *arenaBox) recvInto(to, from int, buf []uint64) []uint64 {
+	i := from*b.n + to
+	l := int(b.inL[i])
+	if l == 0 {
+		return buf
+	}
+	base := i * b.wpp
+	return append(buf, b.inW[base:base+l]...)
 }
 
 func (b *arenaBox) fillRow(to int, row [][]uint64) {
@@ -289,11 +322,39 @@ func (b *sliceBox) broadcast(from, round int, words []uint64) {
 	}
 }
 
+func (b *sliceBox) sendBuf(from, round, to, k int) []uint64 {
+	i := from*b.n + to
+	cell := b.out[i]
+	l := len(cell)
+	if l+k > b.wpp {
+		panic(budgetViolation(from, round, l+k, to, b.wpp))
+	}
+	// Grow to the full budget up front: later sends this round can then
+	// never reallocate the cell, so the returned slice stays aliased to
+	// the mailbox until the barrier (the arena layout's structural
+	// guarantee, matched here).
+	if cap(cell) < b.wpp {
+		cell = slices.Grow(cell, b.wpp-l)
+	}
+	cell = cell[:l+k]
+	b.out[i] = cell
+	s := &b.sent[from]
+	s.words += int64(k)
+	if newLen := int32(l + k); newLen > s.max {
+		s.max = newLen
+	}
+	return cell[l : l+k : l+k]
+}
+
 func (b *sliceBox) recv(to, from int) []uint64 {
 	if s := b.in[from*b.n+to]; len(s) != 0 {
 		return s[:len(s):len(s)]
 	}
 	return nil
+}
+
+func (b *sliceBox) recvInto(to, from int, buf []uint64) []uint64 {
+	return append(buf, b.in[from*b.n+to]...)
 }
 
 func (b *sliceBox) fillRow(to int, row [][]uint64) {
@@ -344,6 +405,15 @@ type lockstepEngine struct {
 	// rows[v] is node v's lazily-built RecvAll view, reused per round.
 	rows [][][]uint64
 
+	// pend[v] is the size of node v's pending BroadcastBuf (0 = none),
+	// pendRound[v] the round it was staged in, and scratch[v] the
+	// staging buffer handed to the node. Touched only by node v's
+	// coroutine (and, for the final flush, by the worker that owns it).
+	pend      []int
+	pendRound []int
+	scratch   [][]uint64
+	ops       []batchOps
+
 	// Per-node coroutine controls. yield[v] is stored by node v's
 	// coroutine on startup and invoked by Barrier to suspend it; next[v]
 	// resumes it; stop[v] cancels it (a pending yield returns false).
@@ -376,6 +446,10 @@ func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Resu
 	// their rows right up to the Abort that unwinds them.
 	defer func() { putBox(e.box) }()
 	e.rows = make([][][]uint64, n)
+	e.pend = make([]int, n)
+	e.pendRound = make([]int, n)
+	e.scratch = make([][]uint64, n)
+	e.ops = make([]batchOps, n)
 	e.yield = make([]func(struct{}) bool, n)
 	e.next = make([]func() (struct{}, bool), n)
 	e.stop = make([]func(), n)
@@ -471,6 +545,7 @@ func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Resu
 		}
 	}
 
+	foldBatchOps(e.ops)
 	return finish(e.stats, e.transcripts, n), err
 }
 
@@ -491,6 +566,9 @@ func (e *lockstepEngine) program(v int, body func(id int, rt NodeRuntime)) iter.
 			}
 		}()
 		body(v, e)
+		// A returning node's pending BroadcastBuf still belongs to the
+		// round the scheduler is about to exchange.
+		e.flushBroadcast(v)
 	}
 }
 
@@ -529,21 +607,61 @@ func (e *lockstepEngine) exchange() error {
 
 // Barrier suspends node id until the scheduler has exchanged the round.
 func (e *lockstepEngine) Barrier(id int) {
+	e.flushBroadcast(id)
 	if !e.yield[id](struct{}{}) {
 		panic(Abort{})
 	}
 }
 
 func (e *lockstepEngine) Send(from, round, to int, words []uint64) {
+	e.flushBroadcast(from)
 	e.box.send(from, round, to, words)
 }
 
 func (e *lockstepEngine) Broadcast(from, round int, words []uint64) {
+	e.flushBroadcast(from)
 	e.box.broadcast(from, round, words)
+}
+
+// SendBuf hands out reserved mailbox storage: on the arena layout the
+// returned slice is the link's block in the word arena itself.
+func (e *lockstepEngine) SendBuf(from, round, to, k int) []uint64 {
+	e.flushBroadcast(from)
+	e.ops[from].sendBuf++
+	return e.box.sendBuf(from, round, to, k)
+}
+
+// BroadcastBuf stages k words in the node's reusable scratch buffer;
+// the flush at the node's next operation runs one fused broadcast of
+// the filled words straight into the mailbox (see NodeRuntime).
+func (e *lockstepEngine) BroadcastBuf(from, round, k int) []uint64 {
+	e.flushBroadcast(from)
+	e.ops[from].broadcastBuf++
+	if k == 0 {
+		return nil
+	}
+	if cap(e.scratch[from]) < k {
+		e.scratch[from] = make([]uint64, k)
+	}
+	e.pend[from] = k
+	e.pendRound[from] = round
+	return e.scratch[from][:k]
+}
+
+func (e *lockstepEngine) flushBroadcast(from int) {
+	if k := e.pend[from]; k != 0 {
+		e.pend[from] = 0
+		e.box.broadcast(from, e.pendRound[from], e.scratch[from][:k])
+	}
 }
 
 func (e *lockstepEngine) Recv(to, from int) []uint64 {
 	return e.box.recv(to, from)
+}
+
+func (e *lockstepEngine) RecvInto(to, from int, buf []uint64) []uint64 {
+	e.ops[to].recvInto++
+	return e.box.recvInto(to, from, buf)
 }
 
 // RecvAll materialises node `to`'s inbox row into a per-node scratch

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/clique"
+	"repro/internal/comm"
+)
+
+// BenchProbe is the allocation probe of the canonical exchange
+// benchmark: the per-round gossip pattern the serving hot path runs
+// continuously (every node broadcasts one word, everyone reads the
+// table), executed through the collective layer. AllocsPerOp is the
+// measured heap-allocation count per simulated run; like Throughput it
+// is attached to a report only when timing was requested, so the
+// deterministic envelope is unaffected. The committed baseline's value
+// is the regression reference for CI's warn-only gate.
+type BenchProbe struct {
+	Name         string  `json:"name"`
+	Backend      string  `json:"backend"`
+	N            int     `json:"n"`
+	WordsPerPair int     `json:"words_per_pair"`
+	Rounds       int     `json:"rounds"`
+	Runs         int     `json:"runs"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Canonical exchange shape: dense one-word gossip at the engine
+// microbenchmark's size, long enough that steady-state rounds dominate
+// setup.
+const (
+	benchProbeN      = 64
+	benchProbeWPP    = 1
+	benchProbeRounds = 256
+	benchProbeRuns   = 5
+)
+
+// benchProbeProgram is the canonical exchange node program: one
+// broadcast word per node per round, read back through the reused
+// collective table.
+func benchProbeProgram(nd *clique.Node) {
+	var table []uint64
+	for r := 0; r < benchProbeRounds; r++ {
+		table = comm.BroadcastWordInto(nd, uint64(nd.ID()+r), table)
+	}
+}
+
+// MeasureBenchProbe runs the canonical exchange workload on the given
+// backend and measures allocations per run (one warm-up run excluded,
+// so pooled mailboxes and lazily grown buffers do not bill the steady
+// state). It must run while no other simulations execute concurrently;
+// cliquebench measures after its worker pool has drained.
+func MeasureBenchProbe(backend string) (*BenchProbe, error) {
+	cfg := clique.Config{N: benchProbeN, WordsPerPair: benchProbeWPP, Backend: backend}
+	run := func() error {
+		res, err := clique.Run(cfg, benchProbeProgram)
+		if err != nil {
+			return err
+		}
+		if res.Stats.Rounds != benchProbeRounds {
+			return fmt.Errorf("exp: bench probe ran %d rounds, want %d", res.Stats.Rounds, benchProbeRounds)
+		}
+		return nil
+	}
+	if err := run(); err != nil { // warm-up
+		return nil, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < benchProbeRuns; i++ {
+		if err := run(); err != nil {
+			return nil, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return &BenchProbe{
+		Name:         "exchange",
+		Backend:      backend,
+		N:            benchProbeN,
+		WordsPerPair: benchProbeWPP,
+		Rounds:       benchProbeRounds,
+		Runs:         benchProbeRuns,
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / benchProbeRuns,
+	}, nil
+}

@@ -268,3 +268,55 @@ func mustJSON(t *testing.T, v any) []byte {
 	}
 	return data
 }
+
+func TestCompareBenchProbe(t *testing.T) {
+	mk := func(allocs float64) *exp.Report {
+		return &exp.Report{
+			Schema:  exp.SchemaVersion,
+			Backend: "lockstep",
+			Bench: &exp.BenchProbe{
+				Name: "exchange", Backend: "lockstep", N: 64,
+				WordsPerPair: 1, Rounds: 256, Runs: 5, AllocsPerOp: allocs,
+			},
+		}
+	}
+	if warns := exp.Compare(mk(1000), mk(1050), 0.25); len(warns) != 0 {
+		t.Errorf("5%% allocation growth should pass the 10%% gate: %v", warns)
+	}
+	warns := exp.Compare(mk(1000), mk(2000), 0.25)
+	if len(warns) != 1 || !strings.Contains(warns[0].String(), "allocs/op") {
+		t.Errorf("doubled allocations should warn: %v", warns)
+	}
+	shifted := mk(1000)
+	shifted.Bench.N = 128
+	warns = exp.Compare(shifted, mk(5000), 0.25)
+	if len(warns) != 1 || !strings.Contains(warns[0].String(), "shape mismatch") {
+		t.Errorf("probe shape change should warn instead of comparing: %v", warns)
+	}
+	if warns := exp.Compare(mk(1000), &exp.Report{Schema: exp.SchemaVersion, Backend: "lockstep"}, 0.25); len(warns) != 0 {
+		t.Errorf("missing probe must not warn (timing-gated field): %v", warns)
+	}
+}
+
+func TestMeasureBenchProbe(t *testing.T) {
+	probe, err := exp.MeasureBenchProbe("lockstep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Name != "exchange" || probe.N != 64 || probe.Rounds != 256 {
+		t.Errorf("unexpected probe shape: %+v", probe)
+	}
+	if probe.AllocsPerOp <= 0 {
+		t.Errorf("allocs/op = %v, want > 0", probe.AllocsPerOp)
+	}
+	// The whole point of the batched collective plane: the canonical
+	// exchange (64 nodes x 256 rounds of one-word gossip) must stay
+	// around a thousand allocations per run, not the ~10^6 the
+	// hand-rolled per-round tables used to cost.
+	if probe.AllocsPerOp > 100_000 {
+		t.Errorf("allocs/op = %v; the batched exchange path has regressed badly", probe.AllocsPerOp)
+	}
+	if _, err := exp.MeasureBenchProbe("no-such-backend"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

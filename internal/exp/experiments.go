@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/counting"
 	"repro/internal/domset"
 	"repro/internal/fgc"
@@ -381,11 +382,11 @@ func expSubstrates(c *Ctx) {
 	rt := c.Table("routing rounds vs per-node load (n=32, uniform destinations)", "load", "rounds")
 	for _, load := range c.Sizes([]int{8, 16, 32, 64}, []int{8, 16}) {
 		r := c.Rounds(32, 4, func(nd *clique.Node) {
-			var ps []routing.Packet
+			var ps []comm.Packet
 			for i := 0; i < load; i++ {
-				ps = append(ps, routing.Packet{Dst: (nd.ID() + i + 1) % 32, Payload: []uint64{uint64(i)}})
+				ps = append(ps, comm.Packet{Dst: (nd.ID() + i + 1) % 32, Payload: []uint64{uint64(i)}})
 			}
-			routing.Route(nd, ps, 1, 9)
+			comm.Route(nd, ps, 1, 9)
 		})
 		rt.Row(Int(load), Int(r))
 	}
@@ -421,16 +422,16 @@ func expAblation(c *Ctx) {
 	const n, L = 16, 96
 	mk := func(balanced bool) int {
 		return c.Rounds(n, 4, func(nd *clique.Node) {
-			var ps []routing.Packet
+			var ps []comm.Packet
 			if nd.ID() == 0 {
 				for i := 0; i < L; i++ {
-					ps = append(ps, routing.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
+					ps = append(ps, comm.Packet{Dst: 1, Payload: []uint64{uint64(i)}})
 				}
 			}
 			if balanced {
-				routing.Route(nd, ps, 1, 5)
+				comm.Route(nd, ps, 1, 5)
 			} else {
-				routing.RouteDirect(nd, ps, 1)
+				comm.RouteDirect(nd, ps, 1)
 			}
 		})
 	}
@@ -469,17 +470,12 @@ func corelabels(verdict nondet.Verdict, n, k int) [][]uint64 {
 func coreVerify(nd *clique.Node, g *graph.Graph, labels [][]uint64) {
 	n := nd.N()
 	me := nd.ID()
-	for v := 0; v < n; v++ {
-		if v != me {
-			nd.Send(v, labels[me][v])
-		}
-	}
-	nd.Tick()
+	peers, delivered := comm.AllToAllWord(nd, labels[me])
 	for v := 0; v < n; v++ {
 		if v == me {
 			continue
 		}
-		if w := nd.Recv(v); len(w) != 1 || w[0] != labels[me][v] {
+		if !delivered[v] || peers[v] != labels[me][v] {
 			nd.Fail("edge label mismatch with %d", v)
 		}
 	}

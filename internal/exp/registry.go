@@ -307,6 +307,9 @@ type Report struct {
 	// (cliquebench -timing); without it the whole Report is
 	// bit-identical run to run and across -parallel settings.
 	Throughput *Throughput `json:"throughput,omitempty"`
+	// Bench is the canonical-exchange allocation probe, attached under
+	// the same timing opt-in as Throughput.
+	Bench *BenchProbe `json:"bench,omitempty"`
 }
 
 // Throughput is the measured simulator performance of one run. WallNS
@@ -373,6 +376,24 @@ func Compare(baseline, current *Report, threshold float64) []Regression {
 	if baseline.Quick != current.Quick {
 		warns = append(warns, Regression{What: "quick-mode mismatch: baseline and current report are not comparable"})
 		return warns
+	}
+	if baseline.Bench != nil && current.Bench != nil {
+		b, c := baseline.Bench, current.Bench
+		switch {
+		case b.Name != c.Name || b.N != c.N || b.WordsPerPair != c.WordsPerPair ||
+			b.Rounds != c.Rounds || b.Backend != c.Backend:
+			warns = append(warns, Regression{What: fmt.Sprintf(
+				"bench-probe shape mismatch (baseline %s/%s n=%d, current %s/%s n=%d): allocs not compared",
+				b.Name, b.Backend, b.N, c.Name, c.Backend, c.N)})
+		case c.AllocsPerOp > b.AllocsPerOp*1.10+16:
+			// Allocation counts are deterministic up to runtime noise; a
+			// >10% (plus slack) rise means a hot path started allocating.
+			warns = append(warns, Regression{
+				What:     fmt.Sprintf("allocs/op on the canonical exchange benchmark (%s backend)", c.Backend),
+				Baseline: b.AllocsPerOp,
+				Current:  c.AllocsPerOp,
+			})
+		}
 	}
 	if baseline.Throughput != nil && current.Throughput != nil {
 		switch {

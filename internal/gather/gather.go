@@ -2,8 +2,8 @@ package gather
 
 import (
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
-	"repro/internal/routing"
 )
 
 // Full reconstructs the whole input graph at this node. row is the
@@ -14,7 +14,7 @@ func Full(nd clique.Endpoint, row graph.Bitset) *graph.Graph {
 	for u := 0; u < n; u++ {
 		bits[u] = u != nd.ID() && row.Has(u)
 	}
-	table := routing.BroadcastBits(nd, bits)
+	table := comm.BroadcastBits(nd, bits)
 	g := graph.New(n)
 	for v := 0; v < n; v++ {
 		for u := 0; u < n; u++ {

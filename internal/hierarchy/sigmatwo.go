@@ -2,6 +2,7 @@ package hierarchy
 
 import (
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/nondet"
 )
@@ -95,26 +96,18 @@ func SigmaTwoUniversal(pred func(g *graph.Graph) bool) KLabelAlgorithm {
 		if guess != nil && guess.HasEdge(int(idx)/n, int(idx)%n) {
 			myBit = 1
 		}
-		// Fixed two-round structure regardless of label validity.
-		nd.Broadcast(idx)
-		nd.Tick()
+		// Fixed two-round structure regardless of label validity. The
+		// OK-tolerant collective keeps silent peers at zero, exactly as
+		// the hand-rolled collection did.
+		rawIdxs, _ := comm.BroadcastWordOK(nd, idx)
 		idxs := make([]uint64, n)
 		for u := 0; u < n; u++ {
-			if u == me {
-				idxs[u] = idx
-			} else if w := nd.Recv(u); len(w) == 1 {
-				idxs[u] = w[0] % uint64(n*n)
-			}
+			idxs[u] = rawIdxs[u] % uint64(n*n)
 		}
-		nd.Broadcast(myBit)
-		nd.Tick()
+		rawBits, _ := comm.BroadcastWordOK(nd, myBit)
 		bits := make([]uint64, n)
 		for u := 0; u < n; u++ {
-			if u == me {
-				bits[u] = myBit
-			} else if w := nd.Recv(u); len(w) == 1 {
-				bits[u] = w[0] & 1
-			}
+			bits[u] = rawBits[u] & 1
 		}
 
 		if guess == nil || len(labels) != 2 || len(labels[1]) != 1 {

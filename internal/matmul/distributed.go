@@ -2,7 +2,7 @@ package matmul
 
 import (
 	"repro/internal/clique"
-	"repro/internal/routing"
+	"repro/internal/comm"
 )
 
 // The distributed layout throughout this package is row-major: node i
@@ -23,7 +23,7 @@ func MulNaive(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 	for j, x := range bRow {
 		words[j] = uint64(x)
 	}
-	table := routing.AllBroadcast(nd, words, n)
+	table := comm.BroadcastAll(nd, words, n)
 
 	out := make([]int64, n)
 	for j := range out {
@@ -109,14 +109,14 @@ func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 	// (part(r), x, part(c)) for all x; entry B[r][c] goes to
 	// (x, part(c), part(r)) for all x. Payload: [tag*n^2 + r*n + c,
 	// value] where tag 0 marks A, 1 marks B.
-	var packets []routing.Packet
+	var packets []comm.Packet
 	myPart := p.of(me)
 	for c := 0; c < n; c++ {
 		cp := p.of(c)
 		if aRow[c] != zero {
 			key := uint64(me)*un + uint64(c)
 			for x := 0; x < q; x++ {
-				packets = append(packets, routing.Packet{
+				packets = append(packets, comm.Packet{
 					Dst:     idOf(myPart, x, cp, q),
 					Payload: []uint64{key, uint64(aRow[c])},
 				})
@@ -125,14 +125,14 @@ func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 		if bRow[c] != zero {
 			key := un*un + uint64(me)*un + uint64(c)
 			for x := 0; x < q; x++ {
-				packets = append(packets, routing.Packet{
+				packets = append(packets, comm.Packet{
 					Dst:     idOf(x, cp, myPart, q),
 					Payload: []uint64{key, uint64(bRow[c])},
 				})
 			}
 		}
 	}
-	in := routing.Route(nd, packets, 2, seedBase)
+	in := comm.Route(nd, packets, 2, seedBase)
 
 	// Step 2: assemble local blocks and multiply. Node (i, j, k) holds
 	// aBlk = A[P_i][P_k] and bBlk = B[P_k][P_j], both padded to
@@ -166,7 +166,7 @@ func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 	// are split into q chunks; chunk c is summed at node (i, j, c).
 	// Payload: [localRow*seg + col, value].
 	chunk := (seg + q - 1) / q
-	var redPkts []routing.Packet
+	var redPkts []comm.Packet
 	if isWorker {
 		for c := 0; c < q; c++ {
 			dst := idOf(ti, tj, c, q)
@@ -178,7 +178,7 @@ func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 					if partial[lr][col] == zero {
 						continue
 					}
-					redPkts = append(redPkts, routing.Packet{
+					redPkts = append(redPkts, comm.Packet{
 						Dst:     dst,
 						Payload: []uint64{uint64(lr*seg + col), uint64(partial[lr][col])},
 					})
@@ -186,7 +186,7 @@ func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 			}
 		}
 	}
-	redIn := routing.Route(nd, redPkts, 2, seedBase+1)
+	redIn := comm.Route(nd, redPkts, 2, seedBase+1)
 
 	// Sum my chunk: block rows [tk*chunk, (tk+1)*chunk).
 	var sum [][]int64
@@ -209,7 +209,7 @@ func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 	// Step 4: ship result entries to row owners. After the reduction,
 	// node (i, j, k) exclusively holds C entries for global rows
 	// iLo + k*chunk .. and columns P_j. Payload: [col, value].
-	var outPkts []routing.Packet
+	var outPkts []comm.Packet
 	if isWorker {
 		iLo, _ := p.bounds(ti)
 		jLo, jHi := p.bounds(tj)
@@ -222,14 +222,14 @@ func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
 				if sum[r][col-jLo] == zero {
 					continue
 				}
-				outPkts = append(outPkts, routing.Packet{
+				outPkts = append(outPkts, comm.Packet{
 					Dst:     global,
 					Payload: []uint64{uint64(col), uint64(sum[r][col-jLo])},
 				})
 			}
 		}
 	}
-	outIn := routing.Route(nd, outPkts, 2, seedBase+2)
+	outIn := comm.Route(nd, outPkts, 2, seedBase+2)
 
 	out := make([]int64, n)
 	for j := range out {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 )
 
@@ -52,33 +53,11 @@ func Find(nd clique.Endpoint, wRow []int64) []Edge {
 		if best.U >= 0 {
 			pairWord = clique.PairWord(best.U, best.V, n)
 		}
-		nd.Broadcast(pairWord)
-		nd.Tick()
-		pairs := make([]uint64, n)
-		pairs[me] = pairWord
-		for v := 0; v < n; v++ {
-			if v == me {
-				continue
-			}
-			if w := nd.Recv(v); len(w) == 1 {
-				pairs[v] = w[0]
-			} else {
-				pairs[v] = noEdge
-			}
-		}
-		nd.Broadcast(uint64(best.W))
-		nd.Tick()
+		pairs := comm.BroadcastWord(nd, pairWord)
+		rawWeights := comm.BroadcastWord(nd, uint64(best.W))
 		weights := make([]int64, n)
-		weights[me] = best.W
 		for v := 0; v < n; v++ {
-			if v == me {
-				continue
-			}
-			if w := nd.Recv(v); len(w) == 1 {
-				weights[v] = int64(w[0])
-			} else {
-				weights[v] = graph.Inf
-			}
+			weights[v] = int64(rawWeights[v])
 		}
 
 		// Deterministic global merge, identical at every node: for each

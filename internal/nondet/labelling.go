@@ -2,6 +2,7 @@ package nondet
 
 import (
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/gather"
 	"repro/internal/graph"
 )
@@ -73,8 +74,7 @@ func SinklessOrientationProblem() LabellingProblem {
 		if len(label) == 1 {
 			mask = label[0]
 		}
-		nd.Broadcast(mask)
-		nd.Tick()
+		masks, delivered := comm.BroadcastWordOK(nd, mask)
 		if len(label) != 1 {
 			return false
 		}
@@ -91,12 +91,11 @@ func SinklessOrientationProblem() LabellingProblem {
 		}
 		ok := true
 		row.Each(func(u int) {
-			w := nd.Recv(u)
-			if len(w) != 1 {
+			if !delivered[u] {
 				ok = false
 				return
 			}
-			peerOut := w[0]&(1<<me) != 0
+			peerOut := masks[u]&(1<<me) != 0
 			myOut := mask&(1<<u) != 0
 			if peerOut == myOut {
 				ok = false // each edge oriented exactly one way
@@ -216,22 +215,15 @@ func MaximalMatchingProblem() LabellingProblem {
 		if len(label) == 1 {
 			mine = label[0]
 		}
-		nd.Broadcast(mine % uint64(n+1))
-		nd.Tick()
+		mates, delivered := comm.BroadcastWordOK(nd, mine%uint64(n+1))
 		if len(label) != 1 || mine > uint64(n) || int(mine) == me {
 			return false
 		}
-		mates := make([]uint64, n)
 		mates[me] = mine
 		for u := 0; u < n; u++ {
-			if u == me {
-				continue
-			}
-			w := nd.Recv(u)
-			if len(w) != 1 {
+			if u != me && !delivered[u] {
 				return false
 			}
-			mates[u] = w[0]
 		}
 		if mine < uint64(n) {
 			return row.Has(int(mine)) && mates[mine] == uint64(me)

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 )
 
@@ -97,23 +98,16 @@ func RandomizedTriangleProbe() MonteCarlo {
 			if a != me && b != me && a != b && row.Has(a) && row.Has(b) {
 				myClaim = 1 // I see two sides of the probed triangle
 			}
-			nd.Broadcast(myClaim<<62 | r%(uint64(n)*uint64(n)))
-			nd.Tick()
+			claims, delivered := comm.BroadcastWordOK(nd, myClaim<<62|r%(uint64(n)*uint64(n)))
 			// Accept if some node's claimed probe (a, b) is confirmed by
 			// an endpoint: I confirm edges (x, a) and (x, b) claimed by
 			// x when a == me or b == me and my row has the third edge.
 			found := false
 			for x := 0; x < n; x++ {
-				var w uint64
-				if x == me {
-					w = myClaim<<62 | r%(uint64(n)*uint64(n))
-				} else {
-					words := nd.Recv(x)
-					if len(words) != 1 {
-						continue
-					}
-					w = words[0]
+				if !delivered[x] {
+					continue
 				}
+				w := claims[x]
 				if w>>62 != 1 {
 					continue
 				}
@@ -130,13 +124,9 @@ func RandomizedTriangleProbe() MonteCarlo {
 				}
 			}
 			// One more round: spread "found" so all nodes agree.
-			nd.Broadcast(clique.BoolWord(found))
-			nd.Tick()
+			votes, voted := comm.BroadcastWordOK(nd, clique.BoolWord(found))
 			for x := 0; x < n; x++ {
-				if x == me {
-					continue
-				}
-				if w := nd.Recv(x); len(w) == 1 && w[0] == 1 {
+				if voted[x] && votes[x] == 1 {
 					found = true
 				}
 			}

@@ -2,6 +2,7 @@ package nondet
 
 import (
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 )
 
@@ -22,15 +23,13 @@ func KColoringVerifier(k int) Algorithm {
 		if len(label) == 1 {
 			mine = label[0]
 		}
-		nd.Broadcast(mine % uint64(k))
-		nd.Tick()
+		colors, delivered := comm.BroadcastWordOK(nd, mine%uint64(k))
 		if len(label) != 1 || mine >= uint64(k) {
 			return false
 		}
 		ok := true
 		row.Each(func(u int) {
-			w := nd.Recv(u)
-			if len(w) != 1 || w[0] == mine {
+			if !delivered[u] || colors[u] == mine {
 				ok = false
 			}
 		})
@@ -64,8 +63,7 @@ func HamPathVerifier() Algorithm {
 		if len(label) == 1 {
 			mine = label[0]
 		}
-		nd.Broadcast(mine % uint64(n))
-		nd.Tick()
+		positions, delivered := comm.BroadcastWordOK(nd, mine%uint64(n))
 		if len(label) != 1 || mine >= uint64(n) {
 			return false
 		}
@@ -77,12 +75,11 @@ func HamPathVerifier() Algorithm {
 			if u == nd.ID() {
 				continue
 			}
-			w := nd.Recv(u)
-			if len(w) != 1 || w[0] >= uint64(n) || seen[w[0]] {
+			if !delivered[u] || positions[u] >= uint64(n) || seen[positions[u]] {
 				return false
 			}
-			seen[w[0]] = true
-			pos[u] = int(w[0])
+			seen[positions[u]] = true
+			pos[u] = int(positions[u])
 		}
 		// Check my edge to my successor (the node at position mine+1).
 		if int(mine) == n-1 {
@@ -153,12 +150,8 @@ func ConnectivityVerifier() Algorithm {
 		if len(label) == 2 {
 			parent, depth = label[0], label[1]
 		}
-		nd.Broadcast(parent % uint64(n))
-		nd.Tick()
-		parents := collectWords(nd, me, n)
-		nd.Broadcast(depth % uint64(n))
-		nd.Tick()
-		depths := collectWords(nd, me, n)
+		parents := broadcastCollect(nd, parent%uint64(n))
+		depths := broadcastCollect(nd, depth%uint64(n))
 		if len(label) != 2 || parent >= uint64(n) || depth >= uint64(n) {
 			return false
 		}
@@ -221,12 +214,10 @@ func PerfectMatchingVerifier() Algorithm {
 		if len(label) == 1 {
 			mate = label[0]
 		}
-		nd.Broadcast(mate % uint64(n))
-		nd.Tick()
+		mates := broadcastCollect(nd, mate%uint64(n))
 		if len(label) != 1 || mate >= uint64(n) || int(mate) == me {
 			return false
 		}
-		mates := collectWords(nd, me, n)
 		mates[me] = mate
 		return mates[mate] == uint64(me) && row.Has(int(mate))
 	}
@@ -287,12 +278,10 @@ func KCliqueVerifier(k int) Algorithm {
 		if len(label) == 1 && label[0] == 1 {
 			mine = 1
 		}
-		nd.Broadcast(mine)
-		nd.Tick()
+		members := broadcastCollect(nd, mine)
 		if len(label) != 1 || label[0] > 1 {
 			return false
 		}
-		members := collectWords(nd, me, n)
 		members[me] = mine
 		count := 0
 		for _, m := range members {
@@ -331,20 +320,17 @@ func KCliqueProver(g *graph.Graph, k int) Labelling {
 	return z
 }
 
-// collectWords gathers the single word received from each peer in the
-// round just completed (the node's own slot is left zero for the caller
-// to fill).
-func collectWords(nd clique.Endpoint, me, n int) []uint64 {
-	out := make([]uint64, n)
-	for u := 0; u < n; u++ {
-		if u == me {
-			continue
-		}
-		if w := nd.Recv(u); len(w) == 1 {
-			out[u] = w[0]
-		} else {
-			out[u] = ^uint64(0)
+// broadcastCollect broadcasts one word and gathers one word per node,
+// recording ^uint64(0) for peers that did not deliver exactly one word
+// (reachable when a verifier is replayed against an adversarial
+// transcript). The node's own slot holds the word it broadcast;
+// callers overwrite it when they need the raw label instead.
+func broadcastCollect(nd clique.Endpoint, w uint64) []uint64 {
+	vals, ok := comm.BroadcastWordOK(nd, w)
+	for i := range vals {
+		if !ok[i] {
+			vals[i] = ^uint64(0)
 		}
 	}
-	return out
+	return vals
 }

@@ -4,9 +4,9 @@ import (
 	"math"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/matmul"
-	"repro/internal/routing"
 )
 
 // infWord encodes graph.Inf on the wire; any value >= infWord decodes to
@@ -52,14 +52,11 @@ func BFS(nd clique.Endpoint, row graph.Bitset, src int) BFSResult {
 	}
 	announce := settled // I joined the frontier in the previous "round"
 	for depth := int64(1); ; depth++ {
-		if announce {
-			nd.Broadcast(1)
-		}
-		nd.Tick()
+		frontier := comm.Flags(nd, announce)
 		announce = false
 		anyAnnounced := false
 		for p := 0; p < n; p++ {
-			if p == me || len(nd.Recv(p)) == 0 {
+			if p == me || !frontier[p] {
 				continue
 			}
 			anyAnnounced = true
@@ -108,24 +105,16 @@ func SSSP(nd clique.Endpoint, inRow []int64, src int) SSSPResult {
 	// node's own broadcast included), and once it is false the
 	// relaxation inputs have stabilised, so distances are final.
 	lastSeen := make([]uint64, n)
+	seen := make([]uint64, n) // reused broadcast table, one per round
 	rounds := 0
 	first := true
 	for {
 		rounds++
-		myWord := encodeDist(dist)
-		nd.Broadcast(myWord)
-		nd.Tick()
+		seen = comm.BroadcastWordInto(nd, encodeDist(dist), seen)
 		changed := first
 		for u := 0; u < n; u++ {
-			var w uint64
-			if u == me {
-				w = myWord
-			} else {
-				rw := nd.Recv(u)
-				if len(rw) != 1 {
-					nd.Fail("paths: SSSP expected 1 word from %d, got %d", u, len(rw))
-				}
-				w = rw[0]
+			w := seen[u]
+			if u != me {
 				du := decodeDist(w)
 				if du < graph.Inf && inRow[u] < graph.Inf {
 					if alt := du + inRow[u]; alt < dist {
@@ -251,5 +240,5 @@ func Diameter(nd clique.Endpoint, adjRow []int64, mul matmul.MulFunc) int64 {
 	if disconnected {
 		local = graph.Inf
 	}
-	return decodeDist(routing.MaxWord(nd, encodeDist(local)))
+	return decodeDist(comm.MaxWord(nd, encodeDist(local)))
 }

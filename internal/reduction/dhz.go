@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/matmul"
 	"repro/internal/paths"
@@ -86,7 +87,6 @@ func ProductFromDistances(l DHZLayout, distRow []int64) []int64 {
 // (2-eps')-approximation, and the x_i rows are thresholded.
 func BMMViaApproxAPSP(nd clique.Endpoint, aRow, bRow []int64) []int64 {
 	n := nd.N()
-	me := nd.ID()
 	l := DHZLayout{N: n}
 
 	// Preprocessing: send A[me][k] and B[me][k] to node k; node k
@@ -95,28 +95,21 @@ func BMMViaApproxAPSP(nd clique.Endpoint, aRow, bRow []int64) []int64 {
 	// "extremely fine-grained reductions" discussion allows.
 	aCol := make([]int64, n)
 	bCol := make([]int64, n)
+	words := make([]uint64, n)
 	for pass, rowData := range [][]int64{aRow, bRow} {
 		col := aCol
 		if pass == 1 {
 			col = bCol
 		}
 		for k := 0; k < n; k++ {
-			if k == me {
-				col[me] = rowData[me]
-				continue
-			}
-			nd.Send(k, uint64(rowData[k]))
+			words[k] = uint64(rowData[k])
 		}
-		nd.Tick()
+		in, delivered := comm.AllToAllWord(nd, words)
 		for i := 0; i < n; i++ {
-			if i == me {
-				continue
-			}
-			w := nd.Recv(i)
-			if len(w) != 1 {
+			if !delivered[i] {
 				nd.Fail("reduction: DHZ transpose expected 1 word from %d", i)
 			}
-			col[i] = int64(w[0])
+			col[i] = int64(in[i])
 		}
 	}
 

@@ -1,15 +1,16 @@
-// Package routing provides the communication substrate the paper's
-// algorithms assume: all-to-all broadcast, bulk message routing in the
-// spirit of Lenzen's deterministic routing theorem (PODC 2013, reference
-// [43] of the paper), and deterministic sorting of O(log n)-bit keys.
+// Package routing implements deterministic sorting of O(log n)-bit
+// keys on the congested clique, the role Lenzen's sorting theorem
+// (PODC 2013, reference [43] of the paper) plays in the paper's
+// substrate. The algorithm is an LSD radix sort with base n: each pass
+// costs three bookkeeping collectives plus one balanced comm.Route, and
+// there are ceil(log_n maxKey) passes, so poly(n)-bounded keys sort in
+// O(1) passes.
 //
-// Lenzen's theorem states that any routing instance in which every node
-// sends at most s*n and receives at most r*n messages of O(log n) bits can
-// be delivered in O(s + r) rounds deterministically. Re-implementing
-// Lenzen's algorithm verbatim is out of scope; we substitute a two-phase
-// Valiant-style scheme (spread via pseudo-random intermediates chosen by a
-// fixed seeded hash, then deliver), which achieves the same O(s + r) shape
-// on non-adversarial instances and is deterministic for a fixed seed. The
-// simulator measures true round counts, so the substitution is auditable
-// in every experiment; see DESIGN.md section 5.
+// The raw communication primitives this package once carried moved to
+// package comm, the shared collective layer: comm.BroadcastAll,
+// comm.MaxWord/SumWord, comm.AllToAll, and the Lenzen-style balanced
+// comm.Route (a two-phase Valiant-style scheme — spread via
+// pseudo-random intermediates chosen by a fixed seeded hash, then
+// deliver — deterministic for a fixed seed, with the O(s + r) shape of
+// Lenzen's theorem on non-adversarial instances).
 package routing

@@ -4,247 +4,13 @@ import (
 	"sort"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 )
 
-// Packet is one routed message: a fixed-width payload bound for Dst.
-// Within a single Route call all packets must have the same payload
-// width, which keeps the wire format self-delimiting.
-type Packet struct {
-	Src     int
-	Dst     int
-	Payload []uint64
-}
-
-// AllBroadcast has every node contribute exactly k words; it returns, at
-// every node, the full table indexed by sender. Each node's own entry is
-// its input. Takes ceil(k / wordsPerPair) rounds: this is optimal up to
-// constants, since every node must receive (n-1)k words over n-1 links.
-func AllBroadcast(nd clique.Endpoint, words []uint64, k int) [][]uint64 {
-	if len(words) != k {
-		nd.Fail("routing: AllBroadcast given %d words, contract is exactly k=%d", len(words), k)
-	}
-	n := nd.N()
-	out := make([][]uint64, n)
-	for i := range out {
-		out[i] = make([]uint64, 0, k)
-	}
-	out[nd.ID()] = append(out[nd.ID()], words...)
-
-	wpp := nd.WordsPerPair()
-	for off := 0; off < k; off += wpp {
-		end := off + wpp
-		if end > k {
-			end = k
-		}
-		nd.Broadcast(words[off:end]...)
-		nd.Tick()
-		for p := 0; p < n; p++ {
-			if p == nd.ID() {
-				continue
-			}
-			out[p] = append(out[p], nd.Recv(p)...)
-		}
-	}
-	for p := 0; p < n; p++ {
-		if len(out[p]) != k {
-			nd.Fail("routing: AllBroadcast received %d words from %d, want %d", len(out[p]), p, k)
-		}
-	}
-	return out
-}
-
-// BroadcastWord is AllBroadcast for a single word per node: one round.
-func BroadcastWord(nd clique.Endpoint, w uint64) []uint64 {
-	table := AllBroadcast(nd, []uint64{w}, 1)
-	flat := make([]uint64, nd.N())
-	for i, t := range table {
-		flat[i] = t[0]
-	}
-	return flat
-}
-
-// MaxWord computes the global maximum of one word per node in one round.
-func MaxWord(nd clique.Endpoint, w uint64) uint64 {
-	max := uint64(0)
-	for _, x := range BroadcastWord(nd, w) {
-		if x > max {
-			max = x
-		}
-	}
-	return max
-}
-
-// SumWord computes the global sum of one word per node in one round.
-func SumWord(nd clique.Endpoint, w uint64) uint64 {
-	total := uint64(0)
-	for _, x := range BroadcastWord(nd, w) {
-		total += x
-	}
-	return total
-}
-
-// splitmix64 is the fixed hash used to pick routing intermediates. It is
-// part of the (uniform, deterministic) algorithm, playing the role of
-// Lenzen's explicit balancing computation.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// streamPhase delivers per-destination word streams: queue[t] is the word
-// stream this node owes node t (queue[own id] must be empty). All nodes
-// agree on the number of rounds via a one-round max-reduction, then ship
-// wordsPerPair words per link per round. Returns the concatenated stream
-// received from each sender. Rounds: 1 + ceil(maxLinkLoad / wordsPerPair).
-func streamPhase(nd clique.Endpoint, queue [][]uint64) [][]uint64 {
-	n := nd.N()
-	local := 0
-	for t, q := range queue {
-		if t == nd.ID() && len(q) > 0 {
-			nd.Fail("routing: node queued %d words to itself", len(q))
-		}
-		if len(q) > local {
-			local = len(q)
-		}
-	}
-	max := int(MaxWord(nd, uint64(local)))
-
-	in := make([][]uint64, n)
-	wpp := nd.WordsPerPair()
-	for off := 0; off < max; off += wpp {
-		for t := 0; t < n; t++ {
-			if t == nd.ID() || off >= len(queue[t]) {
-				continue
-			}
-			end := off + wpp
-			if end > len(queue[t]) {
-				end = len(queue[t])
-			}
-			nd.Send(t, queue[t][off:end]...)
-		}
-		nd.Tick()
-		for p := 0; p < n; p++ {
-			if p == nd.ID() {
-				continue
-			}
-			in[p] = append(in[p], nd.Recv(p)...)
-		}
-	}
-	return in
-}
-
-// Route delivers an arbitrary multiset of fixed-width packets and returns
-// the packets addressed to this node, with Src filled in. All nodes must
-// call Route together (it is a global operation), and every packet in the
-// instance must have payload width w. Cost: O((s + r) * (w + 2) /
-// wordsPerPair) rounds plus a constant, where s*n and r*n bound per-node
-// send and receive counts — the Lenzen [43] regime.
-//
-// seed selects the intermediate assignment; algorithms fix it so the
-// whole computation stays deterministic.
-func Route(nd clique.Endpoint, packets []Packet, w int, seed uint64) []Packet {
-	n := nd.N()
-	me := nd.ID()
-
-	// Phase 1: spread every packet to a pseudo-random intermediate.
-	// Wire format per packet: dst, src, payload words.
-	queues := make([][]uint64, n)
-	for idx, p := range packets {
-		if len(p.Payload) != w {
-			nd.Fail("routing: packet %d has payload width %d, instance width is %d", idx, len(p.Payload), w)
-		}
-		if p.Dst < 0 || p.Dst >= n {
-			nd.Fail("routing: packet %d has bad destination %d", idx, p.Dst)
-		}
-		mid := int(splitmix64(seed^uint64(me)*0x100000001b3^uint64(idx)) % uint64(n))
-		rec := make([]uint64, 0, w+2)
-		rec = append(rec, uint64(p.Dst), uint64(me))
-		rec = append(rec, p.Payload...)
-		queues[mid] = append(queues[mid], rec...)
-	}
-	// Packets whose intermediate is the sender itself never hit the
-	// network in phase 1; hold them aside and let them join phase 2.
-	held := queues[me]
-	queues[me] = nil
-
-	in := streamPhase(nd, queues)
-
-	// Phase 2: every intermediate forwards to true destinations.
-	// Wire format per packet: src, payload words.
-	queues2 := make([][]uint64, n)
-	var local []Packet
-	forward := func(stream []uint64) {
-		for off := 0; off+w+2 <= len(stream); off += w + 2 {
-			dst := int(stream[off])
-			src := stream[off+1]
-			payload := stream[off+2 : off+2+w]
-			if dst == me {
-				local = append(local, Packet{Src: int(src), Dst: me, Payload: append([]uint64(nil), payload...)})
-				continue
-			}
-			rec := make([]uint64, 0, w+1)
-			rec = append(rec, src)
-			rec = append(rec, payload...)
-			queues2[dst] = append(queues2[dst], rec...)
-		}
-	}
-	forward(held)
-	for p := 0; p < n; p++ {
-		forward(in[p])
-	}
-
-	in2 := streamPhase(nd, queues2)
-
-	out := local
-	for p := 0; p < n; p++ {
-		stream := in2[p]
-		for off := 0; off+w+1 <= len(stream); off += w + 1 {
-			out = append(out, Packet{
-				Src:     int(stream[off]),
-				Dst:     me,
-				Payload: append([]uint64(nil), stream[off+1:off+1+w]...),
-			})
-		}
-	}
-	return out
-}
-
-// RouteDirect is the ablation baseline: every packet travels straight to
-// its destination with no balancing. Its round count is 1 + the maximum
-// number of words any single ordered pair must carry, so skewed instances
-// degrade to Theta(max pair load) instead of O(s + r).
-func RouteDirect(nd clique.Endpoint, packets []Packet, w int) []Packet {
-	n := nd.N()
-	me := nd.ID()
-	queues := make([][]uint64, n)
-	for idx, p := range packets {
-		if len(p.Payload) != w {
-			nd.Fail("routing: packet %d has payload width %d, instance width is %d", idx, len(p.Payload), w)
-		}
-		rec := make([]uint64, 0, w+1)
-		rec = append(rec, uint64(me))
-		rec = append(rec, p.Payload...)
-		if p.Dst == me {
-			nd.Fail("routing: RouteDirect packet addressed to self")
-		}
-		queues[p.Dst] = append(queues[p.Dst], rec...)
-	}
-	in := streamPhase(nd, queues)
-	var out []Packet
-	for p := 0; p < n; p++ {
-		stream := in[p]
-		for off := 0; off+w+1 <= len(stream); off += w + 1 {
-			out = append(out, Packet{
-				Src:     int(stream[off]),
-				Dst:     me,
-				Payload: append([]uint64(nil), stream[off+1:off+1+w]...),
-			})
-		}
-	}
-	return out
-}
+// The communication primitives this package used to carry — AllBroadcast,
+// the word reductions, streamPhase, and Lenzen's balanced Route — live in
+// package comm now, as BroadcastAll, MaxWord/SumWord, AllToAll, and
+// Route. What remains here is the sorting algorithm built on top of them.
 
 // SortResult is this node's share of a global sort.
 type SortResult struct {
@@ -262,13 +28,13 @@ type SortResult struct {
 // and hands node i the i-th block of the sorted order. Keys must be below
 // maxKey. This is the role Lenzen's sorting theorem plays in the paper's
 // substrate; our implementation is an LSD radix sort with base n: each
-// pass costs three bookkeeping rounds plus one Route, and there are
+// pass costs three bookkeeping rounds plus one comm.Route, and there are
 // ceil(log_n maxKey) passes.
 func Sort(nd clique.Endpoint, keys []uint64, maxKey uint64) SortResult {
 	n := nd.N()
 	me := nd.ID()
 
-	total := int(SumWord(nd, uint64(len(keys))))
+	total := int(comm.SumWord(nd, uint64(len(keys))))
 	block := (total + n - 1) / n
 	if total == 0 {
 		return SortResult{BlockSize: 0, Total: 0}
@@ -320,53 +86,27 @@ func Sort(nd clique.Endpoint, keys []uint64, maxKey uint64) SortResult {
 			return items[i].rank < items[j].rank
 		})
 
-		// Count per bucket, send my count to the bucket's node.
+		// Count per bucket; the one-word exchange hands node b all
+		// per-source counts of bucket b.
 		cnt := make([]uint64, n)
 		for _, it := range items {
 			cnt[it.key/div%uint64(n)]++
 		}
-		for b := 0; b < n; b++ {
-			if b != me {
-				nd.Send(b, cnt[b])
-			}
-		}
-		nd.Tick()
-		// Node b now owns all per-source counts of bucket b.
-		srcCnt := make([]uint64, n)
-		for v := 0; v < n; v++ {
-			if v == me {
-				srcCnt[v] = cnt[me]
-				continue
-			}
-			if w := nd.Recv(v); len(w) == 1 {
-				srcCnt[v] = w[0]
-			}
-		}
+		srcCnt, _ := comm.AllToAllWord(nd, cnt)
+
 		// Send each source its prefix offset within my bucket.
-		var run, ownOff uint64
+		offs := make([]uint64, n)
+		var run uint64
 		for v := 0; v < n; v++ {
-			if v == me {
-				ownOff = run
-			} else {
-				nd.Send(v, run)
-			}
+			offs[v] = run
 			run += srcCnt[v]
 		}
 		bucketTotal := run
-		nd.Tick()
-		offFromBucket := make([]uint64, n)
-		for b := 0; b < n; b++ {
-			if b == me {
-				offFromBucket[b] = ownOff
-				continue
-			}
-			if w := nd.Recv(b); len(w) == 1 {
-				offFromBucket[b] = w[0]
-			}
-		}
+		offFromBucket, _ := comm.AllToAllWord(nd, offs)
+
 		// Broadcast bucket totals so everyone can compute global bucket
 		// offsets.
-		totals := BroadcastWord(nd, bucketTotal)
+		totals := comm.BroadcastWord(nd, bucketTotal)
 		bucketStart := make([]uint64, n+1)
 		for b := 0; b < n; b++ {
 			bucketStart[b+1] = bucketStart[b] + totals[b]
@@ -374,7 +114,7 @@ func Sort(nd clique.Endpoint, keys []uint64, maxKey uint64) SortResult {
 
 		// Compute each item's global rank for this pass and route it to
 		// its block owner, payload (key, rank).
-		var packets []Packet
+		var packets []comm.Packet
 		seen := make([]uint64, n) // per-bucket local index among my items
 		var kept []item
 		for _, it := range items {
@@ -389,9 +129,9 @@ func Sort(nd clique.Endpoint, keys []uint64, maxKey uint64) SortResult {
 				kept = append(kept, item{key: it.key, rank: rank})
 				continue
 			}
-			packets = append(packets, Packet{Dst: dst, Payload: []uint64{it.key, uint64(rank)}})
+			packets = append(packets, comm.Packet{Dst: dst, Payload: []uint64{it.key, uint64(rank)}})
 		}
-		recv := Route(nd, packets, 2, 0x5072+uint64(pass))
+		recv := comm.Route(nd, packets, 2, 0x5072+uint64(pass))
 		items = kept
 		for _, p := range recv {
 			items = append(items, item{key: p.Payload[0], rank: int(p.Payload[1])})
@@ -405,43 +145,4 @@ func Sort(nd clique.Endpoint, keys []uint64, maxKey uint64) SortResult {
 		res.Keys = append(res.Keys, it.key)
 	}
 	return res
-}
-
-// Exchange delivers arbitrary per-destination word streams: queue[t] is
-// the stream this node owes node t. All nodes agree on the number of
-// rounds via a one-round max-reduction. Returns the stream received from
-// each sender. This is the raw primitive underlying Route; it is exported
-// for substrates (like the virtual-clique simulator) that compute their
-// own balanced schedules.
-func Exchange(nd clique.Endpoint, queue [][]uint64) [][]uint64 {
-	return streamPhase(nd, queue)
-}
-
-// BroadcastBits has every node broadcast an arbitrary bit vector (all
-// nodes must pass the same length); it returns the table indexed by
-// sender. Bits are packed clique.WordBits(n) per word — the honest
-// O(log n)-bit packing — so broadcasting b bits takes
-// ceil(b / WordBits(n) / wordsPerPair) rounds. Broadcasting the full
-// input graph this way (b = n) realises the trivial O(n / log n)
-// upper bound that every problem has in the model.
-func BroadcastBits(nd clique.Endpoint, bits []bool) [][]bool {
-	n := nd.N()
-	wb := clique.WordBits(n)
-	nwords := (len(bits) + wb - 1) / wb
-	words := make([]uint64, nwords)
-	for i, b := range bits {
-		if b {
-			words[i/wb] |= 1 << (i % wb)
-		}
-	}
-	table := AllBroadcast(nd, words, nwords)
-	out := make([][]bool, n)
-	for p := 0; p < n; p++ {
-		row := make([]bool, len(bits))
-		for i := range row {
-			row[i] = table[p][i/wb]&(1<<(i%wb)) != 0
-		}
-		out[p] = row
-	}
-	return out
 }

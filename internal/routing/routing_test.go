@@ -9,221 +9,6 @@ import (
 	"repro/internal/clique"
 )
 
-func TestAllBroadcast(t *testing.T) {
-	const n, k = 6, 5
-	tables := make([][][]uint64, n)
-	res, err := clique.Run(clique.Config{N: n}, func(nd *clique.Node) {
-		words := make([]uint64, k)
-		for i := range words {
-			words[i] = uint64(nd.ID()*100 + i)
-		}
-		tables[nd.ID()] = AllBroadcast(nd, words, k)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Stats.Rounds != k {
-		t.Errorf("AllBroadcast rounds = %d, want %d", res.Stats.Rounds, k)
-	}
-	for v := 0; v < n; v++ {
-		for p := 0; p < n; p++ {
-			for i := 0; i < k; i++ {
-				if tables[v][p][i] != uint64(p*100+i) {
-					t.Fatalf("node %d table[%d][%d] = %d", v, p, i, tables[v][p][i])
-				}
-			}
-		}
-	}
-}
-
-func TestAllBroadcastWiderBudget(t *testing.T) {
-	const n, k = 4, 6
-	res, err := clique.Run(clique.Config{N: n, WordsPerPair: 3}, func(nd *clique.Node) {
-		AllBroadcast(nd, make([]uint64, k), k)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Stats.Rounds != 2 { // ceil(6/3)
-		t.Errorf("rounds = %d, want 2", res.Stats.Rounds)
-	}
-}
-
-func TestReductions(t *testing.T) {
-	const n = 7
-	_, err := clique.Run(clique.Config{N: n}, func(nd *clique.Node) {
-		if got := MaxWord(nd, uint64(nd.ID()*3)); got != 3*(n-1) {
-			nd.Fail("MaxWord = %d", got)
-		}
-		if got := SumWord(nd, uint64(nd.ID())); got != n*(n-1)/2 {
-			nd.Fail("SumWord = %d", got)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-// routeInstance runs Route on a random (s, r)-style instance and checks
-// exact multiset delivery.
-func routeInstance(t *testing.T, n, perNode int, skewed bool, seed uint64) *clique.Result {
-	t.Helper()
-	// Build the global instance up front so every node knows its own
-	// packets and the test knows the expectation.
-	rng := rand.New(rand.NewPCG(seed, 99))
-	sentTo := make([][][2]uint64, n) // per destination: (src, tag)
-	instance := make([][]Packet, n)
-	for v := 0; v < n; v++ {
-		for i := 0; i < perNode; i++ {
-			dst := rng.IntN(n)
-			if skewed {
-				dst = (v + 1) % n // everyone floods one neighbour pattern
-			}
-			if dst == v {
-				dst = (dst + 1) % n
-			}
-			tag := uint64(v*1000 + i)
-			instance[v] = append(instance[v], Packet{Dst: dst, Payload: []uint64{tag}})
-			sentTo[dst] = append(sentTo[dst], [2]uint64{uint64(v), tag})
-		}
-	}
-	got := make([][]Packet, n)
-	res, err := clique.Run(clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
-		got[nd.ID()] = Route(nd, instance[nd.ID()], 1, 42)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for v := 0; v < n; v++ {
-		if len(got[v]) != len(sentTo[v]) {
-			t.Fatalf("node %d received %d packets, want %d", v, len(got[v]), len(sentTo[v]))
-		}
-		want := append([][2]uint64(nil), sentTo[v]...)
-		have := make([][2]uint64, len(got[v]))
-		for i, p := range got[v] {
-			have[i] = [2]uint64{uint64(p.Src), p.Payload[0]}
-		}
-		sortPairs(want)
-		sortPairs(have)
-		for i := range want {
-			if want[i] != have[i] {
-				t.Fatalf("node %d delivery mismatch: got %v want %v", v, have[i], want[i])
-			}
-		}
-	}
-	return res
-}
-
-func sortPairs(ps [][2]uint64) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i][0] != ps[j][0] {
-			return ps[i][0] < ps[j][0]
-		}
-		return ps[i][1] < ps[j][1]
-	})
-}
-
-func TestRouteUniform(t *testing.T) {
-	routeInstance(t, 8, 10, false, 1)
-}
-
-func TestRouteSkewed(t *testing.T) {
-	routeInstance(t, 8, 10, true, 2)
-}
-
-func TestRouteEmpty(t *testing.T) {
-	const n = 5
-	_, err := clique.Run(clique.Config{N: n}, func(nd *clique.Node) {
-		if out := Route(nd, nil, 1, 7); len(out) != 0 {
-			nd.Fail("empty route returned %d packets", len(out))
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRouteSelfAddressed(t *testing.T) {
-	const n = 4
-	_, err := clique.Run(clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
-		out := Route(nd, []Packet{{Dst: nd.ID(), Payload: []uint64{uint64(nd.ID())}}}, 1, 3)
-		if len(out) != 1 || out[0].Payload[0] != uint64(nd.ID()) || out[0].Src != nd.ID() {
-			nd.Fail("self-route failed: %v", out)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRouteWidePayload(t *testing.T) {
-	const n = 5
-	_, err := clique.Run(clique.Config{N: n, WordsPerPair: 2}, func(nd *clique.Node) {
-		var ps []Packet
-		for dst := 0; dst < n; dst++ {
-			if dst != nd.ID() {
-				ps = append(ps, Packet{Dst: dst, Payload: []uint64{uint64(nd.ID()), uint64(dst), 7}})
-			}
-		}
-		out := Route(nd, ps, 3, 11)
-		if len(out) != n-1 {
-			nd.Fail("got %d packets, want %d", len(out), n-1)
-		}
-		for _, p := range out {
-			if p.Payload[0] != uint64(p.Src) || p.Payload[1] != uint64(nd.ID()) || p.Payload[2] != 7 {
-				nd.Fail("corrupted payload %v from %d", p.Payload, p.Src)
-			}
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRouteScalesWithLoad(t *testing.T) {
-	// Doubling the per-node load should roughly double the rounds, the
-	// O(s + r) regime of Lenzen's theorem.
-	r1 := routeInstance(t, 8, 8, false, 3).Stats.Rounds
-	r2 := routeInstance(t, 8, 32, false, 3).Stats.Rounds
-	if r2 < 2*r1/2 || r2 > 12*r1 {
-		t.Errorf("rounds did not scale plausibly with load: %d -> %d", r1, r2)
-	}
-}
-
-func TestDirectVsBalancedOnSkew(t *testing.T) {
-	// Adversarial-for-direct instance: node 0 sends L packets all to
-	// node 1. Direct routing needs ~L rounds on the single link; the
-	// balanced router spreads phase 1 across n intermediates.
-	const n, L = 16, 64
-	run := func(balanced bool) int {
-		res, err := clique.Run(clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
-			var ps []Packet
-			if nd.ID() == 0 {
-				for i := 0; i < L; i++ {
-					ps = append(ps, Packet{Dst: 1, Payload: []uint64{uint64(i)}})
-				}
-			}
-			var got []Packet
-			if balanced {
-				got = Route(nd, ps, 1, 5)
-			} else {
-				got = RouteDirect(nd, ps, 1)
-			}
-			if nd.ID() == 1 && len(got) != L {
-				nd.Fail("node 1 got %d packets, want %d", len(got), L)
-			}
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Stats.Rounds
-	}
-	direct, bal := run(false), run(true)
-	if bal >= direct {
-		t.Errorf("balanced router (%d rounds) not better than direct (%d rounds) on skewed instance", bal, direct)
-	}
-}
-
 func TestSortSmall(t *testing.T) {
 	const n = 6
 	input := [][]uint64{{9, 3}, {7, 7}, {1}, {}, {50, 2, 8}, {4}}
@@ -337,66 +122,5 @@ func TestSortSinglePassBound(t *testing.T) {
 	}
 	if r1, r2 := rounds(n), rounds(n*n); r2 <= r1 {
 		t.Errorf("two-digit sort (%d rounds) not more expensive than one-digit (%d rounds)", r2, r1)
-	}
-}
-
-func TestExchangeDirect(t *testing.T) {
-	// Raw stream exchange: node v owes each peer p the words
-	// [v, p, v*p]; verify exact delivery and self-queue rejection.
-	const n = 5
-	_, err := clique.Run(clique.Config{N: n, WordsPerPair: 2}, func(nd *clique.Node) {
-		queues := make([][]uint64, n)
-		for p := 0; p < n; p++ {
-			if p != nd.ID() {
-				queues[p] = []uint64{uint64(nd.ID()), uint64(p), uint64(nd.ID() * p)}
-			}
-		}
-		in := Exchange(nd, queues)
-		for p := 0; p < n; p++ {
-			if p == nd.ID() {
-				continue
-			}
-			want := []uint64{uint64(p), uint64(nd.ID()), uint64(p * nd.ID())}
-			if len(in[p]) != len(want) {
-				nd.Fail("stream from %d has %d words", p, len(in[p]))
-			}
-			for i := range want {
-				if in[p][i] != want[i] {
-					nd.Fail("stream from %d corrupted at %d", p, i)
-				}
-			}
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestBroadcastBitsRoundTrip(t *testing.T) {
-	const n, k = 9, 23
-	tables := make([][][]bool, n)
-	res, err := clique.Run(clique.Config{N: n}, func(nd *clique.Node) {
-		bits := make([]bool, k)
-		for i := range bits {
-			bits[i] = (nd.ID()+i)%3 == 0
-		}
-		tables[nd.ID()] = BroadcastBits(nd, bits)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for v := 0; v < n; v++ {
-		for p := 0; p < n; p++ {
-			for i := 0; i < k; i++ {
-				if tables[v][p][i] != ((p+i)%3 == 0) {
-					t.Fatalf("node %d sees wrong bit %d of %d", v, i, p)
-				}
-			}
-		}
-	}
-	// Round count: ceil(k / WordBits(n)) at one word per pair.
-	want := (k + clique.WordBits(n) - 1) / clique.WordBits(n)
-	if res.Stats.Rounds != want {
-		t.Errorf("rounds = %d, want %d", res.Stats.Rounds, want)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/domset"
 	"repro/internal/exp"
 	"repro/internal/gather"
@@ -42,13 +43,7 @@ var algorithms = map[string]Algorithm{
 		Name: "exchange", Title: "one-round all-to-all broadcast exchange", WPP: 1,
 		Make: func(n int, seed uint64) clique.NodeFunc {
 			return func(nd *clique.Node) {
-				nd.Broadcast(uint64(nd.ID()) ^ seed)
-				nd.Tick()
-				for p := 0; p < nd.N(); p++ {
-					if p != nd.ID() {
-						_ = nd.Recv(p)
-					}
-				}
+				comm.BroadcastWord(nd, uint64(nd.ID())^seed)
 			}
 		},
 	},

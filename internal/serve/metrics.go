@@ -56,6 +56,14 @@ func newMetrics() *metrics {
 		hits, misses := engine.PoolStats()
 		return map[string]int64{"hits": hits, "misses": misses}
 	}))
+	m.vars.Set("batched_ops", expvar.Func(func() any {
+		sendBuf, broadcastBuf, recvInto := engine.BatchedStats()
+		return map[string]int64{
+			"send_buf":      sendBuf,
+			"broadcast_buf": broadcastBuf,
+			"recv_into":     recvInto,
+		}
+	}))
 	return m
 }
 

@@ -2,9 +2,9 @@ package subgraph
 
 import (
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/partition"
-	"repro/internal/routing"
 )
 
 // Scope selects which edges a labelled node must learn.
@@ -42,7 +42,7 @@ func GatherEdges(nd clique.Endpoint, row graph.Bitset, s partition.Scheme, scope
 		}
 	}
 
-	var packets []routing.Packet
+	var packets []comm.Packet
 	pa.OwnedPairs(me, func(u int) {
 		if !row.Has(u) {
 			return // not an edge
@@ -50,11 +50,11 @@ func GatherEdges(nd clique.Endpoint, row graph.Bitset, s partition.Scheme, scope
 		word := clique.PairWord(me, u, n)
 		for w := 0; w < s.NumLabels(); w++ {
 			if covered(w, me, u) {
-				packets = append(packets, routing.Packet{Dst: w, Payload: []uint64{word}})
+				packets = append(packets, comm.Packet{Dst: w, Payload: []uint64{word}})
 			}
 		}
 	})
-	in := routing.Route(nd, packets, 1, 0x5e1)
+	in := comm.Route(nd, packets, 1, 0x5e1)
 
 	local := graph.New(n)
 	row.Each(func(u int) { local.AddEdge(me, u) })
@@ -69,7 +69,7 @@ func GatherEdges(nd clique.Endpoint, row graph.Bitset, s partition.Scheme, scope
 // returns the global OR, so all nodes output the same decision, as the
 // model requires.
 func orReduce(nd clique.Endpoint, local bool) bool {
-	return routing.MaxWord(nd, clique.BoolWord(local)) != 0
+	return comm.OrBool(nd, local)
 }
 
 // tuples enumerates all ways to choose one vertex from each listed part
@@ -217,10 +217,10 @@ func DetectPath(nd clique.Endpoint, row graph.Bitset, k int) bool {
 }
 
 // FindWitness runs Detect and additionally publishes a concrete witness
-// tuple: the lowest-id successful node broadcasts its k vertices over k
-// rounds, so every node returns the same (found, witness) pair — the
-// same agreement pattern as Theorem 9's dominating set search. Returns
-// (false, nil) if no witness exists.
+// tuple: the lowest-id successful node broadcasts its k vertices over
+// ceil(k / wordsPerPair) rounds, so every node returns the same
+// (found, witness) pair — the same agreement pattern as Theorem 9's
+// dominating set search. Returns (false, nil) if no witness exists.
 func FindWitness(nd clique.Endpoint, row graph.Bitset, k int, check func(sel []int, local *graph.Graph) bool) (bool, []int) {
 	n := nd.N()
 	me := nd.ID()
@@ -236,7 +236,7 @@ func FindWitness(nd clique.Endpoint, row graph.Bitset, k int, check func(sel []i
 			return false
 		})
 	}
-	flags := routing.BroadcastWord(nd, clique.BoolWord(mine != nil))
+	flags := comm.BroadcastWord(nd, clique.BoolWord(mine != nil))
 	leader := -1
 	for v := 0; v < n; v++ {
 		if flags[v] != 0 {
@@ -247,19 +247,19 @@ func FindWitness(nd clique.Endpoint, row graph.Bitset, k int, check func(sel []i
 	if leader < 0 {
 		return false, nil
 	}
+	// The leader ships its k witness vertices to everyone; the
+	// collective chunks them against the word budget.
+	var words []uint64
+	if me == leader {
+		words = make([]uint64, k)
+		for i, v := range mine {
+			words[i] = uint64(v)
+		}
+	}
+	got := comm.BroadcastFrom(nd, leader, words, k)
 	witness := make([]int, k)
-	for i := 0; i < k; i++ {
-		if me == leader {
-			nd.Broadcast(uint64(mine[i]))
-		}
-		nd.Tick()
-		if me == leader {
-			witness[i] = mine[i]
-		} else if w := nd.Recv(leader); len(w) == 1 {
-			witness[i] = int(w[0])
-		} else {
-			nd.Fail("subgraph: missing witness word %d from leader %d", i, leader)
-		}
+	for i, w := range got {
+		witness[i] = int(w)
 	}
 	return true, witness
 }

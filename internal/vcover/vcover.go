@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 )
 
@@ -33,21 +34,8 @@ func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 
 	// Preprocessing round: high-degree vertices announce themselves.
 	deg := row.Count()
-	if deg > k {
-		nd.Broadcast(1)
-	}
-	nd.Tick()
-	inC := make([]bool, n)
-	inC[me] = deg > k
+	inC := comm.Flags(nd, deg > k)
 	var forced []int
-	for v := 0; v < n; v++ {
-		if v == me {
-			continue
-		}
-		if len(nd.Recv(v)) > 0 {
-			inC[v] = true
-		}
-	}
 	for v := 0; v < n; v++ {
 		if inC[v] {
 			forced = append(forced, v)
@@ -64,33 +52,24 @@ func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 	// most k of them (their degree is <= k), one per round; k global
 	// rounds in total.
 	var mine []int
+	var words []uint64
 	if !inC[me] {
 		row.Each(func(u int) {
 			if !inC[u] {
 				mine = append(mine, u)
+				words = append(words, clique.PairWord(me, u, n))
 			}
 		})
-	}
-	kernel := graph.New(n)
-	for r := 0; r < k; r++ {
-		if r < len(mine) {
-			nd.Broadcast(clique.PairWord(me, mine[r], n))
-		}
-		nd.Tick()
-		for v := 0; v < n; v++ {
-			if v == me {
-				continue
-			}
-			if w := nd.Recv(v); len(w) == 1 {
-				a, b := clique.UnpairWord(w[0], n)
-				kernel.AddEdge(a, b)
-			}
-		}
 	}
 	if len(mine) > k {
 		// Degree <= k outside C, so this cannot happen on a legal run.
 		nd.Fail("vcover: %d uncovered edges at a low-degree node", len(mine))
 	}
+	kernel := graph.New(n)
+	comm.BroadcastRounds(nd, words, k, func(_, _ int, w uint64) {
+		a, b := clique.UnpairWord(w, n)
+		kernel.AddEdge(a, b)
+	})
 	for _, u := range mine {
 		kernel.AddEdge(me, u)
 	}

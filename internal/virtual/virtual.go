@@ -2,10 +2,11 @@ package virtual
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"repro/internal/clique"
-	"repro/internal/routing"
+	"repro/internal/comm"
 )
 
 // Config describes the simulated clique.
@@ -34,6 +35,11 @@ type Node struct {
 	inbox     [][]uint64
 	completed int
 
+	// bcastPend is the size of a pending BroadcastBuf reservation
+	// (0 = none); bcastScratch backs the buffer it returned.
+	bcastPend    int
+	bcastScratch []uint64
+
 	arrived  chan struct{}
 	released chan struct{}
 	finished chan struct{}
@@ -54,6 +60,12 @@ func (vn *Node) WordsPerPair() int { return vn.eng.cfg.WordsPerPair }
 
 // Send queues words for virtual node `to` in the current virtual round.
 func (vn *Node) Send(to int, words ...uint64) {
+	vn.SendWords(to, words)
+}
+
+// SendWords is the batched form of Send (see clique.Endpoint).
+func (vn *Node) SendWords(to int, words []uint64) {
+	vn.flushBroadcast()
 	if to < 0 || to >= vn.eng.cfg.M || to == vn.id {
 		panic(fmt.Sprintf("virtual: node %d: invalid Send target %d", vn.id, to))
 	}
@@ -64,17 +76,75 @@ func (vn *Node) Send(to int, words ...uint64) {
 	vn.outbox[to] = append(vn.outbox[to], words...)
 }
 
+// SendBuf reserves k words on the link to `to` and returns the outbox
+// storage to fill in place (see clique.Endpoint).
+func (vn *Node) SendBuf(to, k int) []uint64 {
+	vn.flushBroadcast()
+	if to < 0 || to >= vn.eng.cfg.M || to == vn.id {
+		panic(fmt.Sprintf("virtual: node %d: invalid Send target %d", vn.id, to))
+	}
+	cell := vn.outbox[to]
+	l := len(cell)
+	if k < 0 || l+k > vn.eng.cfg.WordsPerPair {
+		panic(fmt.Sprintf("virtual: node %d round %d: bandwidth exceeded sending to %d (budget %d)",
+			vn.id, vn.completed, to, vn.eng.cfg.WordsPerPair))
+	}
+	// Grow to the full budget up front so later sends this round cannot
+	// reallocate the cell out from under the returned slice.
+	if cap(cell) < vn.eng.cfg.WordsPerPair {
+		cell = slices.Grow(cell, vn.eng.cfg.WordsPerPair-l)
+	}
+	cell = cell[:l+k]
+	vn.outbox[to] = cell
+	return cell[l : l+k : l+k]
+}
+
 // Broadcast queues the same words for every other virtual node.
 func (vn *Node) Broadcast(words ...uint64) {
+	vn.BroadcastWords(words)
+}
+
+// BroadcastWords is the batched form of Broadcast (see clique.Endpoint).
+func (vn *Node) BroadcastWords(words []uint64) {
 	for to := 0; to < vn.eng.cfg.M; to++ {
 		if to != vn.id {
-			vn.Send(to, words...)
+			vn.SendWords(to, words)
 		}
 	}
 }
 
+// BroadcastBuf returns a reusable staging buffer whose contents are
+// delivered by one fused broadcast at the node's next operation (see
+// clique.Endpoint).
+func (vn *Node) BroadcastBuf(k int) []uint64 {
+	vn.flushBroadcast()
+	if k < 0 {
+		panic(fmt.Sprintf("virtual: node %d: negative BroadcastBuf size %d", vn.id, k))
+	}
+	if cap(vn.bcastScratch) < k {
+		vn.bcastScratch = make([]uint64, k)
+	}
+	if k > 0 {
+		vn.bcastPend = k
+	}
+	return vn.bcastScratch[:k]
+}
+
+// flushBroadcast delivers a pending BroadcastBuf as one fused
+// broadcast of the staged words. Clearing bcastPend first keeps the
+// BroadcastWords call from recursing back here.
+func (vn *Node) flushBroadcast() {
+	k := vn.bcastPend
+	if k == 0 {
+		return
+	}
+	vn.bcastPend = 0
+	vn.BroadcastWords(vn.bcastScratch[:k])
+}
+
 // Tick completes the virtual round.
 func (vn *Node) Tick() {
+	vn.flushBroadcast()
 	vn.arrived <- struct{}{}
 	<-vn.released
 	vn.completed++
@@ -87,6 +157,12 @@ func (vn *Node) Recv(from int) []uint64 {
 		panic(fmt.Sprintf("virtual: node %d: invalid Recv source %d", vn.id, from))
 	}
 	return vn.inbox[from]
+}
+
+// RecvInto appends the words received from virtual node `from` in the
+// last completed virtual round to buf.
+func (vn *Node) RecvInto(from int, buf []uint64) []uint64 {
+	return append(buf, vn.Recv(from)...)
 }
 
 // Fail aborts the entire (real) run.
@@ -151,6 +227,12 @@ func Run(nd clique.Endpoint, cfg Config, f NodeFunc) {
 				}
 			}()
 			f(vn)
+			// Flush a pending BroadcastBuf into the outbox (with its
+			// budget check) so a returning program's staged broadcast
+			// behaves like its Sends. Like any words queued after a
+			// virtual node's final Tick, they are then dropped: a
+			// finished node's outbox is never collected.
+			vn.flushBroadcast()
 		}()
 	}
 
@@ -177,7 +259,7 @@ func Run(nd clique.Endpoint, cfg Config, f NodeFunc) {
 		// is still running. (Real nodes whose virtual nodes are all done
 		// must keep participating in the max-reductions and exchanges of
 		// the remaining virtual rounds.)
-		stillLive := routing.MaxWord(nd, uint64(len(live)))
+		stillLive := comm.MaxWord(nd, uint64(len(live)))
 		if stillLive == 0 {
 			wg.Wait()
 			return
@@ -218,7 +300,7 @@ func Run(nd clique.Endpoint, cfg Config, f NodeFunc) {
 			}
 		}
 
-		in := routing.Exchange(nd, queues)
+		in := comm.AllToAll(nd, queues)
 		for p := 0; p < n; p++ {
 			stream := in[p]
 			for off := 0; off < len(stream); {

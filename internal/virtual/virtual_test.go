@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/clique"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/paths"
-	"repro/internal/routing"
 )
 
 func TestBroadcastSumOnVirtualClique(t *testing.T) {
@@ -183,7 +183,7 @@ func TestMaxWordInsideVirtualClique(t *testing.T) {
 	const n, m = 3, 6
 	_, err := clique.Run(clique.Config{N: n, WordsPerPair: 6}, func(nd *clique.Node) {
 		Run(nd, Config{M: m, Host: func(v int) int { return v % n }, WordsPerPair: 2}, func(vn *Node) {
-			got := routing.MaxWord(vn, uint64(vn.ID()))
+			got := comm.MaxWord(vn, uint64(vn.ID()))
 			if got != m-1 {
 				vn.Fail("MaxWord = %d, want %d", got, m-1)
 			}
@@ -203,7 +203,7 @@ func TestNestedVirtualCliques(t *testing.T) {
 	_, err := clique.Run(clique.Config{N: real, WordsPerPair: 16}, func(nd *clique.Node) {
 		Run(nd, Config{M: mid, Host: func(v int) int { return v % real }, WordsPerPair: 8}, func(vn *Node) {
 			Run(vn, Config{M: top, Host: func(v int) int { return v % mid }, WordsPerPair: 2}, func(wn *Node) {
-				got[wn.ID()] = routing.MaxWord(wn, uint64(wn.ID()*7))
+				got[wn.ID()] = comm.MaxWord(wn, uint64(wn.ID()*7))
 			})
 		})
 	})
