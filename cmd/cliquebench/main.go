@@ -11,12 +11,22 @@
 //	cliquebench -list -format=json            # registry listing, no runs
 //	cliquebench -format=json -parallel=4      # machine-readable report
 //	cliquebench -format=json -timing          # + measured rounds/sec
-//	cliquebench -compare BENCH_baseline.json  # warn on perf regressions
+//	cliquebench -compare BENCH_baseline.json  # gate against a baseline
+//	cliquebench -cpuprofile cpu.pprof         # profile the hot paths
 //
 // JSON output without -timing is deterministic: bit-identical across
 // repeat runs and across -parallel settings. With -timing it carries a
-// throughput block, the figure the BENCH_*.json perf trajectory and
-// the CI regression gate track.
+// throughput block and two allocation probes (canonical exchange,
+// packed boolean MM), the figures the BENCH_*.json perf trajectory and
+// the CI regression gate track. -compare warns on throughput and
+// model-cost drift and FAILS (exit 1) when a probe's allocs/op
+// regresses beyond -alloc-regress-fail.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the heap
+// profile is captured after a final GC), so hot-path work on the
+// simulator is measurable without ad-hoc patches:
+//
+//	go tool pprof cliquebench cpu.pprof
 package main
 
 import (
@@ -25,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/clique"
@@ -39,76 +51,118 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker-pool width; experiments are independent and results keep registry order")
 	quick := flag.Bool("quick", false, "reduced instance sizes (CI smoke, tests)")
 	timing := flag.Bool("timing", false, "attach measured simulator throughput to JSON output (text always reports it)")
-	compare := flag.String("compare", "", "baseline report JSON to compare this run against (warn-only)")
+	compare := flag.String("compare", "", "baseline report JSON to compare this run against")
 	threshold := flag.Float64("regress-threshold", 0.25, "rounds/sec regression fraction that triggers a -compare warning")
+	allocFail := flag.Float64("alloc-regress-fail", 0.25, "allocs/op probe regression fraction beyond which -compare fails (exit 1) instead of warning")
 	list := flag.Bool("list", false, "print the experiment registry (id, artefact, title) and exit without running anything")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	flag.Parse()
-	if *backend == "" {
-		*backend = clique.DefaultBackend
-	}
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
-		os.Exit(2)
-	}
-	if *list {
-		if err := writeList(os.Stdout, *format); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	// run carries the exit code out so the profile-writing defers below
+	// execute before the process exits.
+	code := func() int {
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				f.Close()
+				return 1
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
 		}
-		return
-	}
+		if *memprofile != "" {
+			defer func() {
+				f, err := os.Create(*memprofile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+		}
+		if *backend == "" {
+			*backend = clique.DefaultBackend
+		}
+		if *format != "text" && *format != "json" {
+			fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
+			return 2
+		}
+		if *list {
+			if err := writeList(os.Stdout, *format); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return 0
+		}
 
-	ids, err := exp.Resolve(*expFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	opts := exp.Options{Backend: *backend, Quick: *quick, Parallel: *parallel}
-	results, tim, err := exp.Run(ids, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	// The allocation probe needs a quiet process, so it runs after the
-	// worker pool has drained. Like Throughput, it rides the -timing
-	// opt-in (without it the report stays deterministic) — but only
-	// where something consumes it: the JSON envelope or -compare.
-	var bench *exp.BenchProbe
-	if *timing && (*format == "json" || *compare != "") {
-		bench, err = exp.MeasureBenchProbe(*backend)
+		ids, err := exp.Resolve(*expFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 2
 		}
-	}
 
-	switch *format {
-	case "text":
-		// The text report always carries the throughput summary, as it
-		// always has.
-		exp.NewReport(*backend, opts, results, tim, true).WriteText(os.Stdout)
-	case "json":
-		report := exp.NewReport(*backend, opts, results, tim, *timing)
-		report.Bench = bench
-		if err := report.WriteJSON(os.Stdout); err != nil {
+		opts := exp.Options{Backend: *backend, Quick: *quick, Parallel: *parallel}
+		results, tim, err := exp.Run(ids, opts)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q (text, json)\n", *format)
-		os.Exit(2)
-	}
 
-	if *compare != "" {
-		current := exp.NewReport(*backend, opts, results, tim, true)
-		current.Bench = bench
-		if err := compareBaseline(*compare, current, *threshold); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		// The allocation probes need a quiet process, so they run after
+		// the worker pool has drained. Like Throughput, they ride the
+		// -timing opt-in (without it the report stays deterministic) —
+		// but only where something consumes them: the JSON envelope or
+		// -compare.
+		var bench, benchPacked *exp.BenchProbe
+		if *timing && (*format == "json" || *compare != "") {
+			if bench, err = exp.MeasureBenchProbe(*backend); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if benchPacked, err = exp.MeasurePackedProbe(*backend); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
 		}
-	}
+
+		switch *format {
+		case "text":
+			// The text report always carries the throughput summary, as
+			// it always has.
+			exp.NewReport(*backend, opts, results, tim, true).WriteText(os.Stdout)
+		case "json":
+			report := exp.NewReport(*backend, opts, results, tim, *timing)
+			report.Bench = bench
+			report.BenchPacked = benchPacked
+			if err := report.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+
+		if *compare != "" {
+			current := exp.NewReport(*backend, opts, results, tim, true)
+			current.Bench = bench
+			current.BenchPacked = benchPacked
+			if err := compareBaseline(*compare, current, *threshold, *allocFail); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		return 0
+	}()
+	os.Exit(code)
 }
 
 // writeList prints the registry without running anything. The JSON
@@ -134,10 +188,12 @@ func writeList(w io.Writer, format string) error {
 	return nil
 }
 
-// compareBaseline warns — never fails — when the current run regressed
-// against the stored baseline. Warnings go to stderr in GitHub
-// Actions annotation form so the CI job surfaces them inline.
-func compareBaseline(path string, current *exp.Report, threshold float64) error {
+// compareBaseline reports regressions against the stored baseline to
+// stderr in GitHub Actions annotation form. Throughput and model-cost
+// drift stay warn-only; an allocation-probe regression beyond allocFail
+// is an error annotation and fails the run — a hot path that started
+// allocating is a bug, not a judgement call.
+func compareBaseline(path string, current *exp.Report, threshold, allocFail float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("compare: %w", err)
@@ -147,12 +203,32 @@ func compareBaseline(path string, current *exp.Report, threshold float64) error 
 		return fmt.Errorf("compare: parsing %s: %w", path, err)
 	}
 	warns := exp.Compare(&baseline, current, threshold)
-	if len(warns) == 0 {
+	// The fatal gate re-checks the probes at the caller's fraction, so
+	// an -alloc-regress-fail below Compare's warn threshold still bites.
+	fatal := exp.AllocRegressions(&baseline, current, allocFail)
+	if len(warns) == 0 && len(fatal) == 0 {
 		fmt.Fprintf(os.Stderr, "compare: no regressions vs %s (threshold %.0f%%)\n", path, 100*threshold)
 		return nil
 	}
+	isFatal := func(w exp.Regression) bool {
+		for _, f := range fatal {
+			if f.What == w.What {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range fatal {
+		fmt.Fprintf(os.Stderr, "::error title=benchmark regression::%s\n", f)
+	}
 	for _, w := range warns {
+		if w.Kind == exp.RegressAllocs && isFatal(w) {
+			continue // already reported as an error
+		}
 		fmt.Fprintf(os.Stderr, "::warning title=benchmark regression::%s\n", w)
+	}
+	if len(fatal) > 0 {
+		return fmt.Errorf("compare: %d allocation regression(s) beyond %.0f%% vs %s", len(fatal), 100*allocFail, path)
 	}
 	return nil
 }

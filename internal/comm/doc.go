@@ -41,4 +41,19 @@
 //     its unbalanced ablation baseline.
 //   - BroadcastBits: bit-packed broadcast at the honest O(log n)-bit
 //     word size.
+//
+// The packed plane (bits.go) moves dense boolean payloads at 64 matrix
+// entries per word over bitvec.Row values — ceil(bits/64) words per row
+// instead of one word per entry, the representation Le Gall's algebraic
+// congested-clique algorithms exploit:
+//
+//   - BroadcastBitRows / BroadcastBitRowsInto: every node broadcasts
+//     one packed row; all nodes learn the table (packed BroadcastAll).
+//   - GatherBits: one packed row per node collected at a root (the
+//     packed Gather).
+//   - AllToAllBits: one packed row to every peer (the packed
+//     personalised exchange).
+//   - AllToAllFixed: the fixed-width word exchange under AllToAllBits —
+//     no agreement round, and the transport of the packed 3D matrix
+//     multiplication's perfectly balanced block phases.
 package comm

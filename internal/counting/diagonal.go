@@ -1,6 +1,10 @@
 package counting
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/bitvec"
+)
 
 // This file makes Lemma 1 *constructive* at micro scale: for the
 // two-node clique with b = 1 bit of bandwidth, L input bits per node and
@@ -50,8 +54,11 @@ func Diagonalise(L int) DiagonalisationResult {
 	numMsg := 1 << inputs       // message functions {0,1}^L -> {0,1}
 	numOut := 1 << (2 * inputs) // output functions {0,1}^(L+1) -> {0,1}
 
-	// realised[table] marks truth tables with a protocol.
-	realised := make([]bool, 1<<joint)
+	// realised marks truth tables with a protocol — one bit per table
+	// (the diagonal table of the proof), so counting the realisable
+	// functions and finding the first hard one are word-parallel
+	// popcount / first-zero scans.
+	realised := bitvec.NewRow(1 << joint)
 	var validProtocols uint64
 
 	// For node 0: out_0(x_0, m) indexed as x_0 + m*inputs.
@@ -93,7 +100,7 @@ func Diagonalise(L int) DiagonalisationResult {
 			for tbl, c0 := range count0 {
 				if c1 := count1[tbl]; c1 > 0 {
 					validProtocols += c0 * c1
-					realised[tbl] = true
+					realised.Set(int(tbl))
 				}
 			}
 		}
@@ -103,13 +110,10 @@ func Diagonalise(L int) DiagonalisationResult {
 		L:              L,
 		TotalFunctions: 1 << joint,
 	}
-	for tbl, ok := range realised {
-		if ok {
-			res.Realised++
-		} else if !res.HardExists {
-			res.HardExists = true
-			res.FirstHard = uint64(tbl)
-		}
+	res.Realised = uint64(realised.OnesCount())
+	if z := realised.NextZero(0, 1<<joint); z >= 0 {
+		res.HardExists = true
+		res.FirstHard = uint64(z)
 	}
 	res.ValidProtocols = validProtocols
 	p := Params{N: 2, B: 1, L: L, T: 1}

@@ -74,17 +74,17 @@ func searchDominating(g *graph.Graph, candidates []int, k int) []int {
 }
 
 // agreeOnWitness publishes the lowest-id node's witness (if any) so that
-// all nodes produce identical output: one round to announce success,
-// then a budget-chunked BroadcastFrom in which the elected node ships
-// its k witness vertices.
+// all nodes produce identical output: one presence-coded vote round to
+// announce success (only successful nodes spend budget), then a
+// budget-chunked BroadcastFrom in which the elected node ships its k
+// witness vertices.
 func agreeOnWitness(nd clique.Endpoint, witness []int, k int) Result {
 	n := nd.N()
 	me := nd.ID()
-	has := clique.BoolWord(witness != nil)
-	flags := comm.BroadcastWord(nd, has)
+	flags := comm.Flags(nd, witness != nil)
 	leader := -1
 	for v := 0; v < n; v++ {
-		if flags[v] != 0 {
+		if flags[v] {
 			leader = v
 			break
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -32,9 +33,10 @@ var (
 	boxPoolStops atomic.Bool
 )
 
-// DisableMailboxPool turns pooling off process-wide (every acquire
-// allocates fresh). It exists for A/B benchmarking and for tests that
-// need allocation isolation; production callers never need it.
+// DisableMailboxPool turns engine pooling off process-wide (every
+// acquire allocates fresh) — both the mailbox pool and the word-scratch
+// pool below. It exists for A/B benchmarking and for tests that need
+// allocation isolation; production callers never need it.
 func DisableMailboxPool(off bool) { boxPoolStops.Store(off) }
 
 // PoolStats reports how many lockstep runs reused a pooled mailbox and
@@ -85,4 +87,78 @@ func putBox(b mailbox) {
 	case *sliceBox:
 		boxPoolFor(boxKey{n: x.n, wpp: x.wpp, arena: false}).Put(b)
 	}
+}
+
+// Word-scratch pooling: the bit-packed data plane (package bitvec and
+// the packed collectives built on it) works over dense []uint64
+// buffers — broadcast tables, packed matrix blocks, transpose scratch —
+// whose sizes recur run to run exactly like mailbox shapes do. They are
+// pooled here, beside the mailboxes, because the reuse discipline is
+// the same: a buffer is only retired once the run that used it can no
+// longer alias it, and every acquisition returns fully zeroed storage
+// so no state leaks between pooled runs.
+
+// scratchClasses covers buffers from 1 word up to 2^30 words (8 GiB);
+// anything larger is allocated fresh rather than pooled.
+const scratchClasses = 31
+
+var (
+	scratchPools [scratchClasses]sync.Pool
+	scratchHits  atomic.Int64
+	scratchMiss  atomic.Int64
+)
+
+// scratchClass returns the size-class index of a buffer of k words: the
+// smallest c with 1<<c >= k. Buffers are stored at their full class
+// capacity so a pooled buffer always satisfies any request of its class.
+func scratchClass(k int) int {
+	if k <= 1 {
+		return 0
+	}
+	return bits.Len(uint(k - 1))
+}
+
+// GetScratch returns a zeroed word buffer of length k, reusing pooled
+// storage when available. Callers return it with PutScratch when done;
+// not returning it is safe (the GC reclaims it) but forfeits reuse.
+func GetScratch(k int) []uint64 {
+	if k <= 0 {
+		return nil
+	}
+	c := scratchClass(k)
+	if c < scratchClasses && !boxPoolStops.Load() {
+		if buf, _ := scratchPools[c].Get().([]uint64); buf != nil {
+			scratchHits.Add(1)
+			buf = buf[:k]
+			clear(buf)
+			return buf
+		}
+	}
+	scratchMiss.Add(1)
+	if c >= scratchClasses {
+		return make([]uint64, k)
+	}
+	return make([]uint64, k, 1<<c)
+}
+
+// PutScratch retires a buffer obtained from GetScratch. The buffer must
+// not be used after the call.
+func PutScratch(buf []uint64) {
+	if buf == nil || boxPoolStops.Load() {
+		return
+	}
+	c := scratchClass(cap(buf))
+	// Only buffers at exactly class capacity are pooled, so a pooled
+	// buffer can always be resliced to any length of its class.
+	if c >= scratchClasses || cap(buf) != 1<<c {
+		return
+	}
+	scratchPools[c].Put(buf[:cap(buf)])
+}
+
+// ScratchStats reports how many scratch acquisitions reused a pooled
+// buffer and how many allocated. Like PoolStats, a hot serving loop
+// should converge to hits.
+func ScratchStats() (hits, misses int64) {
+	return scratchHits.Load(), scratchMiss.Load()
 }

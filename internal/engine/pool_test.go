@@ -105,3 +105,53 @@ func TestMailboxPoolDisable(t *testing.T) {
 		t.Fatalf("pool disabled but hit count moved: %d -> %d", h0, h1)
 	}
 }
+
+// TestScratchPoolRoundTrip pins the word-scratch pool: buffers come
+// back zeroed, same-class requests reuse pooled storage, and the
+// disable switch covers it too.
+func TestScratchPoolRoundTrip(t *testing.T) {
+	buf := GetScratch(100)
+	if len(buf) != 100 {
+		t.Fatalf("GetScratch(100) has len %d", len(buf))
+	}
+	for i := range buf {
+		buf[i] = ^uint64(0)
+	}
+	PutScratch(buf)
+	h0, _ := ScratchStats()
+	buf2 := GetScratch(80) // class 128, same as 100
+	h1, _ := ScratchStats()
+	if h1 != h0+1 {
+		t.Errorf("same-class GetScratch not served from pool: hits %d -> %d", h0, h1)
+	}
+	for i, w := range buf2 {
+		if w != 0 {
+			t.Fatalf("pooled scratch word %d not zeroed", i)
+		}
+	}
+	PutScratch(buf2)
+
+	if got := GetScratch(0); got != nil {
+		t.Errorf("GetScratch(0) = %v, want nil", got)
+	}
+	PutScratch(nil) // must be a no-op
+
+	DisableMailboxPool(true)
+	defer DisableMailboxPool(false)
+	b := GetScratch(64)
+	PutScratch(b)
+	h2, _ := ScratchStats()
+	GetScratch(64)
+	if h3, _ := ScratchStats(); h3 != h2 {
+		t.Errorf("scratch pool disabled but hit count moved: %d -> %d", h2, h3)
+	}
+}
+
+func TestScratchClassBounds(t *testing.T) {
+	cases := []struct{ k, class int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {64, 6}, {65, 7}, {1 << 20, 20}}
+	for _, c := range cases {
+		if got := scratchClass(c.k); got != c.class {
+			t.Errorf("scratchClass(%d) = %d, want %d", c.k, got, c.class)
+		}
+	}
+}

@@ -4,18 +4,24 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/bitvec"
 	"repro/internal/clique"
 	"repro/internal/comm"
+	"repro/internal/matmul"
 )
 
-// BenchProbe is the allocation probe of the canonical exchange
-// benchmark: the per-round gossip pattern the serving hot path runs
-// continuously (every node broadcasts one word, everyone reads the
-// table), executed through the collective layer. AllocsPerOp is the
-// measured heap-allocation count per simulated run; like Throughput it
-// is attached to a report only when timing was requested, so the
-// deterministic envelope is unaffected. The committed baseline's value
-// is the regression reference for CI's warn-only gate.
+// BenchProbe is an allocation probe: a canonical hot-path workload
+// executed repeatedly while heap allocations are counted. Two probes
+// ship in every timed report: the canonical exchange (the per-round
+// gossip pattern the serving hot path runs continuously, through the
+// collective layer) and the packed boolean matrix product (the
+// bit-packed data plane's hot loop, exercising the pooled bitvec
+// scratch). AllocsPerOp is the measured heap-allocation count per
+// simulated run; like Throughput the probes are attached to a report
+// only when timing was requested, so the deterministic envelope is
+// unaffected. The committed baseline's values are the regression
+// references for CI's gate: allocation regressions beyond
+// cliquebench's -alloc-regress-fail fraction fail the bench job.
 type BenchProbe struct {
 	Name         string  `json:"name"`
 	Backend      string  `json:"backend"`
@@ -46,20 +52,46 @@ func benchProbeProgram(nd *clique.Node) {
 	}
 }
 
+// packedProbeProgram is the packed boolean-MM node program: one
+// word-parallel naive boolean product per round (at n=64 the packed row
+// is a single word, so each product costs exactly one round), the
+// steady-state loop of the bit-packed data plane.
+func packedProbeProgram(nd *clique.Node) {
+	n := nd.N()
+	row := bitvec.NewRow(n)
+	for i := nd.ID() % 3; i < n; i += 3 {
+		row.Set(i)
+	}
+	for r := 0; r < benchProbeRounds; r++ {
+		matmul.MulNaiveBits(nd, row, row)
+	}
+}
+
 // MeasureBenchProbe runs the canonical exchange workload on the given
 // backend and measures allocations per run (one warm-up run excluded,
 // so pooled mailboxes and lazily grown buffers do not bill the steady
 // state). It must run while no other simulations execute concurrently;
 // cliquebench measures after its worker pool has drained.
 func MeasureBenchProbe(backend string) (*BenchProbe, error) {
+	return measureProbe("exchange", backend, benchProbeProgram)
+}
+
+// MeasurePackedProbe is MeasureBenchProbe for the packed boolean-MM
+// workload: the allocation watchdog over the bitvec scratch pooling
+// that keeps cliqued's boolean serving loop allocation-flat.
+func MeasurePackedProbe(backend string) (*BenchProbe, error) {
+	return measureProbe("packed-mm", backend, packedProbeProgram)
+}
+
+func measureProbe(name, backend string, program clique.NodeFunc) (*BenchProbe, error) {
 	cfg := clique.Config{N: benchProbeN, WordsPerPair: benchProbeWPP, Backend: backend}
 	run := func() error {
-		res, err := clique.Run(cfg, benchProbeProgram)
+		res, err := clique.Run(cfg, program)
 		if err != nil {
 			return err
 		}
 		if res.Stats.Rounds != benchProbeRounds {
-			return fmt.Errorf("exp: bench probe ran %d rounds, want %d", res.Stats.Rounds, benchProbeRounds)
+			return fmt.Errorf("exp: bench probe %s ran %d rounds, want %d", name, res.Stats.Rounds, benchProbeRounds)
 		}
 		return nil
 	}
@@ -76,7 +108,7 @@ func MeasureBenchProbe(backend string) (*BenchProbe, error) {
 	}
 	runtime.ReadMemStats(&after)
 	return &BenchProbe{
-		Name:         "exchange",
+		Name:         name,
 		Backend:      backend,
 		N:            benchProbeN,
 		WordsPerPair: benchProbeWPP,

@@ -298,6 +298,48 @@ func TestCompareBenchProbe(t *testing.T) {
 	}
 }
 
+func TestComparePackedProbe(t *testing.T) {
+	mk := func(allocs float64) *exp.Report {
+		return &exp.Report{
+			Schema:  exp.SchemaVersion,
+			Backend: "lockstep",
+			BenchPacked: &exp.BenchProbe{
+				Name: "packed-mm", Backend: "lockstep", N: 64,
+				WordsPerPair: 1, Rounds: 256, Runs: 5, AllocsPerOp: allocs,
+			},
+		}
+	}
+	if warns := exp.Compare(mk(1000), mk(1050), 0.25); len(warns) != 0 {
+		t.Errorf("5%% allocation growth should pass the 10%% gate: %v", warns)
+	}
+	warns := exp.Compare(mk(1000), mk(2000), 0.25)
+	if len(warns) != 1 || !strings.Contains(warns[0].String(), "packed-mm") {
+		t.Errorf("doubled packed-probe allocations should warn: %v", warns)
+	}
+	if warns[0].Kind != exp.RegressAllocs {
+		t.Errorf("allocation regression kind = %q, want %q", warns[0].Kind, exp.RegressAllocs)
+	}
+}
+
+func TestMeasurePackedProbe(t *testing.T) {
+	probe, err := exp.MeasurePackedProbe("lockstep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Name != "packed-mm" || probe.N != 64 || probe.Rounds != 256 {
+		t.Errorf("unexpected probe shape: %+v", probe)
+	}
+	if probe.AllocsPerOp <= 0 {
+		t.Errorf("allocs/op = %v, want > 0", probe.AllocsPerOp)
+	}
+	// The packed product allocates its broadcast table from the pooled
+	// scratch and one output row per call; anything in the 10^5 range
+	// means the pooling came unhooked.
+	if probe.AllocsPerOp > 100_000 {
+		t.Errorf("allocs/op = %v; the packed boolean-MM path has regressed badly", probe.AllocsPerOp)
+	}
+}
+
 func TestMeasureBenchProbe(t *testing.T) {
 	probe, err := exp.MeasureBenchProbe("lockstep")
 	if err != nil {

@@ -310,6 +310,9 @@ type Report struct {
 	// Bench is the canonical-exchange allocation probe, attached under
 	// the same timing opt-in as Throughput.
 	Bench *BenchProbe `json:"bench,omitempty"`
+	// BenchPacked is the packed boolean-MM allocation probe, the
+	// watchdog over the bit-packed data plane's scratch pooling.
+	BenchPacked *BenchProbe `json:"bench_packed,omitempty"`
 }
 
 // Throughput is the measured simulator performance of one run. WallNS
@@ -342,10 +345,22 @@ func NewReport(backend string, opts Options, results []*Result, tim Timing, with
 	return r
 }
 
+// Kinds of Compare findings, for callers that escalate some of them
+// (cliquebench fails the bench job on RegressAllocs beyond its
+// -alloc-regress-fail fraction; everything else stays warn-only).
+const (
+	RegressAllocs     = "allocs"
+	RegressThroughput = "throughput"
+	RegressModelCost  = "model-cost"
+	RegressMismatch   = "mismatch"
+)
+
 // Regression is one warning produced by Compare.
 type Regression struct {
 	// What identifies the degraded quantity.
 	What string
+	// Kind classifies the finding (Regress* constants).
+	Kind string
 	// Baseline and Current are the compared values.
 	Baseline, Current float64
 }
@@ -370,41 +385,26 @@ func (r Regression) String() string {
 func Compare(baseline, current *Report, threshold float64) []Regression {
 	var warns []Regression
 	if baseline.Schema != current.Schema {
-		warns = append(warns, Regression{What: fmt.Sprintf("schema mismatch: baseline %q vs current %q", baseline.Schema, current.Schema)})
+		warns = append(warns, Regression{Kind: RegressMismatch, What: fmt.Sprintf("schema mismatch: baseline %q vs current %q", baseline.Schema, current.Schema)})
 		return warns
 	}
 	if baseline.Quick != current.Quick {
-		warns = append(warns, Regression{What: "quick-mode mismatch: baseline and current report are not comparable"})
+		warns = append(warns, Regression{Kind: RegressMismatch, What: "quick-mode mismatch: baseline and current report are not comparable"})
 		return warns
 	}
-	if baseline.Bench != nil && current.Bench != nil {
-		b, c := baseline.Bench, current.Bench
-		switch {
-		case b.Name != c.Name || b.N != c.N || b.WordsPerPair != c.WordsPerPair ||
-			b.Rounds != c.Rounds || b.Backend != c.Backend:
-			warns = append(warns, Regression{What: fmt.Sprintf(
-				"bench-probe shape mismatch (baseline %s/%s n=%d, current %s/%s n=%d): allocs not compared",
-				b.Name, b.Backend, b.N, c.Name, c.Backend, c.N)})
-		case c.AllocsPerOp > b.AllocsPerOp*1.10+16:
-			// Allocation counts are deterministic up to runtime noise; a
-			// >10% (plus slack) rise means a hot path started allocating.
-			warns = append(warns, Regression{
-				What:     fmt.Sprintf("allocs/op on the canonical exchange benchmark (%s backend)", c.Backend),
-				Baseline: b.AllocsPerOp,
-				Current:  c.AllocsPerOp,
-			})
-		}
-	}
+	warns = append(warns, compareProbe(baseline.Bench, current.Bench, allocWarnFraction)...)
+	warns = append(warns, compareProbe(baseline.BenchPacked, current.BenchPacked, allocWarnFraction)...)
 	if baseline.Throughput != nil && current.Throughput != nil {
 		switch {
 		case baseline.Throughput.Workers != current.Throughput.Workers:
-			warns = append(warns, Regression{What: fmt.Sprintf(
+			warns = append(warns, Regression{Kind: RegressMismatch, What: fmt.Sprintf(
 				"worker-count mismatch (baseline %d, current %d): throughput not compared",
 				baseline.Throughput.Workers, current.Throughput.Workers)})
 		case baseline.Throughput.RoundsPerSec > 0 &&
 			current.Throughput.RoundsPerSec < baseline.Throughput.RoundsPerSec*(1-threshold):
 			warns = append(warns, Regression{
 				What:     fmt.Sprintf("simulator throughput (rounds/sec, %s backend)", current.Backend),
+				Kind:     RegressThroughput,
 				Baseline: baseline.Throughput.RoundsPerSec,
 				Current:  current.Throughput.RoundsPerSec,
 			})
@@ -432,6 +432,7 @@ func Compare(baseline, current *Report, threshold float64) []Regression {
 		if b.Sim.Rounds != c.Sim.Rounds {
 			warns = append(warns, Regression{
 				What:     fmt.Sprintf("%s: model cost changed (simulated rounds)", id),
+				Kind:     RegressModelCost,
 				Baseline: float64(b.Sim.Rounds), Current: float64(c.Sim.Rounds),
 			})
 		}
@@ -446,8 +447,53 @@ func Compare(baseline, current *Report, threshold float64) []Regression {
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
-		warns = append(warns, Regression{What: fmt.Sprintf(
+		warns = append(warns, Regression{Kind: RegressMismatch, What: fmt.Sprintf(
 			"baseline experiments missing from the current report: %s", strings.Join(missing, ", "))})
 	}
 	return warns
+}
+
+// allocWarnFraction is the allocs/op rise (plus a 16-alloc absolute
+// slack for runtime noise) beyond which Compare warns. Allocation
+// counts are deterministic up to that noise; a larger rise means a hot
+// path started allocating.
+const allocWarnFraction = 0.10
+
+// compareProbe checks one allocation probe against its baseline at the
+// given regression fraction; nil on either side (probes are
+// timing-gated) compares nothing.
+func compareProbe(b, c *BenchProbe, frac float64) []Regression {
+	if b == nil || c == nil {
+		return nil
+	}
+	switch {
+	case b.Name != c.Name || b.N != c.N || b.WordsPerPair != c.WordsPerPair ||
+		b.Rounds != c.Rounds || b.Backend != c.Backend:
+		return []Regression{{Kind: RegressMismatch, What: fmt.Sprintf(
+			"bench-probe shape mismatch (baseline %s/%s n=%d, current %s/%s n=%d): allocs not compared",
+			b.Name, b.Backend, b.N, c.Name, c.Backend, c.N)}}
+	case c.AllocsPerOp > b.AllocsPerOp*(1+frac)+16:
+		return []Regression{{
+			What:     fmt.Sprintf("allocs/op on the %s benchmark probe (%s backend)", c.Name, c.Backend),
+			Kind:     RegressAllocs,
+			Baseline: b.AllocsPerOp,
+			Current:  c.AllocsPerOp,
+		}}
+	}
+	return nil
+}
+
+// AllocRegressions reports the allocation-probe regressions beyond the
+// given fraction — Compare's probe check at a caller-chosen severity.
+// cliquebench uses it for the fatal -alloc-regress-fail gate, so a fail
+// fraction below Compare's own warn threshold still bites.
+func AllocRegressions(baseline, current *Report, frac float64) []Regression {
+	var out []Regression
+	for _, r := range append(compareProbe(baseline.Bench, current.Bench, frac),
+		compareProbe(baseline.BenchPacked, current.BenchPacked, frac)...) {
+		if r.Kind == RegressAllocs {
+			out = append(out, r)
+		}
+	}
+	return out
 }

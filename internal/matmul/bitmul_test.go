@@ -1,0 +1,183 @@
+package matmul
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/clique"
+)
+
+// unpackedBool carries Boolean's truth tables under a distinct type, so
+// the generic per-entry code paths of MulNaive and Mul3D stay reachable
+// beside the packed dispatch — the reference half of every
+// packed-vs-unpacked equivalence check.
+type unpackedBool struct{}
+
+func (unpackedBool) Add(a, b int64) int64 { return Boolean{}.Add(a, b) }
+func (unpackedBool) Mul(a, b int64) int64 { return Boolean{}.Mul(a, b) }
+func (unpackedBool) Zero() int64          { return 0 }
+func (unpackedBool) Name() string         { return "boolean-unpacked" }
+
+func randomBoolRows(n int, density float64, seed uint64) [][]int64 {
+	rng := rand.New(rand.NewPCG(seed, 41))
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			if rng.Float64() < density {
+				m[i][j] = 1
+			}
+		}
+	}
+	return m
+}
+
+// runMulOn runs a MulFunc over a distributed instance on one backend.
+func runMulOn(t testing.TB, backend string, n, wpp int, mul MulFunc, s Semiring, a, b [][]int64) ([][]int64, *clique.Result) {
+	t.Helper()
+	out := make([][]int64, n)
+	res, err := clique.Run(clique.Config{N: n, WordsPerPair: wpp, Backend: backend}, func(nd *clique.Node) {
+		out[nd.ID()] = mul(nd, s, a[nd.ID()], b[nd.ID()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, res
+}
+
+// TestPackedMatchesUnpacked is the bit-identity contract of the packed
+// plane: for both schedules and on both backends, the Boolean-semiring
+// (packed) product equals the same schedule run through the generic
+// per-entry path under an equivalent non-Boolean semiring.
+func TestPackedMatchesUnpacked(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 12, 27, 30, 64, 70} {
+		a := randomBoolRows(n, 0.4, uint64(n))
+		b := randomBoolRows(n, 0.4, uint64(n)+100)
+		want := MulLocal(Boolean{}, a, b)
+		for _, backend := range clique.Backends() {
+			for name, mul := range map[string]MulFunc{"naive": MulNaive, "3d": Mul3D} {
+				packed, _ := runMulOn(t, backend, n, 3, mul, Boolean{}, a, b)
+				unpacked, _ := runMulOn(t, backend, n, 3, mul, unpackedBool{}, a, b)
+				if !matEqual(packed, unpacked) {
+					t.Fatalf("%s/%s n=%d: packed and unpacked products differ", backend, name, n)
+				}
+				if !matEqual(packed, want) {
+					t.Fatalf("%s/%s n=%d: packed product differs from local reference", backend, name, n)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedBitsEntryPoints drives the bitvec-native entry points
+// directly (no int64 bridge) and checks them against the local product.
+func TestPackedBitsEntryPoints(t *testing.T) {
+	for _, n := range []int{3, 9, 27, 65} {
+		a := randomBoolRows(n, 0.35, uint64(n)+7)
+		b := randomBoolRows(n, 0.35, uint64(n)+8)
+		want := MulLocal(Boolean{}, a, b)
+		for name, mul := range map[string]func(clique.Endpoint, bitvec.Row, bitvec.Row) bitvec.Row{
+			"naive": MulNaiveBits, "3d": Mul3DBits,
+		} {
+			got := make([][]int64, n)
+			_, err := clique.Run(clique.Config{N: n, WordsPerPair: 2}, func(nd *clique.Node) {
+				me := nd.ID()
+				out := mul(nd, bitvec.FromInt64s(a[me]), bitvec.FromInt64s(b[me]))
+				got[me] = out.ToInt64s(n)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matEqual(got, want) {
+				t.Fatalf("%s n=%d: packed-native product differs from local reference", name, n)
+			}
+		}
+	}
+}
+
+// TestPackedRoundCounts pins the packed wire costs: the naive schedule
+// broadcasts ceil(ceil(n/64)/wpp) chunks, the 3D schedule runs three
+// fixed-width exchanges.
+func TestPackedRoundCounts(t *testing.T) {
+	for _, c := range []struct{ n, wpp int }{{27, 8}, {64, 8}, {125, 8}, {216, 8}, {216, 1}} {
+		a := randomBoolRows(c.n, 0.5, uint64(c.n))
+		b := a
+		ceil := func(x, y int) int { return (x + y - 1) / y }
+		w := bitvec.Words(c.n)
+		_, res := runMulOn(t, "", c.n, c.wpp, MulNaive, Boolean{}, a, b)
+		if want := ceil(w, c.wpp); res.Stats.Rounds != want {
+			t.Errorf("naive n=%d wpp=%d: rounds = %d, want %d", c.n, c.wpp, res.Stats.Rounds, want)
+		}
+		q := cube(c.n)
+		seg := (c.n + q - 1) / q
+		ws := bitvec.Words(seg)
+		chunk := (seg + q - 1) / q
+		want3d := ceil(2*ws, c.wpp) + ceil(chunk*ws, c.wpp) + ceil(ws, c.wpp)
+		_, res3d := runMulOn(t, "", c.n, c.wpp, Mul3D, Boolean{}, a, b)
+		if res3d.Stats.Rounds != want3d {
+			t.Errorf("3d n=%d wpp=%d: rounds = %d, want %d", c.n, c.wpp, res3d.Stats.Rounds, want3d)
+		}
+	}
+}
+
+// TestPackedWordSavings pins the headline of this plane: at n=216 the
+// packed naive product moves ~64x fewer simulated words than the
+// per-entry path.
+func TestPackedWordSavings(t *testing.T) {
+	const n = 216
+	a := randomBoolRows(n, 0.5, 1)
+	_, packed := runMulOn(t, "", n, 8, MulNaive, Boolean{}, a, a)
+	_, unpacked := runMulOn(t, "", n, 8, MulNaive, unpackedBool{}, a, a)
+	if packed.Stats.WordsSent*32 > unpacked.Stats.WordsSent {
+		t.Errorf("packed naive sent %d words vs unpacked %d: want >= 32x saving",
+			packed.Stats.WordsSent, unpacked.Stats.WordsSent)
+	}
+}
+
+func FuzzPackedMatmulEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(9), uint8(1), uint8(128))
+	f.Add(uint64(2), uint8(16), uint8(2), uint8(20))
+	f.Add(uint64(3), uint8(27), uint8(3), uint8(240))
+	f.Add(uint64(4), uint8(1), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, rawN, rawWpp, rawDensity uint8) {
+		n := 1 + int(rawN)%30
+		wpp := 1 + int(rawWpp)%4
+		density := float64(rawDensity) / 255
+		a := randomBoolRows(n, density, seed)
+		b := randomBoolRows(n, density, seed^0x9e3779b97f4a7c15)
+		want := MulLocal(Boolean{}, a, b)
+		for _, backend := range clique.Backends() {
+			for name, mul := range map[string]MulFunc{"naive": MulNaive, "3d": Mul3D} {
+				packed, _ := runMulOn(t, backend, n, wpp, mul, Boolean{}, a, b)
+				unpacked, _ := runMulOn(t, backend, n, wpp, mul, unpackedBool{}, a, b)
+				if !matEqual(packed, unpacked) {
+					t.Fatalf("%s/%s n=%d wpp=%d: packed and unpacked products differ", backend, name, n, wpp)
+				}
+				if !matEqual(packed, want) {
+					t.Fatalf("%s/%s n=%d wpp=%d: packed product differs from local reference", backend, name, n, wpp)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkMulNaivePacked(b *testing.B) {
+	benchMulNaive(b, Boolean{})
+}
+
+func BenchmarkMulNaiveUnpacked(b *testing.B) {
+	benchMulNaive(b, unpackedBool{})
+}
+
+func benchMulNaive(b *testing.B, s Semiring) {
+	for _, n := range []int{64, 216} {
+		a := randomBoolRows(n, 0.5, uint64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runMulOn(b, "lockstep", n, 8, MulNaive, s, a, a)
+			}
+		})
+	}
+}

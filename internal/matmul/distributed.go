@@ -13,8 +13,13 @@ import (
 // MulNaive computes row nd.ID() of C = A (x) B where this node holds
 // aRow = A[id] and bRow = B[id]. Every node broadcasts its B row, so all
 // nodes learn B and multiply locally: Theta(n / wordsPerPair) rounds.
-// This is the delta = 1 baseline of Figure 1.
+// This is the delta = 1 baseline of Figure 1. Over the Boolean
+// semiring the rows travel bit-packed (MulNaiveBits), cutting the wire
+// cost to ceil(n/64) words per row; the output is bit-identical.
 func MulNaive(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
+	if _, boolean := s.(Boolean); boolean {
+		return boolRows(nd, aRow, bRow, MulNaiveBits)
+	}
 	n := nd.N()
 	if len(aRow) != n || len(bRow) != n {
 		nd.Fail("matmul: rows have lengths %d, %d; want %d", len(aRow), len(bRow), n)
@@ -92,7 +97,14 @@ func idOf(i, j, k, q int) int { return i*q*q + j*q + k }
 // Entries equal to the semiring zero are not transmitted (receivers
 // default to zero), so sparse instances cost proportionally less — the
 // asymptotic worst case is unchanged.
+//
+// Over the Boolean semiring the schedule dispatches to Mul3DBits, the
+// bit-packed variant whose block exchanges ship 64 entries per word
+// over fixed-width collectives; the output is bit-identical.
 func Mul3D(nd clique.Endpoint, s Semiring, aRow, bRow []int64) []int64 {
+	if _, boolean := s.(Boolean); boolean {
+		return boolRows(nd, aRow, bRow, Mul3DBits)
+	}
 	n := nd.N()
 	me := nd.ID()
 	if len(aRow) != n || len(bRow) != n {

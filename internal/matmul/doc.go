@@ -11,4 +11,12 @@
 // matrix multiplication; we record that as a literature bound in package
 // fgc rather than re-implementing fast bilinear algorithms — see
 // DESIGN.md section 5.
+//
+// Boolean-semiring calls dispatch to the bit-packed plane (bitmul.go):
+// MulNaiveBits and Mul3DBits represent rows as bitvec.Row at 64 entries
+// per word — the dense word-level representation Le Gall's algebraic
+// congested-clique algorithms (arXiv:1608.02674) build on — shipping
+// ceil(n/64) words per row over the packed collectives and multiplying
+// with word-parallel OR kernels. Outputs are bit-identical to the
+// unpacked schedules (pinned by FuzzPackedMatmulEquivalence).
 package matmul

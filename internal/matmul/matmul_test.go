@@ -174,11 +174,13 @@ func TestMul3DScalesSublinearly(t *testing.T) {
 	// The point of the 3D schedule is the exponent, not small-n
 	// constants: growing n by 8x (27 -> 216) multiplies naive rounds by
 	// 8 (delta = 1) but 3D rounds by roughly 8^{1/3} = 2 (delta = 1/3).
-	// Allow generous slack for routing variance.
+	// Allow generous slack for routing variance. The Ring semiring keeps
+	// both schedules on the unpacked per-entry paths; the Boolean paths
+	// are bit-packed and measured by TestPackedRoundCounts instead.
 	if testing.Short() {
 		t.Skip("large instance")
 	}
-	s := Boolean{}
+	s := Ring{}
 	rounds := func(n int, mul MulFunc) int {
 		a := randomMatrix(n, 1, 0.5, s, uint64(n)+20)
 		b := randomMatrix(n, 1, 0.5, s, uint64(n)+21)

@@ -56,6 +56,10 @@ func newMetrics() *metrics {
 		hits, misses := engine.PoolStats()
 		return map[string]int64{"hits": hits, "misses": misses}
 	}))
+	m.vars.Set("scratch_pool", expvar.Func(func() any {
+		hits, misses := engine.ScratchStats()
+		return map[string]int64{"hits": hits, "misses": misses}
+	}))
 	m.vars.Set("batched_ops", expvar.Func(func() any {
 		sendBuf, broadcastBuf, recvInto := engine.BatchedStats()
 		return map[string]int64{

@@ -1,6 +1,9 @@
 package subgraph
 
 import (
+	"math/bits"
+
+	"repro/internal/bitvec"
 	"repro/internal/clique"
 	"repro/internal/comm"
 	"repro/internal/graph"
@@ -27,40 +30,71 @@ const (
 //
 // Ownership of each edge follows the paper's private-bit convention
 // (graph.PrivateAssignment), so every edge enters the routing instance
-// exactly once.
+// exactly once. Edges travel bit-packed: all vertices of one part share
+// their coverage decision, so a node ships its owned adjacency toward a
+// labelled node as per-part 64-edge mask words ([key, mask] packets)
+// instead of one packet per edge — up to 64 edges per routed payload.
 func GatherEdges(nd clique.Endpoint, row graph.Bitset, s partition.Scheme, scope Scope) *graph.Graph {
 	n := nd.N()
 	me := nd.ID()
 	pa := graph.PrivateAssignment{N: n}
 
-	covered := func(w, u, v int) bool {
+	// The owned adjacency mask: bits u where {me, u} is an edge whose
+	// private bit this node holds.
+	owned := bitvec.GetRow(n)
+	pa.OwnedPairs(me, func(u int) {
+		if row.Has(u) {
+			owned.Set(u)
+		}
+	})
+
+	// covered reports whether labelled node w must learn this node's
+	// owned edges into part t — the per-edge rule of the paper lifted to
+	// whole parts, since every u in P_t has the same InUnion(w, u).
+	inT := func(w, t int) bool {
+		lo, hi := s.PartBounds(t)
+		return lo < hi && s.InUnion(w, lo)
+	}
+	covered := func(w, t int) bool {
 		switch scope {
 		case ScopeWithin:
-			return s.InUnion(w, u) && s.InUnion(w, v)
+			return s.InUnion(w, me) && inT(w, t)
 		default:
-			return s.InUnion(w, u) || s.InUnion(w, v)
+			return s.InUnion(w, me) || inT(w, t)
 		}
 	}
 
+	// slots is the per-part mask-word count; packet key = t*slots + slot.
+	slots := (s.Size + bitvec.WordBits - 1) / bitvec.WordBits
 	var packets []comm.Packet
-	pa.OwnedPairs(me, func(u int) {
-		if !row.Has(u) {
-			return // not an edge
-		}
-		word := clique.PairWord(me, u, n)
-		for w := 0; w < s.NumLabels(); w++ {
-			if covered(w, me, u) {
-				packets = append(packets, comm.Packet{Dst: w, Payload: []uint64{word}})
+	for t := 0; t < s.P; t++ {
+		lo, hi := s.PartBounds(t)
+		for slot := 0; slot*bitvec.WordBits < hi-lo; slot++ {
+			base := lo + slot*bitvec.WordBits
+			mask := owned.Word64(base, min(bitvec.WordBits, hi-base))
+			if mask == 0 {
+				continue
+			}
+			key := uint64(t*slots + slot)
+			for w := 0; w < s.NumLabels(); w++ {
+				if covered(w, t) {
+					packets = append(packets, comm.Packet{Dst: w, Payload: []uint64{key, mask}})
+				}
 			}
 		}
-	})
-	in := comm.Route(nd, packets, 1, 0x5e1)
+	}
+	bitvec.PutRow(owned)
+	in := comm.Route(nd, packets, 2, 0x5e1)
 
 	local := graph.New(n)
 	row.Each(func(u int) { local.AddEdge(me, u) })
 	for _, pkt := range in {
-		u, v := clique.UnpairWord(pkt.Payload[0], n)
-		local.AddEdge(u, v)
+		t, slot := int(pkt.Payload[0])/slots, int(pkt.Payload[0])%slots
+		lo, _ := s.PartBounds(t)
+		base := lo + slot*bitvec.WordBits
+		for mask := pkt.Payload[1]; mask != 0; mask &= mask - 1 {
+			local.AddEdge(pkt.Src, base+bits.TrailingZeros64(mask))
+		}
 	}
 	return local
 }
@@ -236,10 +270,12 @@ func FindWitness(nd clique.Endpoint, row graph.Bitset, k int, check func(sel []i
 			return false
 		})
 	}
-	flags := comm.BroadcastWord(nd, clique.BoolWord(mine != nil))
+	// Success is announced presence-coded: only successful nodes spend
+	// budget on the vote round.
+	flags := comm.Flags(nd, mine != nil)
 	leader := -1
 	for v := 0; v < n; v++ {
-		if flags[v] != 0 {
+		if flags[v] {
 			leader = v
 			break
 		}

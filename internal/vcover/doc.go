@@ -7,5 +7,10 @@
 // vertex of degree > k must belong to any size-k cover, so such vertices
 // join the cover and announce it (one round); the remaining vertices
 // have degree <= k, so each can broadcast all of its still-uncovered
-// edges in k rounds; every node then solves the kernel locally.
+// edges in k rounds; every node then solves the kernel locally. When a
+// single bit-packed broadcast of the uncovered-neighbour mask is
+// strictly cheaper than those k one-word rounds, the kernel exchange
+// rides the packed collective plane instead, capping the cost at
+// 1 + min(k, ceil(ceil(n/64)/wordsPerPair)) rounds while keeping the
+// fixed-cost shape (and thus yes/no indistinguishability) intact.
 package vcover

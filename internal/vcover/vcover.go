@@ -3,6 +3,7 @@ package vcover
 import (
 	"sort"
 
+	"repro/internal/bitvec"
 	"repro/internal/clique"
 	"repro/internal/comm"
 	"repro/internal/graph"
@@ -24,7 +25,16 @@ type Result struct {
 }
 
 // Find looks for a vertex cover of size at most k. row is this node's
-// adjacency bitset. Rounds: exactly 1 + k.
+// adjacency bitset.
+//
+// Rounds: exactly 1 + min(k, pr), where pr = ceil(ceil(n/64) /
+// wordsPerPair) is the cost of one bit-packed row broadcast. The main
+// phase announces each node's uncovered edges either over the paper's k
+// presence-coded one-word rounds or — when strictly cheaper — as one
+// packed adjacency-mask broadcast over the packed collective plane;
+// both shapes have a fixed round count agreed from (n, k, wordsPerPair)
+// alone, so yes- and no-instances stay indistinguishable by cost, and
+// the count never exceeds Theorem 11's 1 + k.
 func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 	n := nd.N()
 	me := nd.ID()
@@ -48,16 +58,15 @@ func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 	// conclusion from the same data).
 	overfull := len(forced) > k
 
-	// Main phase: nodes outside C broadcast their uncovered edges, at
-	// most k of them (their degree is <= k), one per round; k global
-	// rounds in total.
+	// Main phase: nodes outside C announce their uncovered edges (at
+	// most k of them — their degree is <= k). Every node derives the
+	// same shape choice from public quantities, so the round count is
+	// input-independent either way.
 	var mine []int
-	var words []uint64
 	if !inC[me] {
 		row.Each(func(u int) {
 			if !inC[u] {
 				mine = append(mine, u)
-				words = append(words, clique.PairWord(me, u, n))
 			}
 		})
 	}
@@ -66,12 +75,37 @@ func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 		nd.Fail("vcover: %d uncovered edges at a low-degree node", len(mine))
 	}
 	kernel := graph.New(n)
-	comm.BroadcastRounds(nd, words, k, func(_, _ int, w uint64) {
-		a, b := clique.UnpairWord(w, n)
-		kernel.AddEdge(a, b)
-	})
-	for _, u := range mine {
-		kernel.AddEdge(me, u)
+	wpp := nd.WordsPerPair()
+	packedRounds := (bitvec.Words(n) + wpp - 1) / wpp
+	if packedRounds < k {
+		// Packed shape: one bit-row broadcast of the uncovered-neighbour
+		// mask (nodes in C broadcast the zero mask), fewer rounds than
+		// the k one-word rounds whenever n/64 is small against k.
+		mask := bitvec.NewRow(n)
+		for _, u := range mine {
+			mask.Set(u)
+		}
+		table := comm.BroadcastBitRows(nd, mask, n)
+		for v, rowMask := range table {
+			rowMask.Each(func(u int) {
+				if u != v {
+					kernel.AddEdge(v, u)
+				}
+			})
+		}
+	} else {
+		// The paper's shape: one optional word per round for k rounds.
+		words := make([]uint64, len(mine))
+		for i, u := range mine {
+			words[i] = clique.PairWord(me, u, n)
+		}
+		comm.BroadcastRounds(nd, words, k, func(_, _ int, w uint64) {
+			a, b := clique.UnpairWord(w, n)
+			kernel.AddEdge(a, b)
+		})
+		for _, u := range mine {
+			kernel.AddEdge(me, u)
+		}
 	}
 
 	if overfull {

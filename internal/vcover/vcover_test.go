@@ -100,20 +100,34 @@ func TestEmptyGraph(t *testing.T) {
 }
 
 func TestRoundsDependOnlyOnK(t *testing.T) {
-	// Theorem 11's headline: rounds are 1 + k regardless of n.
-	for _, n := range []int{10, 20, 40, 80} {
+	// Theorem 11's headline is rounds = 1 + k regardless of n; the
+	// packed main phase improves that to exactly
+	// 1 + min(k, ceil(ceil(n/64)/wpp)) — never more than 1 + k, and
+	// still independent of the input graph (only n, k, wpp matter).
+	want := func(n, k int) int {
+		packed := (n + 63) / 64 // wordsPerPair is 1 in runFind
+		if packed < k {
+			return 1 + packed
+		}
+		return 1 + k
+	}
+	for _, n := range []int{10, 20, 40, 80, 140} {
 		g, _ := graph.PlantedVertexCover(n, 3, 0.4, uint64(n))
 		_, res := runFind(t, g, 3)
-		if res.Stats.Rounds != 4 {
-			t.Errorf("n=%d: rounds = %d, want exactly 4", n, res.Stats.Rounds)
+		if res.Stats.Rounds != want(n, 3) {
+			t.Errorf("n=%d: rounds = %d, want exactly %d", n, res.Stats.Rounds, want(n, 3))
+		}
+		if res.Stats.Rounds > 1+3 {
+			t.Errorf("n=%d: rounds = %d exceed Theorem 11's 1+k", n, res.Stats.Rounds)
 		}
 	}
-	// And they grow linearly in k.
+	// Below the packed crossover the classic shape still grows linearly
+	// in k; above it the packed broadcast caps the cost.
 	g, _ := graph.PlantedVertexCover(30, 3, 0.4, 9)
-	for _, k := range []int{3, 6, 12} {
+	for _, k := range []int{1, 2, 3, 6, 12} {
 		_, res := runFind(t, g, k)
-		if res.Stats.Rounds != 1+k {
-			t.Errorf("k=%d: rounds = %d, want %d", k, res.Stats.Rounds, 1+k)
+		if res.Stats.Rounds != want(30, k) {
+			t.Errorf("k=%d: rounds = %d, want %d", k, res.Stats.Rounds, want(30, k))
 		}
 	}
 }
