@@ -16,11 +16,20 @@
 //
 // JSON output without -timing is deterministic: bit-identical across
 // repeat runs and across -parallel settings. With -timing it carries a
-// throughput block and two allocation probes (canonical exchange,
-// packed boolean MM), the figures the BENCH_*.json perf trajectory and
-// the CI regression gate track. -compare warns on throughput and
-// model-cost drift and FAILS (exit 1) when a probe's allocs/op
-// regresses beyond -alloc-regress-fail.
+// throughput block, two allocation probes (canonical exchange, packed
+// boolean MM), and the trace-off throughput probe, the figures the
+// BENCH_*.json perf trajectory and the CI regression gate track.
+// -compare warns on throughput and model-cost drift and FAILS (exit 1)
+// when a probe's allocs/op regresses beyond -alloc-regress-fail or the
+// trace-off probe's rounds/sec drops beyond -trace-regress-fail — the
+// latter is the zero-cost-when-off gate on the trace plane.
+//
+// -trace=FILE runs every experiment with the round-level tracer
+// attached, writes a Chrome trace-event file to FILE (open it in
+// Perfetto: https://ui.perfetto.dev), and attaches the cliquetrace/v1
+// summary block to each experiment's JSON result. Traced envelopes
+// embed wall-clock data and are therefore not bit-reproducible;
+// leaving -trace off leaves every output byte exactly as before.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the heap
 // profile is captured after a final GC), so hot-path work on the
@@ -38,9 +47,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"repro/internal/clique"
 	"repro/internal/exp"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -54,6 +65,8 @@ func main() {
 	compare := flag.String("compare", "", "baseline report JSON to compare this run against")
 	threshold := flag.Float64("regress-threshold", 0.25, "rounds/sec regression fraction that triggers a -compare warning")
 	allocFail := flag.Float64("alloc-regress-fail", 0.25, "allocs/op probe regression fraction beyond which -compare fails (exit 1) instead of warning")
+	traceFile := flag.String("trace", "", "run with the round-level tracer and write a Chrome trace-event file (Perfetto) to this path")
+	traceFail := flag.Float64("trace-regress-fail", 0.01, "trace-off probe throughput regression fraction beyond which -compare fails (exit 1) instead of warning")
 	list := flag.Bool("list", false, "print the experiment registry (id, artefact, title) and exit without running anything")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
@@ -113,10 +126,29 @@ func main() {
 		}
 
 		opts := exp.Options{Backend: *backend, Quick: *quick, Parallel: *parallel}
+		// -trace: collect every experiment's RunTraces keyed by id (the
+		// sink runs on worker goroutines under -parallel, hence the
+		// mutex) and attach the cliquetrace/v1 block to JSON results.
+		var traceMu sync.Mutex
+		traced := map[string][]*trace.RunTrace{}
+		if *traceFile != "" {
+			opts.Trace = true
+			opts.TraceSink = func(id string, traces []*trace.RunTrace) {
+				traceMu.Lock()
+				traced[id] = traces
+				traceMu.Unlock()
+			}
+		}
 		results, tim, err := exp.Run(ids, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
+		}
+		if *traceFile != "" {
+			if err := writeChromeTrace(*traceFile, ids, traced); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
 		}
 
 		// The allocation probes need a quiet process, so they run after
@@ -124,13 +156,17 @@ func main() {
 		// -timing opt-in (without it the report stays deterministic) —
 		// but only where something consumes them: the JSON envelope or
 		// -compare.
-		var bench, benchPacked *exp.BenchProbe
+		var bench, benchPacked, benchTraceOff *exp.BenchProbe
 		if *timing && (*format == "json" || *compare != "") {
 			if bench, err = exp.MeasureBenchProbe(*backend); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
 			if benchPacked, err = exp.MeasurePackedProbe(*backend); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if benchTraceOff, err = exp.MeasureTraceOffProbe(*backend); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
@@ -145,6 +181,7 @@ func main() {
 			report := exp.NewReport(*backend, opts, results, tim, *timing)
 			report.Bench = bench
 			report.BenchPacked = benchPacked
+			report.BenchTraceOff = benchTraceOff
 			if err := report.WriteJSON(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
@@ -155,7 +192,8 @@ func main() {
 			current := exp.NewReport(*backend, opts, results, tim, true)
 			current.Bench = bench
 			current.BenchPacked = benchPacked
-			if err := compareBaseline(*compare, current, *threshold, *allocFail); err != nil {
+			current.BenchTraceOff = benchTraceOff
+			if err := compareBaseline(*compare, current, *threshold, *allocFail, *traceFail); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
@@ -191,9 +229,11 @@ func writeList(w io.Writer, format string) error {
 // compareBaseline reports regressions against the stored baseline to
 // stderr in GitHub Actions annotation form. Throughput and model-cost
 // drift stay warn-only; an allocation-probe regression beyond allocFail
-// is an error annotation and fails the run — a hot path that started
-// allocating is a bug, not a judgement call.
-func compareBaseline(path string, current *exp.Report, threshold, allocFail float64) error {
+// or a trace-off throughput regression beyond traceFail is an error
+// annotation and fails the run — a hot path that started allocating, or
+// a disabled tracer that started costing, is a bug, not a judgement
+// call.
+func compareBaseline(path string, current *exp.Report, threshold, allocFail, traceFail float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("compare: %w", err)
@@ -203,9 +243,10 @@ func compareBaseline(path string, current *exp.Report, threshold, allocFail floa
 		return fmt.Errorf("compare: parsing %s: %w", path, err)
 	}
 	warns := exp.Compare(&baseline, current, threshold)
-	// The fatal gate re-checks the probes at the caller's fraction, so
-	// an -alloc-regress-fail below Compare's warn threshold still bites.
+	// The fatal gates re-check the probes at the caller's fractions, so
+	// a fail fraction below Compare's warn threshold still bites.
 	fatal := exp.AllocRegressions(&baseline, current, allocFail)
+	fatal = append(fatal, exp.TraceOffRegressions(&baseline, current, traceFail)...)
 	if len(warns) == 0 && len(fatal) == 0 {
 		fmt.Fprintf(os.Stderr, "compare: no regressions vs %s (threshold %.0f%%)\n", path, 100*threshold)
 		return nil
@@ -222,13 +263,32 @@ func compareBaseline(path string, current *exp.Report, threshold, allocFail floa
 		fmt.Fprintf(os.Stderr, "::error title=benchmark regression::%s\n", f)
 	}
 	for _, w := range warns {
-		if w.Kind == exp.RegressAllocs && isFatal(w) {
+		if (w.Kind == exp.RegressAllocs || w.Kind == exp.RegressTraceOff) && isFatal(w) {
 			continue // already reported as an error
 		}
 		fmt.Fprintf(os.Stderr, "::warning title=benchmark regression::%s\n", w)
 	}
 	if len(fatal) > 0 {
-		return fmt.Errorf("compare: %d allocation regression(s) beyond %.0f%% vs %s", len(fatal), 100*allocFail, path)
+		return fmt.Errorf("compare: %d probe regression(s) beyond the fail thresholds vs %s", len(fatal), path)
 	}
 	return nil
+}
+
+// writeChromeTrace serialises the collected traces in the requested
+// experiment order — not sink-completion order, which -parallel would
+// scramble — so the Perfetto process list reads like the report.
+func writeChromeTrace(path string, ids []string, traced map[string][]*trace.RunTrace) error {
+	var all []*trace.RunTrace
+	for _, id := range ids {
+		all = append(all, traced[id]...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := trace.WriteChrome(f, all); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return f.Close()
 }

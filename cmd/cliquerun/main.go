@@ -8,6 +8,7 @@
 //	cliquerun -alg kds -n 64 -k 2
 //	cliquerun -alg apsp -n 27
 //	cliquerun -alg sort -n 16 -format=json   # machine-readable result
+//	cliquerun -alg mst -trace=mst.json       # Chrome trace for Perfetto
 //	cliquerun -alg dot            # print the Figure 1 map as Graphviz
 //
 // Algorithms: triangle, kis, kclique, kcycle, kpath, kds, kvc, bfs, sssp,
@@ -33,6 +34,7 @@ import (
 	"repro/internal/paths"
 	"repro/internal/routing"
 	"repro/internal/subgraph"
+	"repro/internal/trace"
 	"repro/internal/vcover"
 )
 
@@ -47,6 +49,7 @@ func main() {
 	backend := flag.String("backend", "lockstep",
 		"execution backend ("+strings.Join(clique.Backends(), ", ")+")")
 	format := flag.String("format", "text", "output format (text, json)")
+	traceFile := flag.String("trace", "", "run with the round-level tracer and write a Chrome trace-event file (Perfetto) to this path")
 	flag.Parse()
 	if *backend == "" {
 		*backend = clique.DefaultBackend
@@ -67,11 +70,31 @@ func main() {
 
 	var elapsed time.Duration
 	run := func(f clique.NodeFunc) *clique.Result {
+		cfg := clique.Config{N: *n, WordsPerPair: *wpp, Backend: *backend}
+		var col *trace.Collector
+		if *traceFile != "" {
+			col = trace.NewCollector(*alg, *n, *wpp)
+			col.SetBackend(*backend)
+			cfg.Tracer = col
+		}
 		start := time.Now()
-		res, err := clique.Run(clique.Config{N: *n, WordsPerPair: *wpp, Backend: *backend}, f)
+		res, err := clique.Run(cfg, f)
 		elapsed = time.Since(start)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if col != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := trace.WriteChrome(f, []*trace.RunTrace{col.Finish()}); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		return res
 	}

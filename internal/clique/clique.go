@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/trace"
 )
 
 // DefaultMaxRounds aborts runaway algorithms; any real congested clique
@@ -49,6 +50,12 @@ type Config struct {
 	// Backend names the execution engine: "goroutine" (the default) or
 	// "lockstep". Backends are model-equivalent; see package engine.
 	Backend string
+
+	// Tracer, if non-nil, receives the run's trace: the engine reports
+	// every exchanged round to it, and — when it also implements
+	// trace.SpanRecorder — node 0's phase and op spans are recorded
+	// through it. Nil (the default) disables tracing entirely.
+	Tracer trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +89,7 @@ func (c Config) engineConfig() engine.Config {
 		MaxRounds:        c.MaxRounds,
 		RecordTranscript: c.RecordTranscript,
 		BroadcastOnly:    c.BroadcastOnly,
+		Tracer:           c.Tracer,
 	}
 }
 
@@ -122,8 +130,20 @@ func Run(cfg Config, f NodeFunc) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("clique: %w", err)
 	}
+	rec, _ := cfg.Tracer.(trace.SpanRecorder)
+	if rec == nil && engine.TraceForced() {
+		// CLIQUE_FORCE_TRACE: drive the span-recording paths with a
+		// throwaway collector (CI runs tests this way under -race).
+		rec = trace.NewCollector("forced", cfg.N, cfg.WordsPerPair)
+	}
 	return be.Run(cfg.engineConfig(), func(id int, rt engine.NodeRuntime) {
-		f(&Node{id: id, n: cfg.N, wpp: cfg.WordsPerPair, rt: rt})
+		nd := &Node{id: id, n: cfg.N, wpp: cfg.WordsPerPair, rt: rt}
+		if id == 0 {
+			// Spans are recorded from node 0 only: the model is uniform,
+			// so node 0's phase structure is the run's phase structure.
+			nd.tr = rec
+		}
+		f(nd)
 	})
 }
 
@@ -136,6 +156,8 @@ type Node struct {
 	rt  engine.NodeRuntime
 	// completed counts rounds this node has finished with Tick.
 	completed int
+	// tr records phase/op spans; non-nil only at node 0 of a traced run.
+	tr trace.SpanRecorder
 }
 
 // ID returns this node's identifier in 0..N-1. The paper uses 1..n; the
@@ -263,6 +285,29 @@ func (nd *Node) RecvAll() [][]uint64 {
 // node detects its input violates a documented precondition.
 func (nd *Node) Fail(format string, args ...any) {
 	panic(engine.Violation{Err: fmt.Errorf("clique: node %d: %s", nd.id, fmt.Sprintf(format, args...))})
+}
+
+// TracePhase opens a named algorithm phase span and returns its closer.
+// On an untraced run (or any node but 0) it returns the shared no-op
+// closure, so phase marks cost a nil check. Algorithms normally call
+// this through trace.Phase, which degrades gracefully for Endpoint
+// implementations without tracing support.
+func (nd *Node) TracePhase(name string) func() {
+	if nd.tr == nil {
+		return trace.Nop
+	}
+	end := nd.tr.StartSpan(trace.KindPhase, name, nd.completed, 0)
+	return func() { end(nd.completed) }
+}
+
+// TraceOp opens a collective-operation span carrying `words` payload
+// words; see TracePhase. Collectives call this through trace.Op.
+func (nd *Node) TraceOp(name string, words int) func() {
+	if nd.tr == nil {
+		return trace.Nop
+	}
+	end := nd.tr.StartSpan(trace.KindOp, name, nd.completed, int64(words))
+	return func() { end(nd.completed) }
 }
 
 // Endpoint is the node-side API every congested clique algorithm is

@@ -3,6 +3,7 @@ package comm
 import (
 	"repro/internal/bitvec"
 	"repro/internal/clique"
+	"repro/internal/trace"
 )
 
 // Packed collectives: the boolean data plane's wire layer. Where the
@@ -31,6 +32,7 @@ func BroadcastBitRows(nd clique.Endpoint, row bitvec.Row, bits int) []bitvec.Row
 // row, e.g. carved out of one pooled buffer), so steady-state callers
 // receive the whole table without allocating. A nil table allocates.
 func BroadcastBitRowsInto(nd clique.Endpoint, row bitvec.Row, bits int, into []bitvec.Row) []bitvec.Row {
+	defer trace.Op(nd, "BroadcastBitRows", bitvec.Words(bits))()
 	n := nd.N()
 	me := nd.ID()
 	k := bitvec.Words(bits)
@@ -66,6 +68,7 @@ func BroadcastBitRowsInto(nd clique.Endpoint, row bitvec.Row, bits int, into []b
 // returns the table indexed by sender (its own entry a copy); other
 // nodes return nil.
 func GatherBits(nd clique.Endpoint, root int, row bitvec.Row, bits int) []bitvec.Row {
+	defer trace.Op(nd, "GatherBits", bitvec.Words(bits))()
 	k := bitvec.Words(bits)
 	if len(row) != k {
 		nd.Fail("comm: GatherBits row has %d words, contract is exactly %d for %d bits", len(row), k, bits)
@@ -117,6 +120,7 @@ func AllToAllBits(nd clique.Endpoint, rows []bitvec.Row, bits int) []bitvec.Row 
 // the workhorse of the packed 3D matrix multiplication, whose block
 // exchanges are perfectly balanced.
 func AllToAllFixed(nd clique.Endpoint, out [][]uint64, k int) [][]uint64 {
+	defer trace.Op(nd, "AllToAllFixed", k*(nd.N()-1))()
 	n := nd.N()
 	me := nd.ID()
 	if len(out) != n {

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"repro/internal/clique"
+	"repro/internal/trace"
 )
 
 // chunk returns the half-open word range [off, end) of the round that
@@ -20,6 +21,7 @@ func chunkEnd(off, k, wpp int) int {
 // optimal up to constants, since every node must receive (n-1)k words
 // over n-1 links.
 func BroadcastAll(nd clique.Endpoint, words []uint64, k int) [][]uint64 {
+	defer trace.Op(nd, "BroadcastAll", k)()
 	if len(words) != k {
 		nd.Fail("comm: BroadcastAll given %d words, contract is exactly k=%d", len(words), k)
 	}
@@ -59,6 +61,7 @@ func BroadcastWord(nd clique.Endpoint, w uint64) []uint64 {
 // table of length n (allocated when nil), so iterative protocols that
 // broadcast every round reuse one buffer.
 func BroadcastWordInto(nd clique.Endpoint, w uint64, into []uint64) []uint64 {
+	defer trace.Op(nd, "BroadcastWord", 1)()
 	n := nd.N()
 	me := nd.ID()
 	buf := nd.BroadcastBuf(1)
@@ -89,6 +92,7 @@ func BroadcastWordInto(nd clique.Endpoint, w uint64, into []uint64) []uint64 {
 // it reports per-sender whether exactly one word arrived. Entries with
 // ok[p] == false hold zero.
 func BroadcastWordOK(nd clique.Endpoint, w uint64) (words []uint64, ok []bool) {
+	defer trace.Op(nd, "BroadcastWordOK", 1)()
 	n := nd.N()
 	me := nd.ID()
 	buf := nd.BroadcastBuf(1)
@@ -144,6 +148,7 @@ func AndBool(nd clique.Endpoint, b bool) bool {
 // returns who announced (its own entry is its own flag). One round;
 // only announcing nodes spend budget.
 func Flags(nd clique.Endpoint, flag bool) []bool {
+	defer trace.Op(nd, "Flags", 1)()
 	n := nd.N()
 	me := nd.ID()
 	if flag {
@@ -168,6 +173,7 @@ func Flags(nd clique.Endpoint, flag bool) []bool {
 // count keeps yes- and no-instances indistinguishable by cost, the
 // shape of the paper's kernelisation protocols (Theorem 11).
 func BroadcastRounds(nd clique.Endpoint, words []uint64, rounds int, on func(round, from int, w uint64)) {
+	defer trace.Op(nd, "BroadcastRounds", len(words))()
 	n := nd.N()
 	me := nd.ID()
 	if len(words) > rounds {
@@ -195,6 +201,7 @@ func BroadcastRounds(nd clique.Endpoint, words []uint64, rounds int, on func(rou
 // only the root's words argument is consulted (it must hold exactly k
 // words), and every node returns the k words, the root its own slice.
 func BroadcastFrom(nd clique.Endpoint, root int, words []uint64, k int) []uint64 {
+	defer trace.Op(nd, "BroadcastFrom", k)()
 	me := nd.ID()
 	if root < 0 || root >= nd.N() {
 		nd.Fail("comm: BroadcastFrom root %d out of range", root)
@@ -241,6 +248,7 @@ func Gather(nd clique.Endpoint, root int, words []uint64, k int) [][]uint64 {
 // callers reuse their buffers. Only the root's `into` is consulted;
 // non-root nodes return nil.
 func GatherTo(nd clique.Endpoint, root int, words []uint64, k int, into [][]uint64) [][]uint64 {
+	defer trace.Op(nd, "Gather", k)()
 	n := nd.N()
 	me := nd.ID()
 	if root < 0 || root >= n {
@@ -280,6 +288,7 @@ func GatherTo(nd clique.Endpoint, root int, words []uint64, k int, into [][]uint
 // parts[root] stays local). Takes ceil(k / wordsPerPair) rounds; every
 // node returns its part, the root its own slice.
 func Scatter(nd clique.Endpoint, root int, parts [][]uint64, k int) []uint64 {
+	defer trace.Op(nd, "Scatter", k)()
 	n := nd.N()
 	me := nd.ID()
 	if root < 0 || root >= n {
@@ -329,6 +338,7 @@ func Scatter(nd clique.Endpoint, root int, parts [][]uint64, k int) []uint64 {
 // (own entry always true, set to out[me]); protocols replayed against
 // adversarial transcripts use them instead of trusting the wire.
 func AllToAllWord(nd clique.Endpoint, out []uint64) (in []uint64, ok []bool) {
+	defer trace.Op(nd, "AllToAllWord", nd.N()-1)()
 	n := nd.N()
 	me := nd.ID()
 	if len(out) != n {
@@ -373,6 +383,11 @@ func AllToAll(nd clique.Endpoint, queue [][]uint64) [][]uint64 {
 			local = len(q)
 		}
 	}
+	total := 0
+	for _, q := range queue {
+		total += len(q)
+	}
+	defer trace.Op(nd, "AllToAll", total)()
 	max := int(MaxWord(nd, uint64(local)))
 
 	in := make([][]uint64, n)
@@ -402,6 +417,7 @@ func AllToAll(nd clique.Endpoint, queue [][]uint64) [][]uint64 {
 // input graph this way (b = n) realises the trivial O(n / log n)
 // upper bound that every problem has in the model.
 func BroadcastBits(nd clique.Endpoint, bits []bool) [][]bool {
+	defer trace.Op(nd, "BroadcastBits", (len(bits)+clique.WordBits(nd.N())-1)/clique.WordBits(nd.N()))()
 	n := nd.N()
 	wb := clique.WordBits(n)
 	nwords := (len(bits) + wb - 1) / wb

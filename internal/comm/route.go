@@ -2,6 +2,7 @@ package comm
 
 import (
 	"repro/internal/clique"
+	"repro/internal/trace"
 )
 
 // Packet is one routed message: a fixed-width payload bound for Dst.
@@ -33,6 +34,7 @@ func splitmix64(x uint64) uint64 {
 // seed selects the intermediate assignment; algorithms fix it so the
 // whole computation stays deterministic.
 func Route(nd clique.Endpoint, packets []Packet, w int, seed uint64) []Packet {
+	defer trace.Op(nd, "Route", len(packets)*(w+2))()
 	n := nd.N()
 	me := nd.ID()
 
@@ -104,6 +106,7 @@ func Route(nd clique.Endpoint, packets []Packet, w int, seed uint64) []Packet {
 // number of words any single ordered pair must carry, so skewed instances
 // degrade to Theta(max pair load) instead of O(s + r).
 func RouteDirect(nd clique.Endpoint, packets []Packet, w int) []Packet {
+	defer trace.Op(nd, "RouteDirect", len(packets)*(w+1))()
 	n := nd.N()
 	me := nd.ID()
 	queues := make([][]uint64, n)

@@ -3,9 +3,13 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"os"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Config describes one simulated network execution. It mirrors the model
@@ -24,6 +28,35 @@ type Config struct {
 	// BroadcastOnly switches to the broadcast congested clique: each
 	// round every node must send the same words to every other node.
 	BroadcastOnly bool
+	// Tracer, if non-nil, receives an EndRound report for every
+	// exchanged round (wall time, barrier wait, per-pair words). Nil
+	// disables tracing; backends guard every trace call site with a nil
+	// check, so the off path does no trace work at all.
+	Tracer trace.Tracer
+}
+
+// forceTrace reports whether CLIQUE_FORCE_TRACE is set: CI runs the
+// engine/comm/clique tests with it under -race so the traced code paths
+// are exercised even where the test itself passes no Tracer.
+var forceTrace = sync.OnceValue(func() bool {
+	return os.Getenv("CLIQUE_FORCE_TRACE") != ""
+})
+
+// TraceForced reports whether CLIQUE_FORCE_TRACE is set, so layers
+// above (clique's span recording) can force their traced paths too.
+func TraceForced() bool { return forceTrace() }
+
+// effectiveTracer resolves a run's tracer: the configured one, or —
+// under CLIQUE_FORCE_TRACE — a throwaway collector whose output nobody
+// reads (it exists purely to drive the traced paths in tests).
+func effectiveTracer(cfg Config) trace.Tracer {
+	if cfg.Tracer != nil {
+		return cfg.Tracer
+	}
+	if forceTrace() {
+		return trace.NewCollector("forced", cfg.N, cfg.WordsPerPair)
+	}
+	return nil
 }
 
 // DefaultMaxRounds aborts runaway algorithms; any real congested clique

@@ -295,6 +295,9 @@ func TestLockstepBufferReuseNoSteadyStateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation accounting is noisy under -short")
 	}
+	if TraceForced() {
+		t.Skip("allocation-free steady state is a trace-off property; a forced collector allocates per round")
+	}
 	b, _ := New("lockstep")
 	const n = 32
 	measure := func(rounds int) float64 {

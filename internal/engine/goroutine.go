@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // goroutineBackend is the original execution engine: one goroutine per
@@ -42,6 +45,16 @@ type goroutineEngine struct {
 
 	stats       Stats
 	transcripts []*Transcript
+
+	// Tracing state, all nil/zero when tr is nil (the common case).
+	// lastExchange anchors round wall time; firstArrive is stamped by
+	// the round's first barrier arrival so barrier wait — how long the
+	// fastest node waited for the stragglers — can be measured. pairsFn
+	// is the Pairs closure, built once so EndRound allocates nothing.
+	tr           trace.Tracer
+	lastExchange time.Time
+	firstArrive  time.Time
+	pairsFn      func(visit func(from, to, words int))
 }
 
 func (goroutineBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Result, error) {
@@ -52,6 +65,11 @@ func (goroutineBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Res
 	n := cfg.N
 
 	e := &goroutineEngine{cfg: cfg, n: n, active: n}
+	if e.tr = effectiveTracer(cfg); e.tr != nil {
+		e.lastExchange = time.Now()
+		e.firstArrive = e.lastExchange
+		e.pairsFn = e.visitPairs
+	}
 	e.cond = sync.NewCond(&e.mu)
 	e.outbox = newMailbox(n)
 	e.inbox = newMailbox(n)
@@ -149,6 +167,9 @@ func (e *goroutineEngine) Barrier(id int) {
 		panic(Abort{})
 	}
 	e.arrived++
+	if e.tr != nil && e.arrived == 1 {
+		e.firstArrive = time.Now()
+	}
 	if e.arrived == e.active {
 		e.exchangeLocked()
 		return
@@ -219,8 +240,34 @@ func (e *goroutineEngine) exchangeLocked() {
 	if e.round > e.cfg.MaxRounds && e.err == nil {
 		e.err = fmt.Errorf("clique: exceeded MaxRounds = %d", e.cfg.MaxRounds)
 	}
+	if e.tr != nil {
+		// Reported under e.mu, before waking the barrier, so the inbox
+		// the Pairs closure walks is the round just delivered.
+		now := time.Now()
+		e.tr.EndRound(trace.RoundEnd{
+			Round:       e.round - 1,
+			Wall:        now.Sub(e.lastExchange),
+			BarrierWait: now.Sub(e.firstArrive),
+			Pairs:       e.pairsFn,
+		})
+		e.lastExchange = now
+		e.firstArrive = now
+	}
 	e.arrived = 0
 	e.cond.Broadcast()
+}
+
+// visitPairs walks the just-delivered inbox: inbox[to][from] holds what
+// `from` sent `to` this round (exchangeLocked transposed it).
+func (e *goroutineEngine) visitPairs(visit func(from, to, words int)) {
+	for to := 0; to < e.n; to++ {
+		row := e.inbox[to]
+		for from := 0; from < e.n; from++ {
+			if w := len(row[from]); w != 0 {
+				visit(from, to, w)
+			}
+		}
+	}
 }
 
 // Send queues words for delivery; it runs on the sender's goroutine and

@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // lockstepBackend is the deterministic, allocation-free execution engine.
@@ -430,6 +433,12 @@ type lockstepEngine struct {
 
 	stats       Stats
 	transcripts []*Transcript
+
+	// Tracing state, nil/zero when tr is nil. lastRound anchors round
+	// wall time; pairsFn is built once so EndRound allocates nothing.
+	tr        trace.Tracer
+	lastRound time.Time
+	pairsFn   func(visit func(from, to, words int))
 }
 
 func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Result, error) {
@@ -440,6 +449,10 @@ func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Resu
 	n := cfg.N
 
 	e := &lockstepEngine{cfg: cfg, n: n}
+	if e.tr = effectiveTracer(cfg); e.tr != nil {
+		e.lastRound = time.Now()
+		e.pairsFn = e.visitPairs
+	}
 	e.box = getBox(n, cfg.WordsPerPair)
 	// Retire the mailbox to the pool once every coroutine has unwound
 	// (the stop defer below runs first, LIFO): node programs may touch
@@ -575,6 +588,10 @@ func (e *lockstepEngine) program(v int, body func(id int, rt NodeRuntime)) iter.
 // exchange delivers the round's messages and advances the clock. It runs
 // on the scheduler goroutine while all node coroutines are suspended.
 func (e *lockstepEngine) exchange() error {
+	var exStart time.Time
+	if e.tr != nil {
+		exStart = time.Now()
+	}
 	var err error
 	if e.cfg.BroadcastOnly {
 		if from, to := findBroadcastViolation(e.n, e.box.outCell); from >= 0 {
@@ -602,7 +619,33 @@ func (e *lockstepEngine) exchange() error {
 	if e.round > e.cfg.MaxRounds && err == nil {
 		err = fmt.Errorf("clique: exceeded MaxRounds = %d", e.cfg.MaxRounds)
 	}
+	if e.tr != nil {
+		// All node coroutines are suspended here, so the Pairs closure
+		// reads the just-delivered inbox race-free. Wall covers the
+		// resume step plus this exchange; BarrierWait is the exchange
+		// alone — on this backend every node is held for exactly the
+		// scheduler's delivery time.
+		now := time.Now()
+		e.tr.EndRound(trace.RoundEnd{
+			Round:       e.round - 1,
+			Wall:        now.Sub(e.lastRound),
+			BarrierWait: now.Sub(exStart),
+			Pairs:       e.pairsFn,
+		})
+		e.lastRound = now
+	}
 	return err
+}
+
+// visitPairs walks the just-delivered round via the mailbox's recv view.
+func (e *lockstepEngine) visitPairs(visit func(from, to, words int)) {
+	for to := 0; to < e.n; to++ {
+		for from := 0; from < e.n; from++ {
+			if w := len(e.box.recv(to, from)); w != 0 {
+				visit(from, to, w)
+			}
+		}
+	}
 }
 
 // Barrier suspends node id until the scheduler has exchanged the round.

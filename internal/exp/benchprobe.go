@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/clique"
@@ -29,7 +30,12 @@ type BenchProbe struct {
 	WordsPerPair int     `json:"words_per_pair"`
 	Rounds       int     `json:"rounds"`
 	Runs         int     `json:"runs"`
-	AllocsPerOp  float64 `json:"allocs_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op,omitempty"`
+	// RoundsPerSec is the probe's best-of-runs throughput, set only by
+	// the trace-off probe (the allocation probes leave it 0: allocation
+	// counts are near-deterministic, wall time is not, and mixing the
+	// two would subject the alloc gate to timing noise).
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
 }
 
 // Canonical exchange shape: dense one-word gossip at the engine
@@ -81,6 +87,55 @@ func MeasureBenchProbe(backend string) (*BenchProbe, error) {
 // that keeps cliqued's boolean serving loop allocation-flat.
 func MeasurePackedProbe(backend string) (*BenchProbe, error) {
 	return measureProbe("packed-mm", backend, packedProbeProgram)
+}
+
+// MeasureTraceOffProbe measures the steady-state throughput of the
+// canonical exchange with no tracer attached — the workload whose
+// baseline comparison gates the trace plane's zero-cost-when-off claim
+// (Compare warns, and cliquebench's -trace-regress-fail fails, beyond
+// 1%). Best-of-runs wall time is used, since the minimum over several
+// runs estimates undisturbed speed far more stably than a mean: a 1%
+// gate would otherwise drown in scheduler noise.
+func MeasureTraceOffProbe(backend string) (*BenchProbe, error) {
+	cfg := clique.Config{N: benchProbeN, WordsPerPair: benchProbeWPP, Backend: backend}
+	run := func() (time.Duration, error) {
+		start := time.Now()
+		res, err := clique.Run(cfg, benchProbeProgram)
+		wall := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if res.Stats.Rounds != benchProbeRounds {
+			return 0, fmt.Errorf("exp: trace-off probe ran %d rounds, want %d", res.Stats.Rounds, benchProbeRounds)
+		}
+		return wall, nil
+	}
+	if _, err := run(); err != nil { // warm-up
+		return nil, err
+	}
+	best := time.Duration(0)
+	for i := 0; i < benchProbeRuns; i++ {
+		wall, err := run()
+		if err != nil {
+			return nil, err
+		}
+		if best == 0 || wall < best {
+			best = wall
+		}
+	}
+	rps := 0.0
+	if best > 0 {
+		rps = benchProbeRounds / best.Seconds()
+	}
+	return &BenchProbe{
+		Name:         "trace-off",
+		Backend:      backend,
+		N:            benchProbeN,
+		WordsPerPair: benchProbeWPP,
+		Rounds:       benchProbeRounds,
+		Runs:         benchProbeRuns,
+		RoundsPerSec: rps,
+	}, nil
 }
 
 func measureProbe(name, backend string, program clique.NodeFunc) (*BenchProbe, error) {

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/clique"
+)
+
+// BuildInfo is the attribution block carried by every envelope and by
+// cliqued's /healthz: which build of the simulator produced this
+// artefact. All fields are deterministic for a fixed binary, so
+// attaching the block keeps envelopes bit-identical run to run.
+type BuildInfo struct {
+	// Module is the main module path.
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// Revision and Dirty come from the VCS stamp, when the binary was
+	// built inside a checkout.
+	Revision string `json:"revision,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Backends lists the available execution backends, sorted.
+	Backends []string `json:"backends"`
+}
+
+// Build returns the running binary's attribution block, computed once.
+var Build = sync.OnceValue(func() *BuildInfo {
+	b := &BuildInfo{
+		GoVersion: runtime.Version(),
+		Backends:  clique.Backends(),
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+})

@@ -8,7 +8,23 @@ import (
 	"repro/internal/clique"
 	"repro/internal/graph"
 	"repro/internal/nondet"
+	"repro/internal/trace"
 )
+
+// Progress is one liveness snapshot, delivered to Options.Progress
+// after every simulated run. SimCost is the experiment's cumulative
+// model cost; the wall-clock fields add the observer's view: total
+// simulated wall time so far and the just-finished run's throughput
+// (current, not a lifetime average — a cold first run does not dilute
+// the steady state).
+type Progress struct {
+	SimCost
+	// WallNS is cumulative wall-clock spent inside simulated runs.
+	WallNS int64 `json:"wall_ns"`
+	// RoundsPerSec is the just-finished run's rounds over its own wall
+	// time; 0 when the run failed or was too fast to time.
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
 
 // Ctx is the handle an experiment body runs against. It routes every
 // simulated execution through counted wrappers so the per-experiment
@@ -27,9 +43,16 @@ type Ctx struct {
 
 	// ctx cancels the experiment between simulated runs; nil means
 	// never (direct Ctx construction in tests). progress, when set, is
-	// told the cumulative SimCost after every simulated run.
+	// told a Progress snapshot after every simulated run.
 	ctx      context.Context
-	progress func(SimCost)
+	progress func(Progress)
+
+	// tracing enables per-run trace collection: every Run/Verify gets a
+	// fresh labelled collector and the finished RunTraces accumulate in
+	// traces (runIdx labels them in execution order).
+	tracing bool
+	traces  []*trace.RunTrace
+	runIdx  int
 
 	res      *Result
 	simWall  time.Duration
@@ -72,18 +95,59 @@ func (c *Ctx) Failf(format string, args ...any) {
 func (c *Ctx) Run(cfg clique.Config, f clique.NodeFunc) (*clique.Result, error) {
 	c.checkCancelled()
 	cfg.Backend = c.Backend
+	col := c.startTrace(&cfg)
 	start := time.Now()
 	res, err := clique.Run(cfg, f)
-	c.simWall += time.Since(start)
+	wall := time.Since(start)
+	c.simWall += wall
 	c.res.Sim.Runs++
+	rounds := 0
 	if err == nil {
-		c.res.Sim.Rounds += int64(res.Stats.Rounds)
+		rounds = res.Stats.Rounds
+		c.res.Sim.Rounds += int64(rounds)
 		c.res.Sim.Words += res.Stats.WordsSent
 	}
-	if c.progress != nil {
-		c.progress(c.res.Sim)
-	}
+	c.endTrace(col)
+	c.reportProgress(rounds, wall)
 	return res, err
+}
+
+// startTrace attaches a fresh labelled collector to cfg on traced
+// experiments; it returns nil (and leaves cfg alone) otherwise.
+func (c *Ctx) startTrace(cfg *clique.Config) *trace.Collector {
+	if !c.tracing {
+		return nil
+	}
+	wpp := cfg.WordsPerPair
+	if wpp == 0 {
+		wpp = 1
+	}
+	col := trace.NewCollector(
+		fmt.Sprintf("run %d (n=%d, wpp=%d)", c.runIdx, cfg.N, wpp), cfg.N, wpp)
+	col.SetBackend(c.Backend)
+	cfg.Tracer = col
+	c.runIdx++
+	return col
+}
+
+// endTrace seals a run's collector and banks its RunTrace.
+func (c *Ctx) endTrace(col *trace.Collector) {
+	if col != nil {
+		c.traces = append(c.traces, col.Finish())
+	}
+}
+
+// reportProgress delivers one Progress snapshot; rounds and wall are
+// the just-finished run's.
+func (c *Ctx) reportProgress(rounds int, wall time.Duration) {
+	if c.progress == nil {
+		return
+	}
+	rps := 0.0
+	if rounds > 0 && wall > 0 {
+		rps = float64(rounds) / wall.Seconds()
+	}
+	c.progress(Progress{SimCost: c.res.Sim, WallNS: c.simWall.Nanoseconds(), RoundsPerSec: rps})
 }
 
 // Rounds runs f on an n-node clique and returns the round count,
@@ -100,17 +164,23 @@ func (c *Ctx) Rounds(n, wpp int, f clique.NodeFunc) int {
 func (c *Ctx) Verify(cfg clique.Config, g *graph.Graph, alg nondet.Algorithm, z nondet.Labelling) (nondet.Verdict, error) {
 	c.checkCancelled()
 	cfg.Backend = c.Backend
+	if cfg.N == 0 {
+		cfg.N = g.N
+	}
+	col := c.startTrace(&cfg)
 	start := time.Now()
 	v, err := nondet.RunVerifier(cfg, g, alg, z)
-	c.simWall += time.Since(start)
+	wall := time.Since(start)
+	c.simWall += wall
 	c.res.Sim.Runs++
+	rounds := 0
 	if err == nil {
-		c.res.Sim.Rounds += int64(v.Result.Stats.Rounds)
+		rounds = v.Result.Stats.Rounds
+		c.res.Sim.Rounds += int64(rounds)
 		c.res.Sim.Words += v.Result.Stats.WordsSent
 	}
-	if c.progress != nil {
-		c.progress(c.res.Sim)
-	}
+	c.endTrace(col)
+	c.reportProgress(rounds, wall)
 	return v, err
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+
+	"repro/internal/trace"
 )
 
 // SchemaVersion identifies the JSON envelope layout. Bump only on
@@ -31,6 +33,10 @@ type Result struct {
 	// Sim aggregates the model cost of every simulated run the
 	// experiment made. Zero for pure counting experiments.
 	Sim SimCost `json:"sim"`
+	// Trace is the cliquetrace/v1 block: one per-round/per-phase summary
+	// per simulated run. Attached only when tracing was requested
+	// (Options.Trace), so untraced envelopes are byte-for-byte unchanged.
+	Trace *trace.Report `json:"trace,omitempty"`
 }
 
 // SimCost is the model-level cost of an experiment's simulated runs.

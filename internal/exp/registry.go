@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/clique"
+	"repro/internal/trace"
 )
 
 // Experiment is one registered entry: an identifier, the paper artefact
@@ -148,13 +149,25 @@ type Options struct {
 	// Results keep registry order regardless.
 	Parallel int
 	// Progress, when non-nil, is invoked after every simulated run with
-	// the experiment's cumulative SimCost so far. It is called on the
-	// goroutine executing the experiment; with Parallel > 1 that means
-	// concurrently, so a shared Progress must be safe for concurrent
-	// use. Long-running callers (the cliqued SSE stream) use it to
-	// report liveness without touching the deterministic Result.
-	Progress func(SimCost)
+	// a Progress snapshot (cumulative SimCost plus current throughput).
+	// It is called on the goroutine executing the experiment; with
+	// Parallel > 1 that means concurrently, so a shared Progress must be
+	// safe for concurrent use. Long-running callers (the cliqued SSE
+	// stream) use it to report liveness without touching the
+	// deterministic Result.
+	Progress func(Progress)
+	// Trace enables per-run trace collection and attaches the
+	// cliquetrace/v1 summary block to every Result.
+	Trace bool
+	// TraceSink, when non-nil, also enables tracing and receives each
+	// experiment's full RunTraces once it completes — the input to
+	// trace.WriteChrome. Like Progress it runs on the experiment's
+	// goroutine, concurrently under Parallel > 1.
+	TraceSink func(id string, traces []*trace.RunTrace)
 }
+
+// traced reports whether runs should collect traces.
+func (o Options) traced() bool { return o.Trace || o.TraceSink != nil }
 
 // Timing is the nondeterministic half of a run, kept out of Result so
 // serialised Results stay bit-identical across runs and worker counts.
@@ -210,7 +223,7 @@ func RunExperiment(ctx context.Context, e Experiment, opts Options) (res *Result
 		backend = clique.DefaultBackend
 	}
 	c := &Ctx{Backend: backend, Quick: opts.Quick,
-		ctx: ctx, progress: opts.Progress,
+		ctx: ctx, progress: opts.Progress, tracing: opts.traced(),
 		res: &Result{ID: e.ID, Artefact: e.Artefact, Title: e.Title}}
 	defer func() {
 		if r := recover(); r != nil {
@@ -226,6 +239,16 @@ func RunExperiment(ctx context.Context, e Experiment, opts Options) (res *Result
 		}
 	}()
 	e.Run(c)
+	if opts.Trace {
+		rep := trace.NewReport()
+		for _, t := range c.traces {
+			rep.Runs = append(rep.Runs, t.Summary())
+		}
+		c.res.Trace = rep
+	}
+	if opts.TraceSink != nil {
+		opts.TraceSink(e.ID, c.traces)
+	}
 	return c.res, Timing{}, nil
 }
 
@@ -313,6 +336,16 @@ type Report struct {
 	// BenchPacked is the packed boolean-MM allocation probe, the
 	// watchdog over the bit-packed data plane's scratch pooling.
 	BenchPacked *BenchProbe `json:"bench_packed,omitempty"`
+	// BenchTraceOff is the trace-off steady-state throughput probe: the
+	// canonical exchange with no tracer attached, best-of-runs. Its
+	// baseline comparison is the <1% overhead gate on the trace plane's
+	// off path. Timing-gated like the other probes.
+	BenchTraceOff *BenchProbe `json:"bench_trace_off,omitempty"`
+	// Build attributes the report to the producing binary (module
+	// version, VCS revision, toolchain, available backends). It is
+	// deterministic for a fixed binary, so envelopes stay bit-identical
+	// run to run and across -parallel.
+	Build *BuildInfo `json:"build"`
 }
 
 // Throughput is the measured simulator performance of one run. WallNS
@@ -329,7 +362,8 @@ type Throughput struct {
 // NewReport assembles the envelope; pass withTiming=false for
 // deterministic output.
 func NewReport(backend string, opts Options, results []*Result, tim Timing, withTiming bool) *Report {
-	r := &Report{Schema: SchemaVersion, Backend: backend, Quick: opts.Quick, Experiments: results}
+	r := &Report{Schema: SchemaVersion, Backend: backend, Quick: opts.Quick,
+		Experiments: results, Build: Build()}
 	if withTiming {
 		workers := opts.Parallel
 		if workers < 2 {
@@ -353,6 +387,7 @@ const (
 	RegressThroughput = "throughput"
 	RegressModelCost  = "model-cost"
 	RegressMismatch   = "mismatch"
+	RegressTraceOff   = "trace-off"
 )
 
 // Regression is one warning produced by Compare.
@@ -394,6 +429,7 @@ func Compare(baseline, current *Report, threshold float64) []Regression {
 	}
 	warns = append(warns, compareProbe(baseline.Bench, current.Bench, allocWarnFraction)...)
 	warns = append(warns, compareProbe(baseline.BenchPacked, current.BenchPacked, allocWarnFraction)...)
+	warns = append(warns, compareTraceOff(baseline.BenchTraceOff, current.BenchTraceOff, traceOffWarnFraction)...)
 	if baseline.Throughput != nil && current.Throughput != nil {
 		switch {
 		case baseline.Throughput.Workers != current.Throughput.Workers:
@@ -481,6 +517,49 @@ func compareProbe(b, c *BenchProbe, frac float64) []Regression {
 		}}
 	}
 	return nil
+}
+
+// traceOffWarnFraction is the trace-off throughput drop beyond which
+// Compare warns: the tentpole claim is that a nil tracer costs under
+// 1%, so the gate sits exactly there. The probe compares best-of-runs
+// wall times, which keeps scheduler noise out of the 1% margin.
+const traceOffWarnFraction = 0.01
+
+// compareTraceOff checks the trace-off throughput probe against its
+// baseline; nil on either side (probes are timing-gated) compares
+// nothing.
+func compareTraceOff(b, c *BenchProbe, frac float64) []Regression {
+	if b == nil || c == nil {
+		return nil
+	}
+	switch {
+	case b.Name != c.Name || b.N != c.N || b.WordsPerPair != c.WordsPerPair ||
+		b.Rounds != c.Rounds || b.Backend != c.Backend:
+		return []Regression{{Kind: RegressMismatch, What: fmt.Sprintf(
+			"trace-off probe shape mismatch (baseline %s/%s n=%d, current %s/%s n=%d): throughput not compared",
+			b.Name, b.Backend, b.N, c.Name, c.Backend, c.N)}}
+	case b.RoundsPerSec > 0 && c.RoundsPerSec < b.RoundsPerSec*(1-frac):
+		return []Regression{{
+			What:     fmt.Sprintf("trace-off steady-state throughput (rounds/sec, %s backend)", c.Backend),
+			Kind:     RegressTraceOff,
+			Baseline: b.RoundsPerSec,
+			Current:  c.RoundsPerSec,
+		}}
+	}
+	return nil
+}
+
+// TraceOffRegressions reports trace-off throughput regressions beyond
+// the given fraction — the fatal half of cliquebench's
+// -trace-regress-fail gate, mirroring AllocRegressions.
+func TraceOffRegressions(baseline, current *Report, frac float64) []Regression {
+	var out []Regression
+	for _, r := range compareTraceOff(baseline.BenchTraceOff, current.BenchTraceOff, frac) {
+		if r.Kind == RegressTraceOff {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // AllocRegressions reports the allocation-probe regressions beyond the

@@ -21,7 +21,10 @@ const (
 // cache. Two requests that canonicalise to the same Request are
 // guaranteed to produce bit-identical result envelopes (everything in a
 // Result is deterministic in these fields), which is what makes caching
-// and request coalescing sound.
+// and request coalescing sound. The one exception is Trace: a traced
+// envelope embeds wall-clock span data, so for traced requests the
+// cache serves a representative trace rather than a reproducible one —
+// the model-level content is still identical run to run.
 type Request struct {
 	// Kind is KindExperiment or KindAdhoc.
 	Kind string `json:"kind"`
@@ -45,6 +48,11 @@ type Request struct {
 	Backend string `json:"backend"`
 	// Quick selects reduced experiment sizes.
 	Quick bool `json:"quick,omitempty"`
+	// Trace attaches the cliquetrace/v1 block to the result envelope.
+	// A traced envelope is a different artefact from an untraced one
+	// (it carries wall-clock span data), so Trace is part of the cache
+	// key: traced and untraced requests never coalesce.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Canonical validates the request and normalises every field that has a

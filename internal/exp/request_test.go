@@ -91,10 +91,11 @@ func TestRunOneContextCancellation(t *testing.T) {
 }
 
 // TestProgressCallback pins that Options.Progress observes every
-// simulated run with monotonic cumulative cost.
+// simulated run with monotonic cumulative cost and non-decreasing
+// wall-clock.
 func TestProgressCallback(t *testing.T) {
-	var calls []SimCost
-	opts := Options{Quick: true, Progress: func(sc SimCost) { calls = append(calls, sc) }}
+	var calls []Progress
+	opts := Options{Quick: true, Progress: func(p Progress) { calls = append(calls, p) }}
 	res, _, err := RunOneContext(context.Background(), "mst", opts)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -106,9 +107,12 @@ func TestProgressCallback(t *testing.T) {
 		if calls[i].Rounds < calls[i-1].Rounds || calls[i].Runs != calls[i-1].Runs+1 {
 			t.Fatalf("progress not monotonic at %d: %+v -> %+v", i, calls[i-1], calls[i])
 		}
+		if calls[i].WallNS < calls[i-1].WallNS {
+			t.Fatalf("progress wall clock went backwards at %d: %d -> %d", i, calls[i-1].WallNS, calls[i].WallNS)
+		}
 	}
 	last := calls[len(calls)-1]
-	if last != res.Sim {
-		t.Fatalf("final progress %+v != result sim cost %+v", last, res.Sim)
+	if last.SimCost != res.Sim {
+		t.Fatalf("final progress %+v != result sim cost %+v", last.SimCost, res.Sim)
 	}
 }

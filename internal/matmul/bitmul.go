@@ -4,6 +4,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/clique"
 	"repro/internal/comm"
+	"repro/internal/trace"
 )
 
 // The packed boolean plane: MulNaive and Mul3D dispatch here when the
@@ -101,6 +102,7 @@ func Mul3DBits(nd clique.Endpoint, aRow, bRow bitvec.Row) bitvec.Row {
 	// (part(me), x, t) for all x; B[me][P_t] goes to (x, t, part(me)).
 	// Each ordered pair carries at most one A and one B segment, so the
 	// per-link payload is a fixed [A segment | B segment] record.
+	endPhase := trace.Phase(nd, "mul3d/distribute")
 	sendBuf := bitvec.GetWords(n * 2 * ws)
 	queues := make([][]uint64, n)
 	for v := range queues {
@@ -121,6 +123,7 @@ func Mul3DBits(nd clique.Endpoint, aRow, bRow bitvec.Row) bitvec.Row {
 	in := comm.AllToAllFixed(nd, queues, 2*ws)
 	bitvec.PutRow(segScratch)
 	bitvec.PutWords(sendBuf)
+	endPhase()
 
 	// Assemble blocks and multiply locally, word-parallel. aBlk holds
 	// rows P_i over columns P_k; bBlk holds rows P_k over columns P_j.
@@ -146,6 +149,7 @@ func Mul3DBits(nd clique.Endpoint, aRow, bRow bitvec.Row) bitvec.Row {
 		bitvec.PutMatrix(aBlk)
 	}
 
+	endPhase = trace.Phase(nd, "mul3d/reduce")
 	// Phase 2: OR-reduce over the k dimension. Within the (i, j, *)
 	// fibre, block-row chunk c is combined at node (i, j, c); every
 	// fibre link carries exactly chunk rows (zero-padded at the tail).
@@ -183,9 +187,12 @@ func Mul3DBits(nd clique.Endpoint, aRow, bRow bitvec.Row) bitvec.Row {
 		}
 	}
 
+	endPhase()
+
 	// Phase 3: result segments to row owners. Node (i, j, k) exclusively
 	// holds C rows iLo + k*chunk + r over columns P_j; each goes to its
 	// global row owner as one ws-word segment.
+	endPhase = trace.Phase(nd, "mul3d/return")
 	outBuf := bitvec.GetWords(n * ws)
 	queues = make([][]uint64, n)
 	for v := range queues {
@@ -203,6 +210,7 @@ func Mul3DBits(nd clique.Endpoint, aRow, bRow bitvec.Row) bitvec.Row {
 	}
 	outIn := comm.AllToAllFixed(nd, queues, ws)
 	bitvec.PutWords(outBuf)
+	endPhase()
 
 	// Reassemble my row: exactly one worker (part(me), j, k) covers each
 	// column block P_j of row me.

@@ -2,10 +2,12 @@ package mst
 
 import (
 	"sort"
+	"strconv"
 
 	"repro/internal/clique"
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Edge is one undirected weighted edge of the forest.
@@ -37,6 +39,7 @@ func Find(nd clique.Endpoint, wRow []int64) []Edge {
 		phases++
 	}
 	for phase := 0; phase < phases; phase++ {
+		endPhase := trace.Phase(nd, boruvkaPhaseName(phase))
 		// My best outgoing edge under (weight, pair) order.
 		best := Edge{U: -1, W: graph.Inf}
 		for u := 0; u < n; u++ {
@@ -76,6 +79,7 @@ func Find(nd clique.Endpoint, wRow []int64) []Edge {
 			}
 		}
 		if len(bestOf) == 0 {
+			endPhase()
 			break // no component has an outgoing edge: forest complete
 		}
 		added := false
@@ -95,6 +99,7 @@ func Find(nd clique.Endpoint, wRow []int64) []Edge {
 			}
 			added = true
 		}
+		endPhase()
 		if !added {
 			break
 		}
@@ -239,4 +244,23 @@ func Components(nd clique.Endpoint, wRow []int64) []int {
 		out[v] = find(v)
 	}
 	return out
+}
+
+// boruvkaPhaseNames pre-renders span labels for every possible Borůvka
+// iteration (phases <= 1 + log2(MaxN) = 17), so marking a phase on an
+// untraced run formats nothing.
+var boruvkaPhaseNames = func() []string {
+	names := make([]string, 18)
+	for i := range names {
+		names[i] = "boruvka/phase " + strconv.Itoa(i)
+	}
+	return names
+}()
+
+// boruvkaPhaseName returns the label of iteration i.
+func boruvkaPhaseName(i int) string {
+	if i < len(boruvkaPhaseNames) {
+		return boruvkaPhaseNames[i]
+	}
+	return "boruvka/phase " + strconv.Itoa(i)
 }

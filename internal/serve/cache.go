@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -9,19 +10,24 @@ import (
 // entry is one unit of work identified by its canonical request hash.
 // It is created when the first request for that hash arrives and is the
 // coalescing point for every later identical request: waiters block on
-// done, progress subscribers receive SimCost snapshots while the job
+// done, progress subscribers receive Progress snapshots while the job
 // runs, and the final envelope bytes are immutable once done closes.
 type entry struct {
 	hash string
 	req  exp.Request
+
+	// enqueuedAt is stamped when the entry enters the job queue; the
+	// worker's dequeue observes the difference into the queue-wait
+	// histogram. Zero for entries that were never enqueued.
+	enqueuedAt time.Time
 
 	done chan struct{} // closed exactly once, after data/err are set
 	data []byte        // the cliquebench/v1 envelope, verbatim
 	err  error
 
 	mu   sync.Mutex
-	subs []chan exp.SimCost
-	last exp.SimCost
+	subs []chan exp.Progress
+	last exp.Progress
 }
 
 func newEntry(hash string, req exp.Request) *entry {
@@ -32,8 +38,8 @@ func newEntry(hash string, req exp.Request) *entry {
 // and is written latest-wins, so a slow SSE client sees a fresh
 // snapshot when it catches up instead of a backlog. The returned cancel
 // is idempotent and safe after completion.
-func (e *entry) subscribe() (<-chan exp.SimCost, func()) {
-	ch := make(chan exp.SimCost, 1)
+func (e *entry) subscribe() (<-chan exp.Progress, func()) {
+	ch := make(chan exp.Progress, 1)
 	e.mu.Lock()
 	if e.last.Runs > 0 {
 		ch <- e.last // late subscriber: start from the current state
@@ -53,22 +59,22 @@ func (e *entry) subscribe() (<-chan exp.SimCost, func()) {
 	return ch, cancel
 }
 
-// publishProgress fans a SimCost snapshot out to subscribers,
+// publishProgress fans a Progress snapshot out to subscribers,
 // latest-wins and never blocking the worker.
-func (e *entry) publishProgress(sc exp.SimCost) {
+func (e *entry) publishProgress(p exp.Progress) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.last = sc
+	e.last = p
 	for _, ch := range e.subs {
 		select {
-		case ch <- sc:
+		case ch <- p:
 		default:
 			select { // replace the stale snapshot
 			case <-ch:
 			default:
 			}
 			select {
-			case ch <- sc:
+			case ch <- p:
 			default:
 			}
 		}

@@ -26,8 +26,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz answers liveness probes. Beyond "am I up", the payload
+// carries the binary's build block — the same attribution every result
+// envelope embeds — so an operator can tell which build is serving
+// without fishing a result out of the cache.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "build": exp.Build()})
 }
 
 func (s *Server) handleListExperiments(w http.ResponseWriter, _ *http.Request) {
@@ -52,6 +56,7 @@ func (s *Server) handleListAlgorithms(w http.ResponseWriter, _ *http.Request) {
 type runExperimentBody struct {
 	Backend string `json:"backend,omitempty"`
 	Quick   bool   `json:"quick,omitempty"`
+	Trace   bool   `json:"trace,omitempty"`
 }
 
 // handleRunExperiment serves POST /v1/experiments/{id}:run. The mux
@@ -69,7 +74,7 @@ func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := exp.Request{Kind: exp.KindExperiment, Experiment: id,
-		Backend: body.Backend, Quick: body.Quick}
+		Backend: body.Backend, Quick: body.Quick, Trace: body.Trace}
 	s.scheduleAndRespond(w, r, req)
 }
 
@@ -81,6 +86,7 @@ type adhocRunBody struct {
 	Seed         uint64 `json:"seed,omitempty"`
 	Backend      string `json:"backend,omitempty"`
 	Quick        bool   `json:"quick,omitempty"`
+	Trace        bool   `json:"trace,omitempty"`
 }
 
 func (s *Server) handleAdhocRun(w http.ResponseWriter, r *http.Request) {
@@ -104,7 +110,7 @@ func (s *Server) handleAdhocRun(w http.ResponseWriter, r *http.Request) {
 	}
 	req := exp.Request{Kind: exp.KindAdhoc, Algorithm: body.Algorithm,
 		N: body.N, WordsPerPair: body.WordsPerPair, Seed: body.Seed,
-		Backend: body.Backend, Quick: body.Quick}
+		Backend: body.Backend, Quick: body.Quick, Trace: body.Trace}
 	s.scheduleAndRespond(w, r, req)
 }
 
@@ -121,8 +127,14 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // scheduleAndRespond canonicalises, schedules (dedup + queue) and then
-// answers either as one JSON envelope or as an SSE stream.
+// answers either as one JSON envelope or as an SSE stream. `?trace=1`
+// is the query-string spelling of the body's trace field; traced
+// requests hash to their own cache slot, since a traced envelope is a
+// different (wall-clock-carrying) artefact.
 func (s *Server) scheduleAndRespond(w http.ResponseWriter, r *http.Request, req exp.Request) {
+	if r.URL.Query().Get("trace") == "1" {
+		req.Trace = true
+	}
 	if req.Backend == "" {
 		req.Backend = s.cfg.DefaultBackend
 	}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// histogram is a log₂-bucketed distribution counter. Bucket i counts
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i);
+// the rendered key is the bucket's exclusive upper bound. Power-of-two
+// buckets cover nanosecond latencies from microseconds to minutes in
+// ~40 buckets with constant relative resolution, which is what a
+// latency distribution needs — a mean hides the tail, a linear
+// histogram can't span the range.
+type histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	buckets [65]int64
+}
+
+func (h *histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// String renders the histogram as JSON (histogram implements
+// expvar.Var). Only occupied buckets are emitted, in ascending order,
+// keyed by their exclusive upper bound, so the output stays compact no
+// matter how wide the type's range is.
+func (h *histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sum":%d,"buckets":{`, h.count, h.sum)
+	first := true
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if i >= 64 {
+			// Values with the top bit set land here; there is no
+			// representable exclusive bound.
+			fmt.Fprintf(&b, `"+inf":%d`, n)
+			continue
+		}
+		fmt.Fprintf(&b, `"%d":%d`, uint64(1)<<i, n)
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+// histVec is a labelled family of histograms — one per experiment (or
+// "adhoc:<algorithm>") — rendered as one JSON object keyed by label.
+// Labels are created on first observation; the family is never pruned,
+// which is safe because the label set is bounded by the registry plus
+// the algorithm catalogue.
+type histVec struct {
+	mu sync.Mutex
+	m  map[string]*histogram
+}
+
+func (v *histVec) observe(label string, x int64) {
+	v.mu.Lock()
+	h, ok := v.m[label]
+	if !ok {
+		if v.m == nil {
+			v.m = map[string]*histogram{}
+		}
+		h = &histogram{}
+		v.m[label] = h
+	}
+	v.mu.Unlock()
+	h.observe(x)
+}
+
+// String renders the family as JSON with labels in sorted order
+// (histVec implements expvar.Var).
+func (v *histVec) String() string {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.m))
+	hists := make([]*histogram, 0, len(v.m))
+	for l := range v.m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		hists = append(hists, v.m[l])
+	}
+	v.mu.Unlock()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%s", l, hists[i].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// throughputWindowSize is how many recent jobs the rounds_per_sec
+// gauge averages over.
+const throughputWindowSize = 32
+
+// throughputWindow computes rounds/sec over the most recent jobs. The
+// previous implementation divided lifetime rounds by lifetime wall, so
+// after a day of serving the gauge was frozen history: a sudden
+// slowdown moved it by a rounding error. A fixed ring of the last
+// throughputWindowSize (rounds, wall) pairs makes the gauge track the
+// present.
+type throughputWindow struct {
+	mu     sync.Mutex
+	rounds [throughputWindowSize]int64
+	wallNS [throughputWindowSize]int64
+	next   int
+	filled int
+}
+
+func (w *throughputWindow) record(rounds, wallNS int64) {
+	w.mu.Lock()
+	w.rounds[w.next] = rounds
+	w.wallNS[w.next] = wallNS
+	w.next = (w.next + 1) % throughputWindowSize
+	if w.filled < throughputWindowSize {
+		w.filled++
+	}
+	w.mu.Unlock()
+}
+
+// rate returns the windowed throughput: total rounds over total wall
+// across the recorded jobs, 0 before any job has been timed.
+func (w *throughputWindow) rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var rounds, wall int64
+	for i := 0; i < w.filled; i++ {
+		rounds += w.rounds[i]
+		wall += w.wallNS[i]
+	}
+	if wall <= 0 {
+		return 0.0
+	}
+	return float64(rounds) / (float64(wall) / 1e9)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -44,6 +45,7 @@ func (s *Server) enqueue(e *entry) error {
 	if s.closed {
 		return errShuttingDown
 	}
+	e.enqueuedAt = time.Now()
 	select {
 	case s.queue <- e:
 		s.metrics.jobsQueued.Add(1)
@@ -58,11 +60,22 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for e := range s.queue {
 		s.metrics.jobsQueued.Add(-1)
+		s.metrics.queueWait.observe(jobLabel(e.req), time.Since(e.enqueuedAt).Nanoseconds())
 		s.metrics.jobsRunning.Add(1)
 		s.runJob(e)
 		s.metrics.jobsRunning.Add(-1)
 		s.metrics.jobsDone.Add(1)
 	}
+}
+
+// jobLabel is the histogram label of a request: the experiment id, or
+// the ad-hoc result id ("adhoc:<algorithm>") — the same names the
+// envelope carries, so dashboards join on one vocabulary.
+func jobLabel(req exp.Request) string {
+	if req.Kind == exp.KindAdhoc {
+		return "adhoc:" + req.Algorithm
+	}
+	return req.Experiment
 }
 
 // runJob executes one entry's request and completes the entry exactly
@@ -73,7 +86,9 @@ func (s *Server) worker() {
 // experiment, backend and quick setting — one result shape across the
 // whole system.
 func (s *Server) runJob(e *entry) {
+	start := time.Now()
 	data, err := s.executeJob(e)
+	s.metrics.runWall.observe(jobLabel(e.req), time.Since(start).Nanoseconds())
 	if err != nil {
 		s.metrics.jobsFailed.Add(1)
 	}
@@ -93,13 +108,18 @@ func (s *Server) executeJob(e *entry) (data []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := exp.Options{Backend: e.req.Backend, Quick: e.req.Quick, Progress: e.publishProgress}
+	opts := exp.Options{Backend: e.req.Backend, Quick: e.req.Quick,
+		Trace: e.req.Trace, Progress: e.publishProgress}
 	res, tim, err := exp.RunExperiment(s.baseCtx, experiment, opts)
 	if err != nil {
 		return nil, err
 	}
 	s.metrics.simRounds.Add(tim.Rounds)
-	s.metrics.simWallNS.Add(tim.SimWall.Nanoseconds())
+	if tim.SimWall > 0 {
+		s.metrics.rpsHist.observe(jobLabel(e.req),
+			int64(float64(tim.Rounds)/tim.SimWall.Seconds()))
+	}
+	s.metrics.window.record(tim.Rounds, tim.SimWall.Nanoseconds())
 	return marshalEnvelope(e.req.Backend, opts, res)
 }
 

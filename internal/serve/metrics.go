@@ -22,7 +22,17 @@ type metrics struct {
 	cacheHits    expvar.Int // answered from cache or coalesced
 	cacheMisses  expvar.Int // scheduled a fresh run
 	simRounds    expvar.Int // total simulated rounds served
-	simWallNS    expvar.Int // wall-clock inside simulated runs
+
+	// The latency plane: log₂-bucketed distributions labelled by
+	// experiment id (or "adhoc:<algorithm>"). queueWait is time spent in
+	// the job queue before a worker picked the job up; runWall is the
+	// job's whole execution wall time; rpsHist is the distribution of
+	// per-job simulated throughput. window backs the rounds_per_sec
+	// gauge with the recent jobs only.
+	queueWait histVec
+	runWall   histVec
+	rpsHist   histVec
+	window    throughputWindow
 
 	vars *expvar.Map
 }
@@ -37,7 +47,9 @@ func newMetrics() *metrics {
 	m.vars.Set("cache_hits", &m.cacheHits)
 	m.vars.Set("cache_misses", &m.cacheMisses)
 	m.vars.Set("sim_rounds", &m.simRounds)
-	m.vars.Set("sim_wall_ns", &m.simWallNS)
+	m.vars.Set("queue_wait_ns", &m.queueWait)
+	m.vars.Set("run_wall_ns", &m.runWall)
+	m.vars.Set("rounds_per_sec_hist", &m.rpsHist)
 	m.vars.Set("cache_hit_rate", expvar.Func(func() any {
 		hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
 		if hits+misses == 0 {
@@ -46,11 +58,7 @@ func newMetrics() *metrics {
 		return float64(hits) / float64(hits+misses)
 	}))
 	m.vars.Set("rounds_per_sec", expvar.Func(func() any {
-		wall := m.simWallNS.Value()
-		if wall <= 0 {
-			return 0.0
-		}
-		return float64(m.simRounds.Value()) / (float64(wall) / 1e9)
+		return m.window.rate()
 	}))
 	m.vars.Set("arena_pool", expvar.Func(func() any {
 		hits, misses := engine.PoolStats()

@@ -47,9 +47,12 @@ func TestHandlers(t *testing.T) {
 		wantInBody                 string
 	}{
 		{"healthz", "GET", "/healthz", "", 200, `"ok"`},
+		{"healthz carries build block", "GET", "/healthz", "", 200, `"go_version"`},
 		{"metrics", "GET", "/metrics", "", 200, `"jobs_done"`},
 		{"metrics has cache rate", "GET", "/metrics", "", 200, `"cache_hit_rate"`},
 		{"metrics has rounds per sec", "GET", "/metrics", "", 200, `"rounds_per_sec"`},
+		{"metrics has latency histograms", "GET", "/metrics", "", 200, `"queue_wait_ns"`},
+		{"traced run carries trace block", "POST", "/v1/experiments/fig1:run?trace=1", `{"quick":true}`, 200, `"cliquetrace/v1"`},
 		{"list experiments", "GET", "/v1/experiments", "", 200, `"fig1"`},
 		{"get experiment", "GET", "/v1/experiments/thm2", "", 200, `E3 / Theorem 2`},
 		{"get unknown experiment", "GET", "/v1/experiments/nope", "", 404, "unknown experiment"},
@@ -179,6 +182,13 @@ func TestSSEStream(t *testing.T) {
 	if strings.Contains(out, "event: error") {
 		t.Fatalf("stream carried an error event:\n%s", out)
 	}
+	// Progress events carry the observability fields: cumulative rounds
+	// plus the wall-clock view of the run.
+	for _, field := range []string{`"rounds"`, `"wall_ns"`, `"rounds_per_sec"`} {
+		if !strings.Contains(out, field) {
+			t.Fatalf("progress events missing %s:\n%s", field, out)
+		}
+	}
 
 	// The result event's payload reassembles to the plain envelope.
 	plain := do(t, s, "POST", "/v1/run", `{"algorithm":"exchange","n":16,"seed":5,"backend":"lockstep"}`)
@@ -222,6 +232,57 @@ func TestMetricsProgress(t *testing.T) {
 	}
 	if _, ok := got["arena_pool"]; !ok {
 		t.Fatalf("metrics missing arena_pool: %s", rec.Body.String())
+	}
+	// The served run must have landed in each latency histogram under
+	// its envelope id, with a consistent count/bucket accounting.
+	for _, key := range []string{"queue_wait_ns", "run_wall_ns", "rounds_per_sec_hist"} {
+		vec, ok := got[key].(map[string]any)
+		if !ok {
+			t.Fatalf("metric %q = %v, want a labelled histogram family", key, got[key])
+		}
+		h, ok := vec["adhoc:exchange"].(map[string]any)
+		if !ok {
+			t.Fatalf("histogram %q has no adhoc:exchange label: %v", key, vec)
+		}
+		count, _ := h["count"].(float64)
+		if count < 1 {
+			t.Fatalf("histogram %q count = %v, want >= 1", key, h["count"])
+		}
+		var inBuckets float64
+		for _, n := range h["buckets"].(map[string]any) {
+			inBuckets += n.(float64)
+		}
+		if inBuckets != count {
+			t.Fatalf("histogram %q: buckets sum to %v, count is %v", key, inBuckets, count)
+		}
+	}
+	// The throughput gauge is windowed over recent jobs; after one
+	// timed run it must be live (nonzero), not diluted history.
+	if rps, ok := got["rounds_per_sec"].(float64); !ok || rps <= 0 {
+		t.Fatalf("rounds_per_sec = %v, want > 0 after a served run", got["rounds_per_sec"])
+	}
+}
+
+// TestTraceRequestsOwnCacheSlot pins that ?trace=1 changes the cache
+// key: a traced envelope (which embeds the cliquetrace/v1 block) never
+// coalesces with the untraced artefact, and vice versa.
+func TestTraceRequestsOwnCacheSlot(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	body := `{"algorithm":"exchange","n":8,"seed":7}`
+	plain := do(t, s, "POST", "/v1/run", body)
+	traced := do(t, s, "POST", "/v1/run?trace=1", body)
+	if plain.Code != 200 || traced.Code != 200 {
+		t.Fatalf("status %d / %d", plain.Code, traced.Code)
+	}
+	if misses := s.metrics.cacheMisses.Value(); misses != 2 {
+		t.Fatalf("trace flag did not split the cache: misses = %d, want 2", misses)
+	}
+	if strings.Contains(plain.Body.String(), "cliquetrace/v1") {
+		t.Fatal("untraced envelope carries a trace block")
+	}
+	if !strings.Contains(traced.Body.String(), "cliquetrace/v1") {
+		t.Fatalf("traced envelope missing the trace block:\n%s", traced.Body.String())
 	}
 }
 

@@ -28,10 +28,12 @@ func writeSSEEvent(w http.ResponseWriter, f http.Flusher, event string, data []b
 }
 
 // respondSSE streams a job's lifecycle: a queued event with the request
-// hash, progress events with the cumulative SimCost after each
-// simulated run (latest-wins — a slow client skips intermediate
-// snapshots, it never lags behind), and finally either the result event
-// carrying the verbatim cliquebench/v1 envelope or an error event.
+// hash, progress events with a Progress snapshot after each simulated
+// run — cumulative runs/rounds/words plus wall-clock and the
+// just-finished run's rounds/sec (latest-wins — a slow client skips
+// intermediate snapshots, it never lags behind), and finally either the
+// result event carrying the verbatim cliquebench/v1 envelope or an
+// error event.
 func (s *Server) respondSSE(w http.ResponseWriter, r *http.Request, e *entry) {
 	f, ok := w.(http.Flusher)
 	if !ok {

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the "JSON array format" understood by
+// Perfetto and chrome://tracing. Each RunTrace becomes one process
+// (pid = run index + 1) with three threads — rounds, phases, ops — plus
+// counter tracks for words/round and max-pair/round. Timestamps are the
+// run's cumulative round wall time in microseconds, so the timeline
+// shows where wall time went, round by round.
+
+// chromeEvent is one trace-event record. Only the fields the viewers
+// read are emitted; Args is free-form.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	tidRounds = 1
+	tidPhases = 2
+	tidOps    = 3
+)
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChrome serialises the traces as Chrome trace-event JSON. Open
+// the output in https://ui.perfetto.dev or chrome://tracing.
+func WriteChrome(w io.Writer, traces []*RunTrace) error {
+	var events []chromeEvent
+	for runIdx, t := range traces {
+		pid := runIdx + 1
+		name := t.Label
+		if name == "" {
+			name = fmt.Sprintf("run %d", runIdx)
+		}
+		meta := func(what, label string, tid int) chromeEvent {
+			return chromeEvent{
+				Name: what, Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": label},
+			}
+		}
+		events = append(events,
+			meta("process_name", fmt.Sprintf("%s [n=%d wpp=%d %s]", name, t.N, t.WordsPerPair, t.Backend), 0),
+			meta("thread_name", "rounds", tidRounds),
+			meta("thread_name", "phases", tidPhases),
+			meta("thread_name", "ops", tidOps),
+		)
+
+		// Rounds track + counter tracks, on the cumulative wall clock.
+		var cum int64
+		for i, r := range t.Rounds {
+			events = append(events,
+				chromeEvent{
+					Name: fmt.Sprintf("round %d", i), Ph: "X", Cat: "round",
+					Pid: pid, Tid: tidRounds,
+					TS: usec(cum), Dur: usec(r.WallNS),
+					Args: map[string]any{
+						"words": r.Words, "max_pair": r.MaxPair,
+						"barrier_wait_us": usec(r.BarrierNS),
+					},
+				},
+				chromeEvent{
+					Name: "words/round", Ph: "C", Pid: pid,
+					TS:   usec(cum),
+					Args: map[string]any{"words": r.Words},
+				},
+				chromeEvent{
+					Name: "max pair/round", Ph: "C", Pid: pid,
+					TS:   usec(cum),
+					Args: map[string]any{"words": r.MaxPair},
+				},
+			)
+			cum += r.WallNS
+		}
+
+		// Span tracks: phases and ops on their own threads, located by
+		// the collector's wall clock.
+		for _, sp := range t.Spans {
+			tid := tidOps
+			if sp.Kind == KindPhase {
+				tid = tidPhases
+			}
+			args := map[string]any{
+				"start_round": sp.StartRound,
+				"rounds":      sp.Rounds,
+			}
+			if sp.Words > 0 {
+				args["words"] = sp.Words
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name, Ph: "X", Cat: sp.Kind,
+				Pid: pid, Tid: tid,
+				TS: usec(sp.StartNS), Dur: usec(sp.DurNS),
+				Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

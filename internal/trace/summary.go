@@ -1,0 +1,192 @@
+package trace
+
+import "sort"
+
+// UntracedPhase is the name given to round ranges no algorithm phase
+// covered. Summary inserts it so the per-phase round counts always sum
+// exactly to the run's Stats.Rounds — the invariant the trace
+// determinism tests pin.
+const UntracedPhase = "(untraced)"
+
+// Report is the cliquetrace/v1 envelope block: one summary per
+// simulated run, attached to an experiment Result when tracing was
+// requested.
+type Report struct {
+	Schema string        `json:"schema"`
+	Runs   []*RunSummary `json:"runs"`
+}
+
+// NewReport builds an empty cliquetrace/v1 report.
+func NewReport() *Report {
+	return &Report{Schema: SchemaVersion}
+}
+
+// RunSummary is the machine-readable per-run trace table: totals, the
+// gap-filled phase timeline, per-op aggregates, and the hottest links.
+type RunSummary struct {
+	Label        string         `json:"label"`
+	N            int            `json:"n"`
+	WordsPerPair int            `json:"words_per_pair"`
+	Backend      string         `json:"backend,omitempty"`
+	Rounds       int            `json:"rounds"`
+	Words        int64          `json:"words"`
+	MaxPair      int            `json:"max_pair"`
+	WallNS       int64          `json:"wall_ns"`
+	BarrierNS    int64          `json:"barrier_ns"`
+	Phases       []PhaseSummary `json:"phases"`
+	Ops          []OpSummary    `json:"ops,omitempty"`
+	HotPairs     []PairLoad     `json:"hot_pairs,omitempty"`
+}
+
+// PhaseSummary is one entry of the run's phase timeline. Entries are
+// disjoint, ordered, and cover [0, Rounds) exactly.
+type PhaseSummary struct {
+	Name       string `json:"name"`
+	StartRound int    `json:"start_round"`
+	Rounds     int    `json:"rounds"`
+	Words      int64  `json:"words"`
+	WallNS     int64  `json:"wall_ns"`
+}
+
+// OpSummary aggregates a collective operation over the run.
+type OpSummary struct {
+	Name   string `json:"name"`
+	Calls  int    `json:"calls"`
+	Rounds int    `json:"rounds"`
+	Words  int64  `json:"words"`
+}
+
+// PairLoad is one ordered pair's cumulative traffic.
+type PairLoad struct {
+	From  int   `json:"from"`
+	To    int   `json:"to"`
+	Words int64 `json:"words"`
+}
+
+// maxHotPairs bounds the heatmap excerpt carried by the summary; the
+// full n*n matrix stays on the RunTrace (and in the Perfetto export).
+const maxHotPairs = 8
+
+// Summary condenses the trace into its envelope form.
+func (t *RunTrace) Summary() *RunSummary {
+	s := &RunSummary{
+		Label:        t.Label,
+		N:            t.N,
+		WordsPerPair: t.WordsPerPair,
+		Backend:      t.Backend,
+		Rounds:       len(t.Rounds),
+		WallNS:       t.WallNS,
+	}
+	for _, r := range t.Rounds {
+		s.Words += r.Words
+		s.BarrierNS += r.BarrierNS
+		if r.MaxPair > s.MaxPair {
+			s.MaxPair = r.MaxPair
+		}
+	}
+	s.Phases = t.phaseTimeline()
+	s.Ops = t.opAggregates()
+	s.HotPairs = t.hotPairs(maxHotPairs)
+	return s
+}
+
+// roundRange sums the recorded words and wall time of rounds [lo, hi).
+func (t *RunTrace) roundRange(lo, hi int) (words int64, wallNS int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.Rounds) {
+		hi = len(t.Rounds)
+	}
+	for i := lo; i < hi; i++ {
+		words += t.Rounds[i].Words
+		wallNS += t.Rounds[i].WallNS
+	}
+	return words, wallNS
+}
+
+// phaseTimeline flattens the node-0 phase spans into a disjoint,
+// gap-filled cover of [0, rounds): overlapping or nested phases are
+// clipped to whatever the preceding phases left uncovered, and every
+// uncovered range becomes an UntracedPhase entry. By construction the
+// entries' Rounds sum to exactly len(t.Rounds) == Stats.Rounds.
+func (t *RunTrace) phaseTimeline() []PhaseSummary {
+	total := len(t.Rounds)
+	var out []PhaseSummary
+	emit := func(name string, lo, hi int) {
+		if hi <= lo {
+			return
+		}
+		words, wall := t.roundRange(lo, hi)
+		out = append(out, PhaseSummary{
+			Name: name, StartRound: lo, Rounds: hi - lo, Words: words, WallNS: wall,
+		})
+	}
+	cur := 0
+	for _, sp := range t.Spans {
+		if sp.Kind != KindPhase {
+			continue
+		}
+		lo, hi := sp.StartRound, sp.StartRound+sp.Rounds
+		if hi > total {
+			hi = total
+		}
+		if lo < cur {
+			lo = cur // clip nested/overlapping phases
+		}
+		if hi <= lo {
+			continue
+		}
+		emit(UntracedPhase, cur, lo)
+		emit(sp.Name, lo, hi)
+		cur = hi
+	}
+	emit(UntracedPhase, cur, total)
+	return out
+}
+
+// opAggregates folds op spans by name, keeping first-seen order.
+func (t *RunTrace) opAggregates() []OpSummary {
+	idx := map[string]int{}
+	var out []OpSummary
+	for _, sp := range t.Spans {
+		if sp.Kind != KindOp {
+			continue
+		}
+		i, ok := idx[sp.Name]
+		if !ok {
+			i = len(out)
+			idx[sp.Name] = i
+			out = append(out, OpSummary{Name: sp.Name})
+		}
+		out[i].Calls++
+		out[i].Rounds += sp.Rounds
+		out[i].Words += sp.Words
+	}
+	return out
+}
+
+// hotPairs returns the k ordered pairs that carried the most words over
+// the run, heaviest first; ties break on (from, to) so the excerpt is
+// deterministic for deterministic traffic.
+func (t *RunTrace) hotPairs(k int) []PairLoad {
+	var loads []PairLoad
+	for i, w := range t.Pair {
+		if w > 0 {
+			loads = append(loads, PairLoad{From: i / t.N, To: i % t.N, Words: w})
+		}
+	}
+	sort.Slice(loads, func(a, b int) bool {
+		if loads[a].Words != loads[b].Words {
+			return loads[a].Words > loads[b].Words
+		}
+		if loads[a].From != loads[b].From {
+			return loads[a].From < loads[b].From
+		}
+		return loads[a].To < loads[b].To
+	})
+	if len(loads) > k {
+		loads = loads[:k]
+	}
+	return loads
+}

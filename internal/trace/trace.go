@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"time"
+)
+
+// SchemaVersion identifies the trace envelope layout attached to
+// experiment results (Result.Trace in package exp).
+const SchemaVersion = "cliquetrace/v1"
+
+// Span kinds. Phases are algorithm-declared named regions; ops are
+// collective-layer operations.
+const (
+	KindPhase = "phase"
+	KindOp    = "op"
+)
+
+// RoundEnd is the engine's per-round report, delivered to the Tracer
+// immediately after the round's messages were exchanged.
+type RoundEnd struct {
+	// Round is the just-completed round's index (0-based).
+	Round int
+	// Wall is the wall-clock duration of the round: from the end of the
+	// previous exchange (or run start) to the end of this one.
+	Wall time.Duration
+	// BarrierWait measures synchronisation cost. On the goroutine
+	// backend it is how long the round's earliest arrival waited for
+	// the stragglers; on the lockstep backend it is the scheduler's
+	// exchange time (all nodes are suspended during it).
+	BarrierWait time.Duration
+	// Pairs iterates the round's delivered traffic: visit is called for
+	// every ordered pair that carried at least one word. Valid only for
+	// the duration of the EndRound call.
+	Pairs func(visit func(from, to, words int))
+}
+
+// Tracer is the engine-facing trace hook. A nil Tracer in the engine
+// config disables tracing entirely; backends guard every call site with
+// a nil check so the off path stays free of trace work.
+type Tracer interface {
+	EndRound(e RoundEnd)
+}
+
+// SpanRecorder is the node-facing half of a trace collector: node
+// handles (clique.Node) start phase and op spans through it. It is
+// split from Tracer so engine backends depend only on what they call.
+type SpanRecorder interface {
+	// StartSpan opens a span at startRound and returns the closer,
+	// which the caller invokes with the round the span ended on.
+	// Words is the payload word count for op spans (0 for phases).
+	StartSpan(kind, name string, startRound int, words int64) func(endRound int)
+}
+
+// Nop is the shared no-op span closer returned whenever tracing is off
+// or the caller is not the recording node, so untraced span sites cost
+// a nil check and no allocation.
+var Nop = func() {}
+
+// phaser and opener are the optional node-handle interfaces the Phase
+// and Op helpers look for. clique.Node and virtual.Node implement
+// them; any other Endpoint implementation simply runs untraced.
+type phaser interface {
+	TracePhase(name string) func()
+}
+
+type opener interface {
+	TraceOp(name string, words int) func()
+}
+
+// Phase opens a named algorithm phase on the node handle nd and
+// returns its closer. Use it to mark multi-phase structure:
+//
+//	done := trace.Phase(nd, "boruvka/merge")
+//	... rounds ...
+//	done()
+//
+// When tracing is off (or nd does not support tracing) it returns the
+// shared Nop closure.
+func Phase(nd any, name string) func() {
+	if p, ok := nd.(phaser); ok {
+		return p.TracePhase(name)
+	}
+	return Nop
+}
+
+// Op opens a collective-operation span carrying `words` payload words.
+// The collective layer wraps every collective in one; rounds consumed
+// are measured by the closer.
+func Op(nd any, name string, words int) func() {
+	if o, ok := nd.(opener); ok {
+		return o.TraceOp(name, words)
+	}
+	return Nop
+}
+
+// Span is one recorded region of a run: a named phase or a collective
+// op, measured in rounds and wall time.
+type Span struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	// StartRound is the number of rounds completed when the span
+	// opened; Rounds is how many rounds it spanned (0 for a span that
+	// opened and closed within one round's compute).
+	StartRound int `json:"start_round"`
+	Rounds     int `json:"rounds"`
+	// Words is the payload word count declared by op spans.
+	Words int64 `json:"words,omitempty"`
+	// StartNS/DurNS locate the span on the run's wall clock.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// Round is the recorded cost of one exchanged round.
+type Round struct {
+	WallNS    int64 `json:"wall_ns"`
+	BarrierNS int64 `json:"barrier_ns"`
+	Words     int64 `json:"words"`
+	MaxPair   int   `json:"max_pair"`
+}
+
+// RunTrace is the full trace of one simulated run: per-round costs,
+// node-0 spans, and the cumulative per-ordered-pair congestion heatmap
+// (from-major, n*n entries).
+type RunTrace struct {
+	Label        string  `json:"label"`
+	N            int     `json:"n"`
+	WordsPerPair int     `json:"words_per_pair"`
+	Backend      string  `json:"backend,omitempty"`
+	Rounds       []Round `json:"rounds"`
+	Spans        []Span  `json:"spans"`
+	Pair         []int64 `json:"pair_words"`
+	WallNS       int64   `json:"wall_ns"`
+}
+
+// Collector accumulates one run's trace. The engine's scheduler calls
+// EndRound between rounds (while every node program is suspended at the
+// barrier) and node 0's program calls StartSpan and its closers from
+// its own goroutine; the two touch disjoint state, so the Collector
+// needs no locking — the execution model is the synchronisation.
+type Collector struct {
+	t     RunTrace
+	start time.Time
+}
+
+// NewCollector builds a collector for one run of an n-node clique with
+// the given per-pair word budget. The label identifies the run in
+// multi-run traces ("run 3 (n=64, wpp=1)").
+func NewCollector(label string, n, wordsPerPair int) *Collector {
+	return &Collector{
+		t: RunTrace{
+			Label:        label,
+			N:            n,
+			WordsPerPair: wordsPerPair,
+			Pair:         make([]int64, n*n),
+		},
+		start: time.Now(),
+	}
+}
+
+// SetBackend records the executing backend's name on the trace.
+func (c *Collector) SetBackend(name string) { c.t.Backend = name }
+
+// EndRound folds one exchanged round into the trace: per-round word
+// total and max-pair load are derived from the same Pairs iteration
+// that feeds the congestion heatmap, so both backends account
+// identically whatever their internal statistics layout.
+func (c *Collector) EndRound(e RoundEnd) {
+	var words int64
+	maxPair := 0
+	n := c.t.N
+	pair := c.t.Pair
+	e.Pairs(func(from, to, w int) {
+		words += int64(w)
+		if w > maxPair {
+			maxPair = w
+		}
+		pair[from*n+to] += int64(w)
+	})
+	c.t.Rounds = append(c.t.Rounds, Round{
+		WallNS:    e.Wall.Nanoseconds(),
+		BarrierNS: e.BarrierWait.Nanoseconds(),
+		Words:     words,
+		MaxPair:   maxPair,
+	})
+}
+
+// StartSpan records a span opening and returns its closer. Only one
+// goroutine (node 0's) calls StartSpan and closers, in program order.
+func (c *Collector) StartSpan(kind, name string, startRound int, words int64) func(endRound int) {
+	idx := len(c.t.Spans)
+	startNS := time.Since(c.start).Nanoseconds()
+	c.t.Spans = append(c.t.Spans, Span{
+		Kind:       kind,
+		Name:       name,
+		StartRound: startRound,
+		Rounds:     -1, // open; sealed by the closer or Finish
+		Words:      words,
+		StartNS:    startNS,
+	})
+	return func(endRound int) {
+		s := &c.t.Spans[idx]
+		if s.Rounds >= 0 {
+			return // already closed
+		}
+		s.Rounds = endRound - s.StartRound
+		s.DurNS = time.Since(c.start).Nanoseconds() - s.StartNS
+	}
+}
+
+// Finish seals the collector and returns the completed RunTrace. Spans
+// left open (a node program that aborted mid-phase) are closed at the
+// last exchanged round.
+func (c *Collector) Finish() *RunTrace {
+	c.t.WallNS = time.Since(c.start).Nanoseconds()
+	last := len(c.t.Rounds)
+	for i := range c.t.Spans {
+		s := &c.t.Spans[i]
+		if s.Rounds < 0 {
+			s.Rounds = last - s.StartRound
+			if s.Rounds < 0 {
+				s.Rounds = 0
+			}
+			s.DurNS = c.t.WallNS - s.StartNS
+		}
+	}
+	return &c.t
+}
+
+var _ Tracer = (*Collector)(nil)
+var _ SpanRecorder = (*Collector)(nil)

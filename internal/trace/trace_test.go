@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeRound feeds the collector one round with the given pair traffic.
+func fakeRound(c *Collector, round int, pairs map[[2]int]int) {
+	c.EndRound(RoundEnd{
+		Round:       round,
+		Wall:        time.Millisecond,
+		BarrierWait: 100 * time.Microsecond,
+		Pairs: func(visit func(from, to, words int)) {
+			for p, w := range pairs {
+				visit(p[0], p[1], w)
+			}
+		},
+	})
+}
+
+func TestCollectorRoundsAndHeatmap(t *testing.T) {
+	c := NewCollector("t", 3, 2)
+	fakeRound(c, 0, map[[2]int]int{{0, 1}: 2, {1, 2}: 1})
+	fakeRound(c, 1, map[[2]int]int{{0, 1}: 1})
+	tr := c.Finish()
+
+	if len(tr.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(tr.Rounds))
+	}
+	if tr.Rounds[0].Words != 3 || tr.Rounds[0].MaxPair != 2 {
+		t.Errorf("round 0 = %+v, want words=3 maxPair=2", tr.Rounds[0])
+	}
+	if got := tr.Pair[0*3+1]; got != 3 {
+		t.Errorf("pair(0,1) = %d, want 3", got)
+	}
+	if got := tr.Pair[1*3+2]; got != 1 {
+		t.Errorf("pair(1,2) = %d, want 1", got)
+	}
+
+	s := tr.Summary()
+	if s.Words != 4 || s.MaxPair != 2 || s.Rounds != 2 {
+		t.Errorf("summary = %+v, want words=4 maxPair=2 rounds=2", s)
+	}
+	if len(s.HotPairs) != 2 || s.HotPairs[0] != (PairLoad{From: 0, To: 1, Words: 3}) {
+		t.Errorf("hot pairs = %+v", s.HotPairs)
+	}
+}
+
+// TestPhaseTimelineCoversAllRounds pins the gap-fill invariant: the
+// phase timeline partitions [0, rounds) exactly, whatever the span
+// structure — gaps, nesting, spans left open.
+func TestPhaseTimelineCoversAllRounds(t *testing.T) {
+	cases := []struct {
+		name  string
+		spans []Span // StartRound/Rounds precomputed
+	}{
+		{"no phases", nil},
+		{"one covering all", []Span{{Kind: KindPhase, Name: "a", StartRound: 0, Rounds: 10}}},
+		{"gaps", []Span{
+			{Kind: KindPhase, Name: "a", StartRound: 2, Rounds: 3},
+			{Kind: KindPhase, Name: "b", StartRound: 7, Rounds: 1},
+		}},
+		{"nested clipped", []Span{
+			{Kind: KindPhase, Name: "outer", StartRound: 0, Rounds: 8},
+			{Kind: KindPhase, Name: "inner", StartRound: 2, Rounds: 3},
+		}},
+		{"overrun clipped", []Span{
+			{Kind: KindPhase, Name: "a", StartRound: 8, Rounds: 99},
+		}},
+		{"ops ignored", []Span{
+			{Kind: KindOp, Name: "Broadcast", StartRound: 1, Rounds: 4},
+			{Kind: KindPhase, Name: "a", StartRound: 3, Rounds: 2},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &RunTrace{N: 2, Spans: tc.spans, Rounds: make([]Round, 10)}
+			for i := range tr.Rounds {
+				tr.Rounds[i].Words = 1
+			}
+			phases := tr.phaseTimeline()
+			sum, words := 0, int64(0)
+			cur := 0
+			for _, p := range phases {
+				if p.StartRound != cur {
+					t.Errorf("phase %q starts at %d, want contiguous %d", p.Name, p.StartRound, cur)
+				}
+				cur = p.StartRound + p.Rounds
+				sum += p.Rounds
+				words += p.Words
+			}
+			if sum != 10 {
+				t.Errorf("phase rounds sum = %d, want 10 (phases %+v)", sum, phases)
+			}
+			if words != 10 {
+				t.Errorf("phase words sum = %d, want 10", words)
+			}
+		})
+	}
+}
+
+func TestStartSpanAndFinish(t *testing.T) {
+	c := NewCollector("t", 2, 1)
+	endA := c.StartSpan(KindPhase, "a", 0, 0)
+	fakeRound(c, 0, nil)
+	fakeRound(c, 1, nil)
+	endA(2)
+	endA(5) // closer is idempotent
+	c.StartSpan(KindOp, "Broadcast", 2, 7)
+	fakeRound(c, 2, nil)
+	tr := c.Finish()
+
+	if tr.Spans[0].Rounds != 2 {
+		t.Errorf("span a rounds = %d, want 2", tr.Spans[0].Rounds)
+	}
+	if tr.Spans[1].Rounds != 1 { // left open, sealed at last round by Finish
+		t.Errorf("open span rounds = %d, want 1", tr.Spans[1].Rounds)
+	}
+	if tr.Spans[1].Words != 7 {
+		t.Errorf("op words = %d, want 7", tr.Spans[1].Words)
+	}
+}
+
+func TestOpAggregates(t *testing.T) {
+	tr := &RunTrace{N: 2, Spans: []Span{
+		{Kind: KindOp, Name: "Broadcast", Rounds: 2, Words: 10},
+		{Kind: KindOp, Name: "Gather", Rounds: 1, Words: 5},
+		{Kind: KindOp, Name: "Broadcast", Rounds: 3, Words: 20},
+	}}
+	ops := tr.opAggregates()
+	if len(ops) != 2 {
+		t.Fatalf("ops = %+v, want 2 entries", ops)
+	}
+	if ops[0] != (OpSummary{Name: "Broadcast", Calls: 2, Rounds: 5, Words: 30}) {
+		t.Errorf("Broadcast aggregate = %+v", ops[0])
+	}
+}
+
+func TestPhaseOpHelpersOnPlainValue(t *testing.T) {
+	// A value that is neither phaser nor opener gets the shared Nop.
+	if got := Phase(struct{}{}, "x"); &got == nil {
+		t.Fatal("nil closer")
+	}
+	Phase(struct{}{}, "x")()
+	Op(struct{}{}, "x", 1)()
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	c := NewCollector("run 0 (n=2, wpp=1)", 2, 1)
+	c.SetBackend("lockstep")
+	end := c.StartSpan(KindPhase, "a", 0, 0)
+	fakeRound(c, 0, map[[2]int]int{{0, 1}: 1})
+	end(1)
+	tr := c.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*RunTrace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	var phases, rounds, metas int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			metas++
+		case "X":
+			if ev["cat"] == "phase" {
+				phases++
+			}
+			if ev["cat"] == "round" {
+				rounds++
+			}
+		}
+	}
+	if metas == 0 || phases != 1 || rounds != 1 {
+		t.Errorf("metas=%d phases=%d rounds=%d", metas, phases, rounds)
+	}
+}

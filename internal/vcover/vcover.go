@@ -7,6 +7,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Result is the outcome, identical at every node: all nodes run the same
@@ -43,6 +44,7 @@ func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 	}
 
 	// Preprocessing round: high-degree vertices announce themselves.
+	endPhase := trace.Phase(nd, "vcover/high-degree")
 	deg := row.Count()
 	inC := comm.Flags(nd, deg > k)
 	var forced []int
@@ -57,6 +59,7 @@ func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 	// the same on yes- and no-instances (and every node reaches the same
 	// conclusion from the same data).
 	overfull := len(forced) > k
+	endPhase()
 
 	// Main phase: nodes outside C announce their uncovered edges (at
 	// most k of them — their degree is <= k). Every node derives the
@@ -75,6 +78,8 @@ func Find(nd clique.Endpoint, row graph.Bitset, k int) Result {
 		nd.Fail("vcover: %d uncovered edges at a low-degree node", len(mine))
 	}
 	kernel := graph.New(n)
+	endPhase = trace.Phase(nd, "vcover/kernel-rounds")
+	defer endPhase()
 	wpp := nd.WordsPerPair()
 	packedRounds := (bitvec.Words(n) + wpp - 1) / wpp
 	if packedRounds < k {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/comm"
+	"repro/internal/trace"
 )
 
 // Config describes the simulated clique.
@@ -168,6 +169,26 @@ func (vn *Node) RecvInto(from int, buf []uint64) []uint64 {
 // Fail aborts the entire (real) run.
 func (vn *Node) Fail(format string, args ...any) {
 	panic(fmt.Sprintf("virtual: node %d: %s", vn.id, fmt.Sprintf(format, args...)))
+}
+
+// TracePhase delegates phase spans to the hosting real endpoint, so
+// algorithms running inside a virtual clique still mark their structure
+// on the real run's trace (only virtual node 0's host records —
+// delegation lands on the real node-0 recorder or the shared no-op).
+func (vn *Node) TracePhase(name string) func() {
+	if vn.id != 0 {
+		return trace.Nop
+	}
+	return trace.Phase(vn.eng.nd, name)
+}
+
+// TraceOp delegates op spans to the hosting real endpoint; see
+// TracePhase.
+func (vn *Node) TraceOp(name string, words int) func() {
+	if vn.id != 0 {
+		return trace.Nop
+	}
+	return trace.Op(vn.eng.nd, name, words)
 }
 
 type engine struct {

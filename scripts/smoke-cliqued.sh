@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # smoke-cliqued.sh — CI smoke test for the cliqued daemon.
 #
-# Boots cliqued on a local port, asserts /healthz answers 200 ok,
-# runs one quick experiment through POST /v1/experiments/{id}:run and
-# checks the response is a valid cliquebench/v1 envelope — byte-equal
-# to what the cliquebench CLI prints for the same request — exercises
-# the cache and /metrics, and verifies graceful shutdown on SIGTERM.
+# Boots cliqued on a local port, asserts /healthz answers 200 ok with
+# the build block, runs one quick experiment through POST
+# /v1/experiments/{id}:run and checks the response is a valid
+# cliquebench/v1 envelope — byte-equal to what the cliquebench CLI
+# prints for the same request — exercises the cache, the ?trace=1
+# envelope, the SSE progress stream, the latency histograms on
+# /metrics, and verifies graceful shutdown on SIGTERM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,10 +26,12 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 
-echo "smoke: /healthz"
+echo "smoke: /healthz carries status and build attribution"
 status=$(curl -sS -o "$tmp/healthz.json" -w '%{http_code}' "$base/healthz")
 [ "$status" = 200 ] || { echo "healthz status $status" >&2; exit 1; }
 grep -q '"ok"' "$tmp/healthz.json"
+grep -q '"go_version"' "$tmp/healthz.json"
+grep -q '"backends"' "$tmp/healthz.json"
 
 echo "smoke: run one quick experiment"
 status=$(curl -sS -o "$tmp/run.json" -w '%{http_code}' \
@@ -36,14 +40,36 @@ status=$(curl -sS -o "$tmp/run.json" -w '%{http_code}' \
 grep -q '"schema": "cliquebench/v1"' "$tmp/run.json"
 
 echo "smoke: envelope is byte-identical to the cliquebench CLI"
-go run ./cmd/cliquebench -exp thm2 -quick -backend=lockstep -format=json > "$tmp/cli.json"
+# Built, not `go run`: the envelope's build block carries the VCS
+# stamp, which `go run` binaries lack — both sides must be real builds
+# of the same checkout for the byte comparison to be meaningful.
+go build -o "$tmp/cliquebench" ./cmd/cliquebench
+"$tmp/cliquebench" -exp thm2 -quick -backend=lockstep -format=json > "$tmp/cli.json"
 cmp "$tmp/run.json" "$tmp/cli.json"
 
 echo "smoke: repeat request hits the cache"
 curl -fsS -X POST -d '{"quick":true}' "$base/v1/experiments/thm2:run" > "$tmp/run2.json"
 cmp "$tmp/run.json" "$tmp/run2.json"
+
+echo "smoke: ?trace=1 attaches the cliquetrace/v1 block"
+curl -fsS -X POST -d '{"quick":true}' "$base/v1/experiments/fig1:run?trace=1" > "$tmp/traced.json"
+grep -q '"cliquetrace/v1"' "$tmp/traced.json"
+grep -q '"phases"' "$tmp/traced.json"
+
+echo "smoke: SSE stream reports round-level progress"
+curl -fsS -N -X POST -d '{"algorithm":"exchange","n":16,"seed":5}' \
+  "$base/v1/run?stream=sse" > "$tmp/sse.txt"
+grep -q '^event: progress$' "$tmp/sse.txt"
+grep -q '"rounds"' "$tmp/sse.txt"
+grep -q '"rounds_per_sec"' "$tmp/sse.txt"
+grep -q '^event: result$' "$tmp/sse.txt"
+
+echo "smoke: /metrics serves counters and latency histograms"
 curl -fsS "$base/metrics" > "$tmp/metrics.json"
 grep -q '"cache_hits": 1' "$tmp/metrics.json"
+grep -q '"queue_wait_ns"' "$tmp/metrics.json"
+grep -q '"run_wall_ns"' "$tmp/metrics.json"
+grep -q '"rounds_per_sec_hist"' "$tmp/metrics.json"
 
 echo "smoke: graceful shutdown"
 kill -TERM "$pid"
