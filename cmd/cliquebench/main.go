@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/exp"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -62,11 +63,14 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker-pool width; experiments are independent and results keep registry order")
 	quick := flag.Bool("quick", false, "reduced instance sizes (CI smoke, tests)")
 	timing := flag.Bool("timing", false, "attach measured simulator throughput to JSON output (text always reports it)")
+	repeats := flag.Int("repeats", 1, "timed registry runs; >1 attaches a rounds/sec distribution to the throughput block (variance-aware baselines)")
 	compare := flag.String("compare", "", "baseline report JSON to compare this run against")
-	threshold := flag.Float64("regress-threshold", 0.25, "rounds/sec regression fraction that triggers a -compare warning")
-	allocFail := flag.Float64("alloc-regress-fail", 0.25, "allocs/op probe regression fraction beyond which -compare fails (exit 1) instead of warning")
+	threshold := flag.Float64("regress-threshold", 0.25, "rounds/sec regression fraction that triggers a -compare warning when the baseline has no repeat distribution")
+	ciFactor := flag.Float64("ci-factor", exp.DefaultCIFactor, "warn when a metric drifts beyond this many baseline CI half-widths (variance-aware baselines)")
+	failCIFactor := flag.Float64("fail-ci-factor", 2*exp.DefaultCIFactor, "fail (exit 1) when a probe drifts beyond this many baseline CI half-widths")
+	allocFail := flag.Float64("alloc-regress-fail", 0.25, "allocs/op probe regression fraction beyond which -compare fails (exit 1) when the baseline has no distribution")
 	traceFile := flag.String("trace", "", "run with the round-level tracer and write a Chrome trace-event file (Perfetto) to this path")
-	traceFail := flag.Float64("trace-regress-fail", 0.01, "trace-off probe throughput regression fraction beyond which -compare fails (exit 1) instead of warning")
+	traceFail := flag.Float64("trace-regress-fail", 0.01, "trace-off probe throughput regression fraction beyond which -compare fails (exit 1) when the baseline has no distribution")
 	list := flag.Bool("list", false, "print the experiment registry (id, artefact, title) and exit without running anything")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
@@ -144,6 +148,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		// -repeats: rerun the timed registry and attach the rounds/sec
+		// distribution. The deterministic results come from the first
+		// repeat (they are identical across repeats by contract); only
+		// the timing block gains the extra samples.
+		var thrDist *stats.Summary
+		if *repeats > 1 && (*timing || *compare != "") {
+			samples := []float64{tim.RoundsPerSec()}
+			for i := 1; i < *repeats; i++ {
+				_, timR, err := exp.Run(ids, opts)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				samples = append(samples, timR.RoundsPerSec())
+			}
+			d := stats.Summarize(samples, 0)
+			thrDist = &d
+		}
+		attachDist := func(r *exp.Report) *exp.Report {
+			if thrDist != nil && r.Throughput != nil {
+				r.Throughput.Dist = thrDist
+				r.Throughput.RoundsPerSec = thrDist.Mean
+			}
+			return r
+		}
 		if *traceFile != "" {
 			if err := writeChromeTrace(*traceFile, ids, traced); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -176,9 +205,9 @@ func main() {
 		case "text":
 			// The text report always carries the throughput summary, as
 			// it always has.
-			exp.NewReport(*backend, opts, results, tim, true).WriteText(os.Stdout)
+			attachDist(exp.NewReport(*backend, opts, results, tim, true)).WriteText(os.Stdout)
 		case "json":
-			report := exp.NewReport(*backend, opts, results, tim, *timing)
+			report := attachDist(exp.NewReport(*backend, opts, results, tim, *timing))
 			report.Bench = bench
 			report.BenchPacked = benchPacked
 			report.BenchTraceOff = benchTraceOff
@@ -189,11 +218,14 @@ func main() {
 		}
 
 		if *compare != "" {
-			current := exp.NewReport(*backend, opts, results, tim, true)
+			current := attachDist(exp.NewReport(*backend, opts, results, tim, true))
 			current.Bench = bench
 			current.BenchPacked = benchPacked
 			current.BenchTraceOff = benchTraceOff
-			if err := compareBaseline(*compare, current, *threshold, *allocFail, *traceFail); err != nil {
+			warnGate := exp.Gate{CIFactor: *ciFactor, Frac: *threshold}
+			allocGate := exp.Gate{CIFactor: *failCIFactor, Frac: *allocFail}
+			traceGate := exp.Gate{CIFactor: *failCIFactor, Frac: *traceFail}
+			if err := compareBaseline(*compare, current, warnGate, allocGate, traceGate); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
@@ -227,13 +259,12 @@ func writeList(w io.Writer, format string) error {
 }
 
 // compareBaseline reports regressions against the stored baseline to
-// stderr in GitHub Actions annotation form. Throughput and model-cost
-// drift stay warn-only; an allocation-probe regression beyond allocFail
-// or a trace-off throughput regression beyond traceFail is an error
-// annotation and fails the run — a hot path that started allocating, or
-// a disabled tracer that started costing, is a bug, not a judgement
-// call.
-func compareBaseline(path string, current *exp.Report, threshold, allocFail, traceFail float64) error {
+// stderr in GitHub Actions annotation form. Throughput, model-cost and
+// missing-metric findings stay warn-only; an allocation-probe or
+// trace-off regression beyond its fatal gate is an error annotation and
+// fails the run — a hot path that started allocating, or a disabled
+// tracer that started costing, is a bug, not a judgement call.
+func compareBaseline(path string, current *exp.Report, warnGate, allocGate, traceGate exp.Gate) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("compare: %w", err)
@@ -242,13 +273,13 @@ func compareBaseline(path string, current *exp.Report, threshold, allocFail, tra
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return fmt.Errorf("compare: parsing %s: %w", path, err)
 	}
-	warns := exp.Compare(&baseline, current, threshold)
-	// The fatal gates re-check the probes at the caller's fractions, so
-	// a fail fraction below Compare's warn threshold still bites.
-	fatal := exp.AllocRegressions(&baseline, current, allocFail)
-	fatal = append(fatal, exp.TraceOffRegressions(&baseline, current, traceFail)...)
+	warns := exp.Compare(&baseline, current, warnGate)
+	// The fatal gates re-check the probes at the caller's gates, so a
+	// fail gate tighter than Compare's warn gate still bites.
+	fatal := exp.AllocRegressions(&baseline, current, allocGate)
+	fatal = append(fatal, exp.TraceOffRegressions(&baseline, current, traceGate)...)
 	if len(warns) == 0 && len(fatal) == 0 {
-		fmt.Fprintf(os.Stderr, "compare: no regressions vs %s (threshold %.0f%%)\n", path, 100*threshold)
+		fmt.Fprintf(os.Stderr, "compare: no regressions vs %s\n", path)
 		return nil
 	}
 	isFatal := func(w exp.Regression) bool {

@@ -1,0 +1,104 @@
+// Command cliquegrid runs a declarative experiment grid — catalogue
+// workloads swept over n × wordsPerPair × seeds plus registry
+// experiments — with per-cell warmup and repeats, and writes
+// paper-ready artefacts (runs.csv, summary.json, summary.md,
+// tables.tex, plots/*.svg) under <out>/<stamp>/.
+//
+// The summary JSON is deterministic modulo its timing fields; pass
+// -no-timing to emit the stripped envelope, which is byte-identical
+// across runs and -parallel settings for a fixed spec and binary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/clique"
+	"repro/internal/grid"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		specPath = flag.String("spec", "", "grid spec JSON file (required)")
+		out      = flag.String("out", "paper_runs", "artefact root directory")
+		stamp    = flag.String("stamp", "", "artefact subdirectory (default: UTC timestamp)")
+		repeats  = flag.Int("repeats", 0, "recorded runs per cell (overrides the spec)")
+		warmup   = flag.Int("warmup", 0, "discarded runs per cell before recording (overrides the spec)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "cells to run concurrently")
+		backend  = flag.String("backend", "", fmt.Sprintf("execution backend (overrides the spec; valid: %v)", clique.Backends()))
+		noTiming = flag.Bool("no-timing", false, "strip wall-clock fields from summary.json (deterministic artefact)")
+		progress = flag.Bool("progress", true, "report per-run progress on stderr")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "cliquegrid: -spec is required")
+		flag.Usage()
+		return 2
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliquegrid: %v\n", err)
+		return 2
+	}
+	spec, err := grid.ParseSpec(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliquegrid: %s: %v\n", *specPath, err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := grid.Options{
+		Backend:  *backend,
+		Repeats:  *repeats,
+		Warmup:   *warmup,
+		Parallel: *parallel,
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcliquegrid: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	rep, records, err := grid.Run(ctx, spec, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliquegrid: %v\n", err)
+		return 1
+	}
+
+	dirStamp := *stamp
+	if dirStamp == "" {
+		dirStamp = start.UTC().Format("20060102T150405Z")
+	}
+	dir := filepath.Join(*out, dirStamp)
+	if err := grid.WriteArtifacts(dir, rep, records, !*noTiming); err != nil {
+		fmt.Fprintf(os.Stderr, "cliquegrid: %v\n", err)
+		return 1
+	}
+
+	// One line on stdout — the CI grid job tails this into its step
+	// summary.
+	name := rep.Name
+	if name == "" {
+		name = filepath.Base(*specPath)
+	}
+	fmt.Printf("cliquegrid: %s: %d groups, %d runs (%d repeats, %d warmup, backend %s), %d fits, %.1fs wall -> %s\n",
+		name, len(rep.Groups), len(records), rep.Repeats, rep.Warmup, rep.Backend, len(rep.Fits),
+		time.Since(start).Seconds(), dir)
+	return 0
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/comm"
 	"repro/internal/matmul"
+	"repro/internal/stats"
 )
 
 // BenchProbe is an allocation probe: a canonical hot-path workload
@@ -36,6 +37,13 @@ type BenchProbe struct {
 	// counts are near-deterministic, wall time is not, and mixing the
 	// two would subject the alloc gate to timing noise).
 	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	// AllocsDist is the per-run allocation-count distribution behind
+	// AllocsPerOp; the variance-aware Compare gate widens its tolerance
+	// by the baseline's recorded spread.
+	AllocsDist *stats.Summary `json:"allocs_dist,omitempty"`
+	// RPSDist is the per-run rounds/sec distribution behind the
+	// trace-off probe's best-of-runs RoundsPerSec.
+	RPSDist *stats.Summary `json:"rounds_per_sec_dist,omitempty"`
 }
 
 // Canonical exchange shape: dense one-word gossip at the engine
@@ -114,6 +122,7 @@ func MeasureTraceOffProbe(backend string) (*BenchProbe, error) {
 		return nil, err
 	}
 	best := time.Duration(0)
+	samples := make([]float64, 0, benchProbeRuns)
 	for i := 0; i < benchProbeRuns; i++ {
 		wall, err := run()
 		if err != nil {
@@ -122,11 +131,15 @@ func MeasureTraceOffProbe(backend string) (*BenchProbe, error) {
 		if best == 0 || wall < best {
 			best = wall
 		}
+		if wall > 0 {
+			samples = append(samples, benchProbeRounds/wall.Seconds())
+		}
 	}
 	rps := 0.0
 	if best > 0 {
 		rps = benchProbeRounds / best.Seconds()
 	}
+	dist := stats.Summarize(samples, 0)
 	return &BenchProbe{
 		Name:         "trace-off",
 		Backend:      backend,
@@ -135,6 +148,7 @@ func MeasureTraceOffProbe(backend string) (*BenchProbe, error) {
 		Rounds:       benchProbeRounds,
 		Runs:         benchProbeRuns,
 		RoundsPerSec: rps,
+		RPSDist:      &dist,
 	}, nil
 }
 
@@ -153,15 +167,22 @@ func measureProbe(name, backend string, program clique.NodeFunc) (*BenchProbe, e
 	if err := run(); err != nil { // warm-up
 		return nil, err
 	}
+	// Per-run Mallocs deltas: the mean is AllocsPerOp (matching the old
+	// aggregate measurement — ReadMemStats itself does not allocate),
+	// and the spread feeds the variance-aware gate.
 	var before, after runtime.MemStats
 	runtime.GC()
+	samples := make([]float64, 0, benchProbeRuns)
 	runtime.ReadMemStats(&before)
 	for i := 0; i < benchProbeRuns; i++ {
 		if err := run(); err != nil {
 			return nil, err
 		}
+		runtime.ReadMemStats(&after)
+		samples = append(samples, float64(after.Mallocs-before.Mallocs))
+		before = after
 	}
-	runtime.ReadMemStats(&after)
+	dist := stats.Summarize(samples, 0)
 	return &BenchProbe{
 		Name:         name,
 		Backend:      backend,
@@ -169,6 +190,7 @@ func measureProbe(name, backend string, program clique.NodeFunc) (*BenchProbe, e
 		WordsPerPair: benchProbeWPP,
 		Rounds:       benchProbeRounds,
 		Runs:         benchProbeRuns,
-		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / benchProbeRuns,
+		AllocsPerOp:  dist.Mean,
+		AllocsDist:   &dist,
 	}, nil
 }

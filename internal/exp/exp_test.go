@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/exp"
+	"repro/internal/stats"
 )
 
 // TestRegistryComplete pins the registered experiment set: the E1-E13
@@ -168,34 +169,34 @@ func TestCompare(t *testing.T) {
 			Throughput: &exp.Throughput{SimRounds: rounds, WallNS: 1e9, RoundsPerSec: rps, Workers: workers},
 		}
 	}
-	if warns := exp.Compare(mk(100, 1, 50), mk(90, 1, 50), 0.25); len(warns) != 0 {
+	if warns := exp.Compare(mk(100, 1, 50), mk(90, 1, 50), exp.Gate{Frac: 0.25}); len(warns) != 0 {
 		t.Errorf("10%% slowdown should pass a 25%% threshold: %v", warns)
 	}
-	warns := exp.Compare(mk(100, 1, 50), mk(50, 1, 50), 0.25)
+	warns := exp.Compare(mk(100, 1, 50), mk(50, 1, 50), exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "throughput") {
 		t.Errorf("50%% slowdown should warn: %v", warns)
 	}
-	warns = exp.Compare(mk(100, 1, 50), mk(100, 1, 60), 0.25)
+	warns = exp.Compare(mk(100, 1, 50), mk(100, 1, 60), exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "model cost") {
 		t.Errorf("model cost change should warn: %v", warns)
 	}
-	warns = exp.Compare(mk(100, 1, 50), mk(100, 4, 50), 0.25)
+	warns = exp.Compare(mk(100, 1, 50), mk(100, 4, 50), exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "worker-count mismatch") {
 		t.Errorf("worker mismatch should warn instead of comparing: %v", warns)
 	}
 	quick := mk(100, 1, 50)
 	quick.Quick = true
-	if warns := exp.Compare(quick, mk(100, 1, 50), 0.25); len(warns) != 1 {
+	if warns := exp.Compare(quick, mk(100, 1, 50), exp.Gate{Frac: 0.25}); len(warns) != 1 {
 		t.Errorf("quick-mode mismatch should warn: %v", warns)
 	}
 	dropped := mk(100, 1, 50)
 	dropped.Experiments = nil
-	warns = exp.Compare(mk(100, 1, 50), dropped, 0.25)
+	warns = exp.Compare(mk(100, 1, 50), dropped, exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "missing from the current report") {
 		t.Errorf("dropped experiment should warn: %v", warns)
 	}
 	zeroBase := mk(100, 1, 0)
-	warns = exp.Compare(zeroBase, mk(100, 1, 12), 0.25)
+	warns = exp.Compare(zeroBase, mk(100, 1, 12), exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || strings.Contains(warns[0].String(), "Inf") {
 		t.Errorf("zero-baseline cost change must not print Inf: %v", warns)
 	}
@@ -280,21 +281,121 @@ func TestCompareBenchProbe(t *testing.T) {
 			},
 		}
 	}
-	if warns := exp.Compare(mk(1000), mk(1050), 0.25); len(warns) != 0 {
+	if warns := exp.Compare(mk(1000), mk(1050), exp.Gate{Frac: 0.25}); len(warns) != 0 {
 		t.Errorf("5%% allocation growth should pass the 10%% gate: %v", warns)
 	}
-	warns := exp.Compare(mk(1000), mk(2000), 0.25)
+	warns := exp.Compare(mk(1000), mk(2000), exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "allocs/op") {
 		t.Errorf("doubled allocations should warn: %v", warns)
 	}
 	shifted := mk(1000)
 	shifted.Bench.N = 128
-	warns = exp.Compare(shifted, mk(5000), 0.25)
+	warns = exp.Compare(shifted, mk(5000), exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "shape mismatch") {
 		t.Errorf("probe shape change should warn instead of comparing: %v", warns)
 	}
-	if warns := exp.Compare(mk(1000), &exp.Report{Schema: exp.SchemaVersion, Backend: "lockstep"}, 0.25); len(warns) != 0 {
-		t.Errorf("missing probe must not warn (timing-gated field): %v", warns)
+	// A probe tracked by the baseline but absent from the current report
+	// is lost gate coverage, not a pass: it must surface as a
+	// RegressMissing finding instead of silently reporting "no
+	// regression".
+	warns = exp.Compare(mk(1000), &exp.Report{Schema: exp.SchemaVersion, Backend: "lockstep"}, exp.Gate{Frac: 0.25})
+	if len(warns) != 1 || warns[0].Kind != exp.RegressMissing {
+		t.Errorf("vanished probe should be a %q finding: %v", exp.RegressMissing, warns)
+	}
+	if !strings.Contains(warns[0].String(), "missing from the current report") {
+		t.Errorf("missing-probe finding should say which side lost it: %v", warns[0])
+	}
+	// The mirror image — a probe the baseline never tracked — runs
+	// ungated and deserves the same kind of flag.
+	warns = exp.Compare(&exp.Report{Schema: exp.SchemaVersion, Backend: "lockstep"}, mk(1000), exp.Gate{Frac: 0.25})
+	if len(warns) != 1 || warns[0].Kind != exp.RegressMissing ||
+		!strings.Contains(warns[0].String(), "missing from the baseline") {
+		t.Errorf("ungated probe should be a %q finding: %v", exp.RegressMissing, warns)
+	}
+}
+
+// TestCompareVarianceAware pins the CI-based gate: with a repeat
+// distribution on the baseline, the warning threshold is
+// CIFactor × half-width below the mean instead of a fixed fraction.
+func TestCompareVarianceAware(t *testing.T) {
+	mk := func(rps float64, dist *stats.Summary) *exp.Report {
+		return &exp.Report{
+			Schema:  exp.SchemaVersion,
+			Backend: "lockstep",
+			Throughput: &exp.Throughput{
+				SimRounds: 50, WallNS: 1e9, RoundsPerSec: rps, Workers: 1, Dist: dist,
+			},
+		}
+	}
+	// Baseline: repeats {98, 100, 102} → mean 100, half-width
+	// t(0.975, 2)·2/√3 = 4.30265·1.1547 ≈ 4.968.
+	d := stats.Summarize([]float64{98, 100, 102}, 0)
+	base := mk(d.Mean, &d)
+	hw := d.HalfWidth()
+
+	// Inside 2 half-widths of the mean: no warning, even though a fixed
+	// 5% threshold would have fired.
+	ok := mk(100-1.5*hw, nil)
+	if warns := exp.Compare(base, ok, exp.Gate{CIFactor: 2, Frac: 0.05}); len(warns) != 0 {
+		t.Errorf("drop inside 2 CI half-widths warned: %v", warns)
+	}
+	// Outside 2 half-widths: warning, even though the fixed fallback
+	// (25%) would have let it pass.
+	bad := mk(100-3*hw, nil)
+	warns := exp.Compare(base, bad, exp.Gate{CIFactor: 2, Frac: 0.25})
+	if len(warns) != 1 || warns[0].Kind != exp.RegressThroughput {
+		t.Errorf("drop beyond 2 CI half-widths should warn: %v", warns)
+	}
+	// A wider CIFactor tolerates the same drop.
+	if warns := exp.Compare(base, bad, exp.Gate{CIFactor: 10, Frac: 0.25}); len(warns) != 0 {
+		t.Errorf("drop inside 10 CI half-widths warned: %v", warns)
+	}
+	// Zero-variance baseline: the minRelSlack floor (2%) keeps noise
+	// from alerting, but a real drop still fires.
+	flat := stats.Summarize([]float64{100, 100, 100}, 0)
+	zbase := mk(100, &flat)
+	if warns := exp.Compare(zbase, mk(99, nil), exp.Gate{}); len(warns) != 0 {
+		t.Errorf("1%% drop under a zero-variance baseline warned: %v", warns)
+	}
+	if warns := exp.Compare(zbase, mk(90, nil), exp.Gate{}); len(warns) != 1 {
+		t.Errorf("10%% drop under a zero-variance baseline should warn: %v", warns)
+	}
+}
+
+// TestAllocRegressionsGate pins the fatal alloc gate's variance-aware
+// path: the tolerance follows the baseline's recorded spread plus the
+// absolute slack.
+func TestAllocRegressionsGate(t *testing.T) {
+	mk := func(allocs float64, dist *stats.Summary) *exp.Report {
+		return &exp.Report{
+			Schema:  exp.SchemaVersion,
+			Backend: "lockstep",
+			Bench: &exp.BenchProbe{
+				Name: "exchange", Backend: "lockstep", N: 64,
+				WordsPerPair: 1, Rounds: 256, Runs: 5,
+				AllocsPerOp: allocs, AllocsDist: dist,
+			},
+		}
+	}
+	d := stats.Summarize([]float64{990, 1000, 1010}, 0)
+	base := mk(d.Mean, &d)
+	hw := d.HalfWidth()
+	within := mk(1000+1.5*hw, nil)
+	if fatal := exp.AllocRegressions(base, within, exp.Gate{CIFactor: 2}); len(fatal) != 0 {
+		t.Errorf("rise inside 2 CI half-widths failed the gate: %v", fatal)
+	}
+	// Beyond 2 half-widths plus the 16-alloc absolute slack: fatal.
+	beyond := mk(1000+2*hw+17+0.5*hw, nil)
+	if fatal := exp.AllocRegressions(base, beyond, exp.Gate{CIFactor: 2}); len(fatal) != 1 {
+		t.Errorf("rise beyond the CI gate passed: %v", fatal)
+	}
+	// Distribution-free baseline falls back to the fraction.
+	nb := mk(1000, nil)
+	if fatal := exp.AllocRegressions(nb, mk(1300, nil), exp.Gate{Frac: 0.25}); len(fatal) != 1 {
+		t.Errorf("30%% rise passed the 25%% fallback gate: %v", fatal)
+	}
+	if fatal := exp.AllocRegressions(nb, mk(1200, nil), exp.Gate{Frac: 0.25}); len(fatal) != 0 {
+		t.Errorf("20%% rise failed the 25%% fallback gate: %v", fatal)
 	}
 }
 
@@ -309,10 +410,10 @@ func TestComparePackedProbe(t *testing.T) {
 			},
 		}
 	}
-	if warns := exp.Compare(mk(1000), mk(1050), 0.25); len(warns) != 0 {
+	if warns := exp.Compare(mk(1000), mk(1050), exp.Gate{Frac: 0.25}); len(warns) != 0 {
 		t.Errorf("5%% allocation growth should pass the 10%% gate: %v", warns)
 	}
-	warns := exp.Compare(mk(1000), mk(2000), 0.25)
+	warns := exp.Compare(mk(1000), mk(2000), exp.Gate{Frac: 0.25})
 	if len(warns) != 1 || !strings.Contains(warns[0].String(), "packed-mm") {
 		t.Errorf("doubled packed-probe allocations should warn: %v", warns)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/clique"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -357,6 +358,11 @@ type Throughput struct {
 	WallNS       int64   `json:"wall_ns"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
 	Workers      int     `json:"workers,omitempty"`
+	// Dist is the rounds/sec distribution across cliquebench -repeats
+	// registry runs (first repeat's block fields above, all repeats
+	// here). When present, RoundsPerSec is its mean and Compare gates
+	// against the confidence interval instead of a fixed fraction.
+	Dist *stats.Summary `json:"dist,omitempty"`
 }
 
 // NewReport assembles the envelope; pass withTiming=false for
@@ -381,14 +387,77 @@ func NewReport(backend string, opts Options, results []*Result, tim Timing, with
 
 // Kinds of Compare findings, for callers that escalate some of them
 // (cliquebench fails the bench job on RegressAllocs beyond its
-// -alloc-regress-fail fraction; everything else stays warn-only).
+// -alloc-regress-fail gate; everything else stays warn-only).
 const (
 	RegressAllocs     = "allocs"
 	RegressThroughput = "throughput"
 	RegressModelCost  = "model-cost"
 	RegressMismatch   = "mismatch"
 	RegressTraceOff   = "trace-off"
+	// RegressMissing flags a metric tracked on one side only: a baseline
+	// metric absent from the current report is lost gate coverage, and a
+	// current metric absent from the baseline runs ungated until the
+	// baseline is regenerated. Either way "nothing compared" is a
+	// finding, not silence.
+	RegressMissing = "missing"
 )
+
+// Gate configures how Compare and the fatal gates decide "regressed".
+//
+// When the baseline metric carries a sample distribution (Dist blocks,
+// written by cliquebench -repeats and the multi-run probes), the gate
+// is variance-aware: a value regresses when it falls outside the
+// baseline mean by more than CIFactor times the confidence-interval
+// half-width (plus a small relative floor, so a freakishly quiet
+// baseline cannot turn measurement noise into alerts). Baselines
+// without a distribution fall back to the fixed fraction Frac.
+type Gate struct {
+	// CIFactor scales the baseline CI half-width; 0 means
+	// DefaultCIFactor.
+	CIFactor float64
+	// Frac is the fixed-fraction fallback for distribution-free
+	// baselines; 0 means the metric's historical default (0.25
+	// throughput, 0.10 allocs, 0.01 trace-off).
+	Frac float64
+}
+
+// DefaultCIFactor is the half-width multiplier used when Gate.CIFactor
+// is unset: two 95% half-widths, roughly a four-sigma one-sided gate
+// for small repeat counts.
+const DefaultCIFactor = 2
+
+// minRelSlack is the relative-slack floor under the variance-aware
+// gate: even a zero-variance baseline tolerates this fraction of drift
+// before a timing metric alerts.
+const minRelSlack = 0.02
+
+func (g Gate) ciFactor() float64 {
+	if g.CIFactor > 0 {
+		return g.CIFactor
+	}
+	return DefaultCIFactor
+}
+
+func (g Gate) frac(metricDefault float64) float64 {
+	if g.Frac > 0 {
+		return g.Frac
+	}
+	return metricDefault
+}
+
+// gateSlack is the tolerated drift around basePoint: CIFactor
+// half-widths when a usable distribution exists (floored at
+// minRelSlack), frac·basePoint otherwise.
+func gateSlack(basePoint float64, dist *stats.Summary, ciFactor, frac float64) float64 {
+	if dist != nil && dist.N >= 2 {
+		slack := ciFactor * dist.HalfWidth()
+		if floor := minRelSlack * basePoint; slack < floor {
+			slack = floor
+		}
+		return slack
+	}
+	return frac * basePoint
+}
 
 // Regression is one warning produced by Compare.
 type Regression struct {
@@ -412,12 +481,16 @@ func (r Regression) String() string {
 }
 
 // Compare checks a fresh report against a stored baseline and returns
-// warnings for simulator throughput regressions beyond threshold
-// (0.25 = warn when >25% slower) and for any change in deterministic
-// model costs — the latter with threshold 0, since model costs only
-// move when an algorithm changed. It never fails a build on its own;
-// CI surfaces the returned warnings.
-func Compare(baseline, current *Report, threshold float64) []Regression {
+// warnings for simulator throughput regressions beyond the gate, for
+// any change in deterministic model costs (tolerance 0, since model
+// costs only move when an algorithm changed), and for metrics tracked
+// on one side only (RegressMissing). Throughput gating is
+// variance-aware when the baseline carries a repeat distribution: the
+// warning fires when the current mean falls below the baseline mean by
+// more than gate.CIFactor confidence-interval half-widths, so a noisy
+// runner widens its own tolerance instead of crying wolf. It never
+// fails a build on its own; CI surfaces the returned warnings.
+func Compare(baseline, current *Report, gate Gate) []Regression {
 	var warns []Regression
 	if baseline.Schema != current.Schema {
 		warns = append(warns, Regression{Kind: RegressMismatch, What: fmt.Sprintf("schema mismatch: baseline %q vs current %q", baseline.Schema, current.Schema)})
@@ -427,21 +500,29 @@ func Compare(baseline, current *Report, threshold float64) []Regression {
 		warns = append(warns, Regression{Kind: RegressMismatch, What: "quick-mode mismatch: baseline and current report are not comparable"})
 		return warns
 	}
-	warns = append(warns, compareProbe(baseline.Bench, current.Bench, allocWarnFraction)...)
-	warns = append(warns, compareProbe(baseline.BenchPacked, current.BenchPacked, allocWarnFraction)...)
-	warns = append(warns, compareTraceOff(baseline.BenchTraceOff, current.BenchTraceOff, traceOffWarnFraction)...)
+	probeGate := Gate{CIFactor: gate.CIFactor, Frac: allocWarnFraction}
+	traceGate := Gate{CIFactor: gate.CIFactor, Frac: traceOffWarnFraction}
+	warns = append(warns, missingMetric("bench probe", baseline.Bench != nil, current.Bench != nil)...)
+	warns = append(warns, missingMetric("packed bench probe", baseline.BenchPacked != nil, current.BenchPacked != nil)...)
+	warns = append(warns, missingMetric("trace-off probe", baseline.BenchTraceOff != nil, current.BenchTraceOff != nil)...)
+	warns = append(warns, missingMetric("throughput block", baseline.Throughput != nil, current.Throughput != nil)...)
+	warns = append(warns, compareProbe(baseline.Bench, current.Bench, probeGate)...)
+	warns = append(warns, compareProbe(baseline.BenchPacked, current.BenchPacked, probeGate)...)
+	warns = append(warns, compareTraceOff(baseline.BenchTraceOff, current.BenchTraceOff, traceGate)...)
 	if baseline.Throughput != nil && current.Throughput != nil {
+		b := baseline.Throughput
+		slack := gateSlack(b.RoundsPerSec, b.Dist, gate.ciFactor(), gate.frac(throughputWarnFraction))
 		switch {
-		case baseline.Throughput.Workers != current.Throughput.Workers:
+		case b.Workers != current.Throughput.Workers:
 			warns = append(warns, Regression{Kind: RegressMismatch, What: fmt.Sprintf(
 				"worker-count mismatch (baseline %d, current %d): throughput not compared",
-				baseline.Throughput.Workers, current.Throughput.Workers)})
-		case baseline.Throughput.RoundsPerSec > 0 &&
-			current.Throughput.RoundsPerSec < baseline.Throughput.RoundsPerSec*(1-threshold):
+				b.Workers, current.Throughput.Workers)})
+		case b.RoundsPerSec > 0 &&
+			current.Throughput.RoundsPerSec < b.RoundsPerSec-slack:
 			warns = append(warns, Regression{
 				What:     fmt.Sprintf("simulator throughput (rounds/sec, %s backend)", current.Backend),
 				Kind:     RegressThroughput,
-				Baseline: baseline.Throughput.RoundsPerSec,
+				Baseline: b.RoundsPerSec,
 				Current:  current.Throughput.RoundsPerSec,
 			})
 		}
@@ -483,32 +564,65 @@ func Compare(baseline, current *Report, threshold float64) []Regression {
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
-		warns = append(warns, Regression{Kind: RegressMismatch, What: fmt.Sprintf(
+		warns = append(warns, Regression{Kind: RegressMissing, What: fmt.Sprintf(
 			"baseline experiments missing from the current report: %s", strings.Join(missing, ", "))})
 	}
 	return warns
 }
 
-// allocWarnFraction is the allocs/op rise (plus a 16-alloc absolute
-// slack for runtime noise) beyond which Compare warns. Allocation
-// counts are deterministic up to that noise; a larger rise means a hot
-// path started allocating.
-const allocWarnFraction = 0.10
+// missingMetric distinguishes "metric tracked on one side only" from
+// "no regression": a comparison that silently skips a gated metric is
+// itself a finding.
+func missingMetric(what string, inBase, inCurrent bool) []Regression {
+	switch {
+	case inBase && !inCurrent:
+		return []Regression{{Kind: RegressMissing, What: fmt.Sprintf(
+			"%s present in the baseline but missing from the current report: not compared (run with -timing)", what)}}
+	case !inBase && inCurrent:
+		return []Regression{{Kind: RegressMissing, What: fmt.Sprintf(
+			"%s missing from the baseline: running ungated (regenerate the baseline)", what)}}
+	}
+	return nil
+}
 
-// compareProbe checks one allocation probe against its baseline at the
-// given regression fraction; nil on either side (probes are
-// timing-gated) compares nothing.
-func compareProbe(b, c *BenchProbe, frac float64) []Regression {
+// Fallback warn fractions for distribution-free baselines: the
+// pre-variance-aware fixed thresholds.
+const (
+	// throughputWarnFraction is the whole-registry rounds/sec drop
+	// beyond which Compare warns when the baseline has no repeat
+	// distribution.
+	throughputWarnFraction = 0.25
+	// allocWarnFraction is the allocs/op rise (plus a 16-alloc absolute
+	// slack for runtime noise) beyond which Compare warns. Allocation
+	// counts are deterministic up to that noise; a larger rise means a
+	// hot path started allocating.
+	allocWarnFraction = 0.10
+	// traceOffWarnFraction is the trace-off throughput drop beyond which
+	// Compare warns: the trace plane's claim is that a nil tracer costs
+	// under 1%, so the gate sits exactly there. The probe compares
+	// best-of-runs wall times, which keeps scheduler noise out of the 1%
+	// margin.
+	traceOffWarnFraction = 0.01
+	// allocAbsSlack is the absolute allocs/op slack on top of any gate,
+	// absorbing runtime bookkeeping noise.
+	allocAbsSlack = 16
+)
+
+// compareProbe checks one allocation probe against its baseline under
+// the gate; nil on either side (probes are timing-gated, and absence is
+// reported separately as RegressMissing) compares nothing.
+func compareProbe(b, c *BenchProbe, gate Gate) []Regression {
 	if b == nil || c == nil {
 		return nil
 	}
+	slack := gateSlack(b.AllocsPerOp, b.AllocsDist, gate.ciFactor(), gate.frac(allocWarnFraction))
 	switch {
 	case b.Name != c.Name || b.N != c.N || b.WordsPerPair != c.WordsPerPair ||
 		b.Rounds != c.Rounds || b.Backend != c.Backend:
 		return []Regression{{Kind: RegressMismatch, What: fmt.Sprintf(
 			"bench-probe shape mismatch (baseline %s/%s n=%d, current %s/%s n=%d): allocs not compared",
 			b.Name, b.Backend, b.N, c.Name, c.Backend, c.N)}}
-	case c.AllocsPerOp > b.AllocsPerOp*(1+frac)+16:
+	case c.AllocsPerOp > b.AllocsPerOp+slack+allocAbsSlack:
 		return []Regression{{
 			What:     fmt.Sprintf("allocs/op on the %s benchmark probe (%s backend)", c.Name, c.Backend),
 			Kind:     RegressAllocs,
@@ -519,26 +633,22 @@ func compareProbe(b, c *BenchProbe, frac float64) []Regression {
 	return nil
 }
 
-// traceOffWarnFraction is the trace-off throughput drop beyond which
-// Compare warns: the tentpole claim is that a nil tracer costs under
-// 1%, so the gate sits exactly there. The probe compares best-of-runs
-// wall times, which keeps scheduler noise out of the 1% margin.
-const traceOffWarnFraction = 0.01
-
 // compareTraceOff checks the trace-off throughput probe against its
-// baseline; nil on either side (probes are timing-gated) compares
-// nothing.
-func compareTraceOff(b, c *BenchProbe, frac float64) []Regression {
+// baseline under the gate; nil on either side compares nothing. The
+// compared values are best-of-runs, with the tolerance widened by the
+// baseline's per-run spread when it recorded one.
+func compareTraceOff(b, c *BenchProbe, gate Gate) []Regression {
 	if b == nil || c == nil {
 		return nil
 	}
+	slack := gateSlack(b.RoundsPerSec, b.RPSDist, gate.ciFactor(), gate.frac(traceOffWarnFraction))
 	switch {
 	case b.Name != c.Name || b.N != c.N || b.WordsPerPair != c.WordsPerPair ||
 		b.Rounds != c.Rounds || b.Backend != c.Backend:
 		return []Regression{{Kind: RegressMismatch, What: fmt.Sprintf(
 			"trace-off probe shape mismatch (baseline %s/%s n=%d, current %s/%s n=%d): throughput not compared",
 			b.Name, b.Backend, b.N, c.Name, c.Backend, c.N)}}
-	case b.RoundsPerSec > 0 && c.RoundsPerSec < b.RoundsPerSec*(1-frac):
+	case b.RoundsPerSec > 0 && c.RoundsPerSec < b.RoundsPerSec-slack:
 		return []Regression{{
 			What:     fmt.Sprintf("trace-off steady-state throughput (rounds/sec, %s backend)", c.Backend),
 			Kind:     RegressTraceOff,
@@ -550,11 +660,11 @@ func compareTraceOff(b, c *BenchProbe, frac float64) []Regression {
 }
 
 // TraceOffRegressions reports trace-off throughput regressions beyond
-// the given fraction — the fatal half of cliquebench's
-// -trace-regress-fail gate, mirroring AllocRegressions.
-func TraceOffRegressions(baseline, current *Report, frac float64) []Regression {
+// the given gate — the fatal half of cliquebench's -trace-regress-fail
+// gate, mirroring AllocRegressions.
+func TraceOffRegressions(baseline, current *Report, gate Gate) []Regression {
 	var out []Regression
-	for _, r := range compareTraceOff(baseline.BenchTraceOff, current.BenchTraceOff, frac) {
+	for _, r := range compareTraceOff(baseline.BenchTraceOff, current.BenchTraceOff, gate) {
 		if r.Kind == RegressTraceOff {
 			out = append(out, r)
 		}
@@ -563,13 +673,13 @@ func TraceOffRegressions(baseline, current *Report, frac float64) []Regression {
 }
 
 // AllocRegressions reports the allocation-probe regressions beyond the
-// given fraction — Compare's probe check at a caller-chosen severity.
-// cliquebench uses it for the fatal -alloc-regress-fail gate, so a fail
-// fraction below Compare's own warn threshold still bites.
-func AllocRegressions(baseline, current *Report, frac float64) []Regression {
+// given gate — Compare's probe check at a caller-chosen severity.
+// cliquebench uses it for the fatal -alloc-regress-fail gate, so a
+// fail gate tighter than Compare's own warn gate still bites.
+func AllocRegressions(baseline, current *Report, gate Gate) []Regression {
 	var out []Regression
-	for _, r := range append(compareProbe(baseline.Bench, current.Bench, frac),
-		compareProbe(baseline.BenchPacked, current.BenchPacked, frac)...) {
+	for _, r := range append(compareProbe(baseline.Bench, current.Bench, gate),
+		compareProbe(baseline.BenchPacked, current.BenchPacked, gate)...) {
 		if r.Kind == RegressAllocs {
 			out = append(out, r)
 		}

@@ -158,10 +158,10 @@ func TestCompareTraceOffProbe(t *testing.T) {
 	}
 	base := report(100000)
 
-	if warns := exp.Compare(base, report(99500), 0.25); len(warns) != 0 {
+	if warns := exp.Compare(base, report(99500), exp.Gate{Frac: 0.25}); len(warns) != 0 {
 		t.Fatalf("0.5%% drop warned: %+v", warns)
 	}
-	warns := exp.Compare(base, report(98000), 0.25)
+	warns := exp.Compare(base, report(98000), exp.Gate{Frac: 0.25})
 	found := false
 	for _, w := range warns {
 		if w.Kind == exp.RegressTraceOff {
@@ -171,17 +171,17 @@ func TestCompareTraceOffProbe(t *testing.T) {
 	if !found {
 		t.Fatalf("2%% trace-off drop not flagged: %+v", warns)
 	}
-	if fatal := exp.TraceOffRegressions(base, report(98000), 0.01); len(fatal) != 1 {
+	if fatal := exp.TraceOffRegressions(base, report(98000), exp.Gate{Frac: 0.01}); len(fatal) != 1 {
 		t.Fatalf("fatal gate found %d regressions, want 1", len(fatal))
 	}
-	if fatal := exp.TraceOffRegressions(base, report(99500), 0.01); len(fatal) != 0 {
+	if fatal := exp.TraceOffRegressions(base, report(99500), exp.Gate{Frac: 0.01}); len(fatal) != 0 {
 		t.Fatalf("fatal gate fired inside the 1%% margin: %+v", fatal)
 	}
 	// A shape mismatch must not silently pass the fatal gate as "fine" —
 	// it is a mismatch warning, not a throughput regression.
 	mismatched := report(100000)
 	mismatched.BenchTraceOff.N = 32
-	warns = exp.Compare(base, mismatched, 0.25)
+	warns = exp.Compare(base, mismatched, exp.Gate{Frac: 0.25})
 	found = false
 	for _, w := range warns {
 		if w.Kind == exp.RegressMismatch {

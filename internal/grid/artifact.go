@@ -1,0 +1,298 @@
+package grid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Artefact file names inside a paper_runs/<stamp>/ directory.
+const (
+	RunsCSV     = "runs.csv"
+	SummaryJSON = "summary.json"
+	SummaryMD   = "summary.md"
+	TablesTeX   = "tables.tex"
+	PlotsDir    = "plots"
+)
+
+// WriteArtifacts writes the full artefact set under dir (created if
+// missing): per-run CSV, the summary JSON (stripped of timing when
+// withTiming is false), Markdown and LaTeX tables, and one SVG plot
+// per fitted sweep.
+func WriteArtifacts(dir string, rep *Report, records []RunRecord, withTiming bool) error {
+	if err := os.MkdirAll(filepath.Join(dir, PlotsDir), 0o755); err != nil {
+		return fmt.Errorf("grid: %w", err)
+	}
+	if err := writeFile(filepath.Join(dir, RunsCSV), func(w io.Writer) error {
+		return WriteRunsCSV(w, records)
+	}); err != nil {
+		return err
+	}
+	out := rep
+	if !withTiming {
+		out = rep.StripTiming()
+	}
+	if err := writeFile(filepath.Join(dir, SummaryJSON), out.WriteJSON); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, SummaryMD), func(w io.Writer) error {
+		return out.WriteMarkdown(w)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, TablesTeX), func(w io.Writer) error {
+		return out.WriteLaTeX(w)
+	}); err != nil {
+		return err
+	}
+	for _, p := range rep.Plots(withTiming) {
+		if err := writeFile(filepath.Join(dir, PlotsDir, p.Name), p.WriteSVG); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("grid: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("grid: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("grid: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// runsCSVHeader is the per-run CSV schema, one row per recorded run.
+var runsCSVHeader = []string{
+	"cell", "kind", "algorithm", "experiment", "n", "wpp", "seed", "quick",
+	"repeat", "rounds", "words", "wall_ns", "rounds_per_sec",
+}
+
+// WriteRunsCSV writes one row per recorded run in record order.
+func WriteRunsCSV(w io.Writer, records []RunRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(runsCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			strconv.Itoa(r.Cell.Index),
+			r.Cell.Kind,
+			r.Cell.Algorithm,
+			r.Cell.Experiment,
+			strconv.Itoa(r.Cell.N),
+			strconv.Itoa(r.Cell.WPP),
+			strconv.FormatUint(r.Cell.Seed, 10),
+			strconv.FormatBool(r.Cell.Quick),
+			strconv.Itoa(r.Repeat),
+			strconv.FormatInt(r.Rounds, 10),
+			strconv.FormatInt(r.Words, 10),
+			strconv.FormatInt(r.WallNS, 10),
+			strconv.FormatFloat(r.RoundsPerSec, 'g', 17, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseRunsCSV reads back a runs.csv, the inverse of WriteRunsCSV — so
+// archived raw runs can be re-summarised by later versions of the
+// tools.
+func ParseRunsCSV(r io.Reader) ([]RunRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("grid: parsing runs CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("grid: runs CSV is empty")
+	}
+	if strings.Join(rows[0], ",") != strings.Join(runsCSVHeader, ",") {
+		return nil, fmt.Errorf("grid: runs CSV header %v, want %v", rows[0], runsCSVHeader)
+	}
+	var records []RunRecord
+	for i, row := range rows[1:] {
+		rec, err := parseRunRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("grid: runs CSV row %d: %w", i+1, err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+func parseRunRow(row []string) (RunRecord, error) {
+	var rec RunRecord
+	if len(row) != len(runsCSVHeader) {
+		return rec, fmt.Errorf("%d fields, want %d", len(row), len(runsCSVHeader))
+	}
+	var err error
+	if rec.Cell.Index, err = strconv.Atoi(row[0]); err != nil {
+		return rec, err
+	}
+	rec.Cell.Kind = row[1]
+	rec.Cell.Algorithm = row[2]
+	rec.Cell.Experiment = row[3]
+	if rec.Cell.N, err = strconv.Atoi(row[4]); err != nil {
+		return rec, err
+	}
+	if rec.Cell.WPP, err = strconv.Atoi(row[5]); err != nil {
+		return rec, err
+	}
+	if rec.Cell.Seed, err = strconv.ParseUint(row[6], 10, 64); err != nil {
+		return rec, err
+	}
+	if rec.Cell.Quick, err = strconv.ParseBool(row[7]); err != nil {
+		return rec, err
+	}
+	if rec.Repeat, err = strconv.Atoi(row[8]); err != nil {
+		return rec, err
+	}
+	if rec.Rounds, err = strconv.ParseInt(row[9], 10, 64); err != nil {
+		return rec, err
+	}
+	if rec.Words, err = strconv.ParseInt(row[10], 10, 64); err != nil {
+		return rec, err
+	}
+	if rec.WallNS, err = strconv.ParseInt(row[11], 10, 64); err != nil {
+		return rec, err
+	}
+	if rec.RoundsPerSec, err = strconv.ParseFloat(row[12], 64); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// WriteMarkdown renders the summary as the paper_runs summary.md:
+// group table, fit table, and the methodology line.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	bw := &errWriter{w: w}
+	name := r.Name
+	if name == "" {
+		name = "experiment grid"
+	}
+	fmt.Fprintf(bw, "# %s\n\n", name)
+	fmt.Fprintf(bw, "backend `%s` · %d repeats per cell after %d warmup · %g%% Student-t confidence intervals\n\n",
+		r.Backend, r.Repeats, r.Warmup, 100*ciLevel(r))
+	fmt.Fprintf(bw, "## Groups\n\n")
+	fmt.Fprintf(bw, "| group | runs | rounds (mean) | rounds [min, max] | words (mean) |%s\n", timingCols(r, " rounds/sec (mean ± CI) | wall ms (mean) |"))
+	fmt.Fprintf(bw, "|---|---|---|---|---|%s\n", timingCols(r, "---|---|"))
+	for _, g := range r.Groups {
+		fmt.Fprintf(bw, "| `%s` | %d | %s | [%s, %s] | %s |",
+			g.Key, g.Runs, fnum(g.Rounds.Mean), fnum(g.Rounds.Min), fnum(g.Rounds.Max), fnum(g.Words.Mean))
+		if g.Timing != nil {
+			fmt.Fprintf(bw, " %s ± %s | %.3f |",
+				fnum(g.Timing.RoundsPerSec.Mean), fnum(g.Timing.RoundsPerSec.HalfWidth()),
+				g.Timing.WallNS.Mean/1e6)
+		}
+		fmt.Fprintln(bw)
+	}
+	writeFitsMD(bw, "Fitted exponents (rounds vs n)", r.Fits)
+	writeFitsMD(bw, "Fitted exponents (wall time vs n)", r.TimingFits)
+	if r.Timing != nil {
+		fmt.Fprintf(bw, "\n%d recorded runs, %.2fs simulated wall time\n", r.Timing.Runs, float64(r.Timing.WallNS)/1e9)
+	}
+	return bw.err
+}
+
+func writeFitsMD(w io.Writer, title string, fits []GroupFit) {
+	if len(fits) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n## %s\n\n", title)
+	fmt.Fprintf(w, "| sweep | exponent | 95%% CI | R² | points |\n|---|---|---|---|---|\n")
+	for _, f := range fits {
+		fmt.Fprintf(w, "| `%s` (wpp=%d) | %.3f | [%.3f, %.3f] | %.4f | %d |\n",
+			f.Algorithm, f.WPP, f.Fit.Exponent, f.Fit.CILo, f.Fit.CIHi, f.Fit.R2, f.Fit.N)
+	}
+}
+
+// WriteLaTeX renders the group and fit tables as LaTeX tabulars, ready
+// to \input into a paper.
+func (r *Report) WriteLaTeX(w io.Writer) error {
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "%% generated by cliquegrid (%s); do not edit by hand\n", SchemaVersion)
+	fmt.Fprintf(bw, "\\begin{tabular}{lrrrr}\n")
+	fmt.Fprintf(bw, "group & runs & rounds & words & rounds/sec \\\\\n\\hline\n")
+	for _, g := range r.Groups {
+		rps := "--"
+		if g.Timing != nil {
+			rps = fmt.Sprintf("$%s \\pm %s$", fnum(g.Timing.RoundsPerSec.Mean), fnum(g.Timing.RoundsPerSec.HalfWidth()))
+		}
+		fmt.Fprintf(bw, "%s & %d & %s & %s & %s \\\\\n",
+			texEscape(g.Key), g.Runs, fnum(g.Rounds.Mean), fnum(g.Words.Mean), rps)
+	}
+	fmt.Fprintf(bw, "\\end{tabular}\n")
+	if len(r.Fits) > 0 {
+		fmt.Fprintf(bw, "\n\\begin{tabular}{lrrr}\n")
+		fmt.Fprintf(bw, "sweep & exponent & 95\\%% CI & $R^2$ \\\\\n\\hline\n")
+		for _, f := range r.Fits {
+			fmt.Fprintf(bw, "%s & $%.3f$ & $[%.3f, %.3f]$ & %.4f \\\\\n",
+				texEscape(f.Algorithm), f.Fit.Exponent, f.Fit.CILo, f.Fit.CIHi, f.Fit.R2)
+		}
+		fmt.Fprintf(bw, "\\end{tabular}\n")
+	}
+	return bw.err
+}
+
+// ciLevel returns the confidence level used by the report's summaries
+// (they all share one level; fall back to the stats default).
+func ciLevel(r *Report) float64 {
+	for _, g := range r.Groups {
+		if g.Rounds.Level > 0 {
+			return g.Rounds.Level
+		}
+	}
+	return 0.95
+}
+
+func timingCols(r *Report, s string) string {
+	for _, g := range r.Groups {
+		if g.Timing != nil {
+			return s
+		}
+	}
+	return ""
+}
+
+// fnum renders a float compactly: integers without a fraction, others
+// with up to three significant decimals.
+func fnum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+func texEscape(s string) string {
+	repl := strings.NewReplacer("_", "\\_", "%", "\\%", "&", "\\&", "#", "\\#")
+	return repl.Replace(s)
+}
+
+// errWriter folds write errors so the renderers stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

@@ -1,0 +1,18 @@
+// Package grid is the statistical experiment-grid runner behind the
+// cliquegrid command: a declarative grid (workloads × n × wordsPerPair
+// × seeds, plus registry experiments) executed with per-cell warmup and
+// repeats, summarised with mean/std/min/max and Student-t confidence
+// intervals (internal/stats), fitted for round-complexity exponents
+// over each n-sweep, and written out as paper-ready artefacts — per-run
+// CSV, a cliquegrid/v1 summary JSON, Markdown and LaTeX tables, and
+// dependency-free SVG plots under paper_runs/<stamp>/.
+//
+// Determinism contract: everything in the summary except the fields
+// explicitly named "timing" is a pure function of the spec — rounds and
+// words are model costs, identical across repeats, seeds aside, and
+// across worker counts. Report.StripTiming removes the wall-clock
+// blocks, and the stripped summary is byte-identical whatever
+// -parallel was; the runner additionally verifies that every repeat of
+// a cell reproduced the same model cost and fails loudly when the
+// simulator has gone nondeterministic.
+package grid

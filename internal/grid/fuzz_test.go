@@ -1,0 +1,38 @@
+package grid_test
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// FuzzGridSpec drives ParseSpec with arbitrary bytes: it must reject or
+// accept without panicking, and anything it accepts must expand within
+// the package limits and survive the validate/expand pipeline.
+func FuzzGridSpec(f *testing.F) {
+	f.Add([]byte(validSpec))
+	f.Add([]byte(`{"experiments":[{"algorithm":"exchange","ns":[8]}]}`))
+	f.Add([]byte(`{"experiments":[{"experiment":"fig1","quick":true}]}`))
+	f.Add([]byte(`{"backend":"goroutine","repeats":5,"warmup":2,"experiments":[{"algorithm":"mst","ns":[16,32],"wpp":[1,4],"seeds":[7,8,9]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"experiments":[{"algorithm":"exchange","ns":[0]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := grid.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		cells := s.Expand()
+		if len(cells) > grid.MaxCells {
+			t.Fatalf("validated spec expanded to %d cells (> %d)", len(cells), grid.MaxCells)
+		}
+		for i, c := range cells {
+			if c.Index != i {
+				t.Fatalf("cell %d has index %d", i, c.Index)
+			}
+			if c.GroupKey() == "" {
+				t.Fatalf("cell %d has empty group key", i)
+			}
+		}
+	})
+}

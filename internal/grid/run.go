@@ -1,0 +1,219 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clique"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// RunRecord is one recorded repeat of one cell: the deterministic
+// model cost (rounds, words — identical for every repeat of the cell)
+// plus the repeat's wall-clock measurement.
+type RunRecord struct {
+	Cell   Cell
+	Repeat int
+	// Rounds and Words are the run's model cost.
+	Rounds int64
+	Words  int64
+	// WallNS and RoundsPerSec are the repeat's timing.
+	WallNS       int64
+	RoundsPerSec float64
+}
+
+// Options configure one grid execution.
+type Options struct {
+	// Backend overrides the spec's backend (highest precedence).
+	Backend string
+	// Repeats and Warmup override the spec's values when > 0.
+	Repeats int
+	Warmup  int
+	// Parallel is the worker-pool width over cells; values < 2 run
+	// sequentially. Repeats of one cell always run back-to-back on one
+	// worker, so repeat-to-repeat variance measures the machine, not
+	// the scheduler. Record order is deterministic regardless.
+	Parallel int
+	// Progress, when non-nil, is called after every recorded run with
+	// cumulative counts. It may be called concurrently under Parallel.
+	Progress func(done, total int)
+}
+
+// resolve folds spec defaults and option overrides into concrete knobs.
+func (o Options) resolve(s *Spec) (backend string, repeats, warmup int) {
+	backend = s.Backend
+	if o.Backend != "" {
+		backend = o.Backend
+	}
+	if backend == "" {
+		backend = clique.DefaultBackend
+	}
+	repeats = s.Repeats
+	if o.Repeats > 0 {
+		repeats = o.Repeats
+	}
+	if repeats == 0 {
+		repeats = DefaultRepeats
+	}
+	warmup = s.Warmup
+	if o.Warmup > 0 {
+		warmup = o.Warmup
+	}
+	if warmup == 0 {
+		warmup = DefaultWarmup
+	}
+	return backend, repeats, warmup
+}
+
+// Run executes the grid and returns the records in deterministic order
+// (cell index, then repeat) plus the resolved knobs via the Report it
+// summarises into. Cancelling ctx aborts at the next run boundary.
+func Run(ctx context.Context, spec *Spec, opts Options) (*Report, []RunRecord, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	backend, repeats, warmup := opts.resolve(spec)
+	if err := validBackend(backend); err != nil {
+		return nil, nil, err
+	}
+	cells := spec.Expand()
+	total := len(cells) * repeats
+	if total > MaxRuns {
+		return nil, nil, fmt.Errorf("grid: %d cells × %d repeats exceeds the %d-run limit", len(cells), repeats, MaxRuns)
+	}
+
+	perCell := make([][]RunRecord, len(cells))
+	var done sync.WaitGroup
+	var mu sync.Mutex
+	recorded := 0
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	progress := func() {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		recorded++
+		n := recorded
+		mu.Unlock()
+		opts.Progress(n, total)
+	}
+
+	execCell := func(i int) {
+		recs, err := runCell(ctx, cells[i], backend, repeats, warmup, progress)
+		if err != nil {
+			setErr(err)
+			return
+		}
+		perCell[i] = recs
+	}
+
+	workers := opts.Parallel
+	if workers < 2 || len(cells) < 2 {
+		for i := range cells {
+			execCell(i)
+		}
+	} else {
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			done.Add(1)
+			go func() {
+				defer done.Done()
+				for i := range jobs {
+					execCell(i)
+				}
+			}()
+		}
+		for i := range cells {
+			jobs <- i
+		}
+		close(jobs)
+		done.Wait()
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	records := make([]RunRecord, 0, total)
+	for _, recs := range perCell {
+		records = append(records, recs...)
+	}
+	rep := Summarize(spec, records, backend, repeats, warmup)
+	return rep, records, nil
+}
+
+// runCell executes one cell: warmup runs discarded, repeats recorded,
+// and the model-cost determinism of the repeats verified.
+func runCell(ctx context.Context, c Cell, backend string, repeats, warmup int, progress func()) ([]RunRecord, error) {
+	one := func() (rounds, words, wallNS int64, err error) {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, 0, fmt.Errorf("grid: cell %d (%s): %w", c.Index, c.GroupKey(), err)
+		}
+		switch c.Kind {
+		case CellAlgorithm:
+			alg, ok := workload.Get(c.Algorithm)
+			if !ok {
+				return 0, 0, 0, fmt.Errorf("grid: cell %d: unknown algorithm %q", c.Index, c.Algorithm)
+			}
+			cfg := clique.Config{N: c.N, WordsPerPair: c.WPP, Backend: backend}
+			start := time.Now()
+			res, err := clique.Run(cfg, alg.Make(c.N, c.Seed))
+			wall := time.Since(start)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("grid: cell %d (%s): %w", c.Index, c.GroupKey(), err)
+			}
+			return int64(res.Stats.Rounds), res.Stats.WordsSent, wall.Nanoseconds(), nil
+		case CellExperiment:
+			res, tim, err := exp.RunOneContext(ctx, c.Experiment, exp.Options{Backend: backend, Quick: c.Quick})
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("grid: cell %d (%s): %w", c.Index, c.GroupKey(), err)
+			}
+			return res.Sim.Rounds, res.Sim.Words, tim.SimWall.Nanoseconds(), nil
+		}
+		return 0, 0, 0, fmt.Errorf("grid: cell %d: unknown kind %q", c.Index, c.Kind)
+	}
+
+	for i := 0; i < warmup; i++ {
+		if _, _, _, err := one(); err != nil {
+			return nil, err
+		}
+	}
+	recs := make([]RunRecord, 0, repeats)
+	for r := 0; r < repeats; r++ {
+		rounds, words, wallNS, err := one()
+		if err != nil {
+			return nil, err
+		}
+		rec := RunRecord{Cell: c, Repeat: r, Rounds: rounds, Words: words, WallNS: wallNS}
+		if wallNS > 0 {
+			rec.RoundsPerSec = float64(rounds) / (float64(wallNS) / 1e9)
+		}
+		// The model is deterministic: a repeat that changed the round or
+		// word count means the simulator (not the measurement) broke.
+		if r > 0 && (rounds != recs[0].Rounds || words != recs[0].Words) {
+			return nil, fmt.Errorf(
+				"grid: cell %d (%s): repeat %d cost %d rounds/%d words, repeat 0 cost %d/%d — model nondeterminism",
+				c.Index, c.GroupKey(), r, rounds, words, recs[0].Rounds, recs[0].Words)
+		}
+		recs = append(recs, rec)
+		if progress != nil {
+			progress()
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,251 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// Limits on a spec, so a malformed or adversarial file (the parser is
+// fuzzed) cannot expand into unbounded work.
+const (
+	// MaxGridN bounds per-cell clique sizes, matching the cliqued
+	// daemon's ad-hoc cap: an n-node run allocates O(n²) mailbox words
+	// per budgeted pair.
+	MaxGridN = 1024
+	// MaxRepeats bounds the per-cell repeat count.
+	MaxRepeats = 1000
+	// MaxWarmup bounds the per-cell warmup count.
+	MaxWarmup = 100
+	// MaxCells bounds the expanded grid (cells × repeats is additionally
+	// capped by MaxRuns).
+	MaxCells = 4096
+	// MaxRuns bounds the total recorded runs of one grid execution.
+	MaxRuns = 65536
+)
+
+// Spec is the declarative grid: the experiment blocks plus the
+// execution knobs that apply to every cell. The zero values of the
+// knobs mean "use the default" (DefaultRepeats, DefaultWarmup, the
+// model's default backend), so minimal specs stay minimal.
+type Spec struct {
+	// Name labels the grid in summaries and artefact tables.
+	Name string `json:"name,omitempty"`
+	// Repeats is the recorded runs per cell (after warmup).
+	Repeats int `json:"repeats,omitempty"`
+	// Warmup is the discarded runs per cell before recording starts.
+	Warmup int `json:"warmup,omitempty"`
+	// Backend is the execution engine for every cell; empty means the
+	// model default.
+	Backend string `json:"backend,omitempty"`
+	// Experiments are the grid blocks in declaration order.
+	Experiments []Block `json:"experiments"`
+}
+
+// Block is one grid block: either a catalogue algorithm swept over
+// ns × wpp × seeds, or a registered experiment repeated as a whole.
+type Block struct {
+	// Algorithm names a workload-catalogue entry; mutually exclusive
+	// with Experiment.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Experiment names an exp-registry entry (e.g. "fig1"); such a
+	// block has no n/wpp/seed axes — the experiment fixes its own sweep.
+	Experiment string `json:"experiment,omitempty"`
+	// Ns is the clique-size axis (algorithm blocks; required).
+	Ns []int `json:"ns,omitempty"`
+	// WPP is the words-per-pair axis; empty means the algorithm's
+	// catalogue default.
+	WPP []int `json:"wpp,omitempty"`
+	// Seeds is the instance-generation axis; empty means {1}.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Quick selects reduced sizes for experiment blocks.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// Defaults for the execution knobs.
+const (
+	DefaultRepeats = 3
+	DefaultWarmup  = 1
+)
+
+// ParseSpec parses and validates a JSON grid spec. Unknown fields are
+// rejected so a typoed axis name cannot silently shrink a grid.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("grid: parsing spec: %w", err)
+	}
+	// Trailing garbage after the spec object is a malformed file, not
+	// an extension point.
+	if dec.More() {
+		return nil, fmt.Errorf("grid: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec against the catalogue, the registry, and
+// the package limits. It does not mutate the spec: defaults are
+// resolved by Expand and the runner, so a parsed spec re-serialises
+// exactly as written.
+func (s *Spec) Validate() error {
+	if s.Repeats < 0 || s.Repeats > MaxRepeats {
+		return fmt.Errorf("grid: repeats = %d, need 0..%d", s.Repeats, MaxRepeats)
+	}
+	if s.Warmup < 0 || s.Warmup > MaxWarmup {
+		return fmt.Errorf("grid: warmup = %d, need 0..%d", s.Warmup, MaxWarmup)
+	}
+	if s.Backend != "" {
+		if err := validBackend(s.Backend); err != nil {
+			return err
+		}
+	}
+	if len(s.Experiments) == 0 {
+		return fmt.Errorf("grid: spec has no experiment blocks")
+	}
+	cells := 0
+	for i, b := range s.Experiments {
+		n, err := b.validate()
+		if err != nil {
+			return fmt.Errorf("grid: block %d: %w", i, err)
+		}
+		cells += n
+		if cells > MaxCells {
+			return fmt.Errorf("grid: spec expands to more than %d cells", MaxCells)
+		}
+	}
+	repeats := s.Repeats
+	if repeats == 0 {
+		repeats = DefaultRepeats
+	}
+	if cells*repeats > MaxRuns {
+		return fmt.Errorf("grid: %d cells × %d repeats exceeds the %d-run limit", cells, repeats, MaxRuns)
+	}
+	return nil
+}
+
+// validate checks one block and returns its cell count.
+func (b *Block) validate() (int, error) {
+	switch {
+	case b.Algorithm != "" && b.Experiment != "":
+		return 0, fmt.Errorf("block names both algorithm %q and experiment %q", b.Algorithm, b.Experiment)
+	case b.Algorithm == "" && b.Experiment == "":
+		return 0, fmt.Errorf("block names neither an algorithm nor an experiment")
+	case b.Experiment != "":
+		if _, ok := exp.Get(b.Experiment); !ok {
+			return 0, fmt.Errorf("unknown experiment %q (valid: %v)", b.Experiment, exp.IDs())
+		}
+		if len(b.Ns) > 0 || len(b.WPP) > 0 || len(b.Seeds) > 0 {
+			return 0, fmt.Errorf("experiment block %q carries n/wpp/seed axes (the experiment fixes its own sweep)", b.Experiment)
+		}
+		return 1, nil
+	}
+	if _, ok := workload.Get(b.Algorithm); !ok {
+		return 0, fmt.Errorf("unknown algorithm %q (valid: %v)", b.Algorithm, workload.Names())
+	}
+	if b.Quick {
+		return 0, fmt.Errorf("algorithm block %q: quick applies only to experiment blocks", b.Algorithm)
+	}
+	if len(b.Ns) == 0 {
+		return 0, fmt.Errorf("algorithm block %q has no ns axis", b.Algorithm)
+	}
+	for _, n := range b.Ns {
+		if n < 1 || n > MaxGridN {
+			return 0, fmt.Errorf("algorithm block %q: n = %d, need 1..%d", b.Algorithm, n, MaxGridN)
+		}
+	}
+	for _, w := range b.WPP {
+		if w < 1 || w > clique.MaxWordsPerPair {
+			return 0, fmt.Errorf("algorithm block %q: wpp = %d, need 1..%d", b.Algorithm, w, clique.MaxWordsPerPair)
+		}
+	}
+	return len(b.Ns) * max(len(b.WPP), 1) * max(len(b.Seeds), 1), nil
+}
+
+func validBackend(name string) error {
+	for _, b := range clique.Backends() {
+		if b == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("grid: unknown backend %q (valid: %v)", name, clique.Backends())
+}
+
+// Cell kinds.
+const (
+	CellAlgorithm  = "algorithm"
+	CellExperiment = "experiment"
+)
+
+// Cell is one expanded grid point: the unit the runner warms up and
+// repeats. Index is the cell's position in expansion order — the
+// deterministic ordering every artefact uses.
+type Cell struct {
+	Index      int    `json:"index"`
+	Kind       string `json:"kind"`
+	Algorithm  string `json:"algorithm,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+	// N, WPP and Seed parameterise algorithm cells; WPP is resolved to
+	// the catalogue default at expansion, so a Cell is self-describing.
+	N    int    `json:"n,omitempty"`
+	WPP  int    `json:"wpp,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	// Quick carries the experiment block's size selector.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// GroupKey is the cell's summary-group identity: algorithm cells group
+// over seeds (and repeats), experiment cells over repeats.
+func (c Cell) GroupKey() string {
+	if c.Kind == CellExperiment {
+		key := "exp:" + c.Experiment
+		if c.Quick {
+			key += "/quick"
+		}
+		return key
+	}
+	return fmt.Sprintf("%s/n=%d/wpp=%d", c.Algorithm, c.N, c.WPP)
+}
+
+// Expand flattens the spec into cells in deterministic order: blocks
+// as declared, then n-major, wpp, seed. Call only on validated specs.
+func (s *Spec) Expand() []Cell {
+	var cells []Cell
+	for _, b := range s.Experiments {
+		if b.Experiment != "" {
+			cells = append(cells, Cell{
+				Index: len(cells), Kind: CellExperiment,
+				Experiment: b.Experiment, Quick: b.Quick,
+			})
+			continue
+		}
+		alg, _ := workload.Get(b.Algorithm)
+		wpps := b.WPP
+		if len(wpps) == 0 {
+			wpps = []int{alg.WPP}
+		}
+		seeds := b.Seeds
+		if len(seeds) == 0 {
+			seeds = []uint64{1}
+		}
+		for _, n := range b.Ns {
+			for _, w := range wpps {
+				for _, seed := range seeds {
+					cells = append(cells, Cell{
+						Index: len(cells), Kind: CellAlgorithm,
+						Algorithm: b.Algorithm, N: n, WPP: w, Seed: seed,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}

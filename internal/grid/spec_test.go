@@ -1,0 +1,133 @@
+package grid_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+const validSpec = `{
+  "name": "unit",
+  "repeats": 2,
+  "warmup": 0,
+  "experiments": [
+    {"algorithm": "exchange", "ns": [8, 16], "seeds": [1, 2]},
+    {"algorithm": "triangle", "ns": [8], "wpp": [1, 2]},
+    {"experiment": "fig1", "quick": true}
+  ]
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := grid.ParseSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Name != "unit" || s.Repeats != 2 || len(s.Experiments) != 3 {
+		t.Fatalf("unexpected spec: %+v", s)
+	}
+	cells := s.Expand()
+	// 2 ns × 2 seeds + 1 n × 2 wpp + 1 experiment.
+	if len(cells) != 4+2+1 {
+		t.Fatalf("expanded to %d cells, want 7", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+	}
+	// Expansion order is block, n-major, wpp, seed.
+	if cells[0].GroupKey() != "exchange/n=8/wpp=1" || cells[0].Seed != 1 {
+		t.Fatalf("cell 0: %+v", cells[0])
+	}
+	if cells[1].Seed != 2 || cells[2].N != 16 {
+		t.Fatalf("cells 1-2: %+v %+v", cells[1], cells[2])
+	}
+	if cells[4].GroupKey() != "triangle/n=8/wpp=1" || cells[5].WPP != 2 {
+		t.Fatalf("cells 4-5: %+v %+v", cells[4], cells[5])
+	}
+	if cells[6].Kind != grid.CellExperiment || cells[6].GroupKey() != "exp:fig1/quick" {
+		t.Fatalf("cell 6: %+v", cells[6])
+	}
+}
+
+func TestParseSpecWPPDefaultsToCatalogue(t *testing.T) {
+	s, err := grid.ParseSpec([]byte(`{"experiments":[{"algorithm":"boolmm-naive","ns":[8]}]}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	cells := s.Expand()
+	if len(cells) != 1 || cells[0].WPP < 1 {
+		t.Fatalf("expected one cell with catalogue wpp, got %+v", cells)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"empty object", `{}`, "no experiment blocks"},
+		{"unknown field", `{"experiments":[{"algorithm":"exchange","ns":[8]}],"repeat":3}`, "unknown field"},
+		{"unknown algorithm", `{"experiments":[{"algorithm":"nope","ns":[8]}]}`, `unknown algorithm "nope"`},
+		{"unknown experiment", `{"experiments":[{"experiment":"nope"}]}`, `unknown experiment "nope"`},
+		{"both kinds", `{"experiments":[{"algorithm":"exchange","experiment":"fig1","ns":[8]}]}`, "both"},
+		{"neither kind", `{"experiments":[{"ns":[8]}]}`, "neither"},
+		{"missing ns", `{"experiments":[{"algorithm":"exchange"}]}`, "no ns axis"},
+		{"n too big", `{"experiments":[{"algorithm":"exchange","ns":[2048]}]}`, "n = 2048"},
+		{"n zero", `{"experiments":[{"algorithm":"exchange","ns":[0]}]}`, "n = 0"},
+		{"bad wpp", `{"experiments":[{"algorithm":"exchange","ns":[8],"wpp":[0]}]}`, "wpp = 0"},
+		{"quick on algorithm", `{"experiments":[{"algorithm":"exchange","ns":[8],"quick":true}]}`, "quick applies only"},
+		{"axes on experiment", `{"experiments":[{"experiment":"fig1","ns":[8]}]}`, "fixes its own sweep"},
+		{"bad backend", `{"backend":"warp","experiments":[{"algorithm":"exchange","ns":[8]}]}`, `unknown backend "warp"`},
+		{"negative repeats", `{"repeats":-1,"experiments":[{"algorithm":"exchange","ns":[8]}]}`, "repeats = -1"},
+		{"huge repeats", `{"repeats":5000,"experiments":[{"algorithm":"exchange","ns":[8]}]}`, "repeats = 5000"},
+		{"trailing data", `{"experiments":[{"algorithm":"exchange","ns":[8]}]} {}`, "trailing data"},
+		{"not json", `nope`, "parsing spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := grid.ParseSpec([]byte(tc.spec))
+			if err == nil {
+				t.Fatalf("ParseSpec accepted %s", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSpecCellCap(t *testing.T) {
+	// 1024 ns × 8 seeds = 8192 cells > MaxCells.
+	ns := make([]int, 1024)
+	for i := range ns {
+		ns[i] = 1 + i%grid.MaxGridN
+	}
+	spec := map[string]any{
+		"experiments": []map[string]any{
+			{"algorithm": "exchange", "ns": ns, "seeds": []int{1, 2, 3, 4, 5, 6, 7, 8}},
+		},
+	}
+	data, _ := json.Marshal(spec)
+	if _, err := grid.ParseSpec(data); err == nil || !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("expected cell-cap error, got %v", err)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	// Validate does not mutate: a parsed spec re-serialises with the
+	// fields as written (defaults live in Expand/Run, not the struct).
+	s, err := grid.ParseSpec([]byte(`{"experiments":[{"algorithm":"exchange","ns":[8]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"experiments":[{"algorithm":"exchange","ns":[8]}]}`
+	if string(data) != want {
+		t.Fatalf("round-trip = %s, want %s", data, want)
+	}
+}

@@ -1,0 +1,252 @@
+package grid
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+// SchemaVersion identifies the grid-summary JSON envelope.
+const SchemaVersion = "cliquegrid/v1"
+
+// Report is the cliquegrid/v1 summary envelope. Everything outside the
+// fields named Timing/TimingFits is deterministic for a fixed spec and
+// binary; StripTiming removes exactly those fields, and the stripped
+// envelope is byte-identical across repeat runs and -parallel settings.
+type Report struct {
+	Schema string `json:"schema"`
+	// Name echoes the spec's label.
+	Name    string `json:"name,omitempty"`
+	Backend string `json:"backend"`
+	// Repeats and Warmup are the resolved per-cell counts the grid ran
+	// with (spec defaults and CLI overrides folded in).
+	Repeats int `json:"repeats"`
+	Warmup  int `json:"warmup"`
+	// Spec is the grid as declared, for reproduction.
+	Spec *Spec `json:"spec"`
+	// Groups summarise the cells in first-seen cell order: one group
+	// per (algorithm, n, wpp) across seeds × repeats, one per
+	// experiment across repeats.
+	Groups []Group `json:"groups"`
+	// Fits are the deterministic round-complexity fits: rounds vs n per
+	// (algorithm, wpp) sweep with ≥ 2 distinct sizes.
+	Fits []GroupFit `json:"fits,omitempty"`
+	// TimingFits are wall-time-vs-n fits; like every timing field they
+	// vary run to run and are removed by StripTiming.
+	TimingFits []GroupFit `json:"timing_fits,omitempty"`
+	// Timing is the whole-grid wall-clock block.
+	Timing *RunTiming `json:"timing,omitempty"`
+	// Build attributes the artefact to the producing binary.
+	Build *exp.BuildInfo `json:"build"`
+}
+
+// Group is one summary row: a grid point aggregated over its repeats
+// (and, for algorithm groups, its seeds).
+type Group struct {
+	// Key is the stable group identity (Cell.GroupKey).
+	Key string `json:"key"`
+	// Kind is CellAlgorithm or CellExperiment.
+	Kind       string `json:"kind"`
+	Algorithm  string `json:"algorithm,omitempty"`
+	Experiment string `json:"experiment,omitempty"`
+	N          int    `json:"n,omitempty"`
+	WPP        int    `json:"wpp,omitempty"`
+	Quick      bool   `json:"quick,omitempty"`
+	// Seeds is the number of distinct seeds aggregated.
+	Seeds int `json:"seeds,omitempty"`
+	// Runs is the number of recorded runs behind the summaries.
+	Runs int `json:"runs"`
+	// Rounds and Words summarise the model cost across seeds. They are
+	// deterministic: repeats of one cell are verified identical, so the
+	// sample is one value per seed.
+	Rounds stats.Summary `json:"rounds"`
+	Words  stats.Summary `json:"words"`
+	// Timing summarises the wall-clock measurements across all
+	// seeds × repeats.
+	Timing *GroupTiming `json:"timing,omitempty"`
+}
+
+// GroupTiming is a group's wall-clock block.
+type GroupTiming struct {
+	WallNS       stats.Summary `json:"wall_ns"`
+	RoundsPerSec stats.Summary `json:"rounds_per_sec"`
+}
+
+// GroupFit is one fitted exponent over an n-sweep.
+type GroupFit struct {
+	Algorithm string `json:"algorithm"`
+	WPP       int    `json:"wpp"`
+	// Metric names the fitted quantity: "rounds" (deterministic) or
+	// "wall_ns" (timing).
+	Metric string    `json:"metric"`
+	Fit    stats.Fit `json:"fit"`
+}
+
+// RunTiming is the whole-grid wall-clock block.
+type RunTiming struct {
+	// WallNS sums the recorded runs' wall time (warmups excluded).
+	WallNS int64 `json:"wall_ns"`
+	// Runs is the recorded-run count behind WallNS.
+	Runs int `json:"runs"`
+}
+
+// Summarize groups the records into the cliquegrid/v1 envelope. Group
+// order is first-seen cell order, so it is a pure function of the spec.
+func Summarize(spec *Spec, records []RunRecord, backend string, repeats, warmup int) *Report {
+	rep := &Report{
+		Schema:  SchemaVersion,
+		Name:    spec.Name,
+		Backend: backend,
+		Repeats: repeats,
+		Warmup:  warmup,
+		Spec:    spec,
+		Build:   exp.Build(),
+	}
+
+	type acc struct {
+		group   Group
+		seeds   map[uint64]bool
+		perSeed map[uint64]RunRecord // one representative per seed (model cost)
+		wallNS  []float64
+		rps     []float64
+	}
+	byKey := map[string]*acc{}
+	var order []string
+	var totalWall int64
+	for _, r := range records {
+		totalWall += r.WallNS
+		key := r.Cell.GroupKey()
+		a, ok := byKey[key]
+		if !ok {
+			a = &acc{
+				group: Group{
+					Key: key, Kind: r.Cell.Kind,
+					Algorithm: r.Cell.Algorithm, Experiment: r.Cell.Experiment,
+					N: r.Cell.N, WPP: r.Cell.WPP, Quick: r.Cell.Quick,
+				},
+				seeds:   map[uint64]bool{},
+				perSeed: map[uint64]RunRecord{},
+			}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.group.Runs++
+		a.seeds[r.Cell.Seed] = true
+		if _, seen := a.perSeed[r.Cell.Seed]; !seen {
+			a.perSeed[r.Cell.Seed] = r
+		}
+		a.wallNS = append(a.wallNS, float64(r.WallNS))
+		a.rps = append(a.rps, r.RoundsPerSec)
+	}
+
+	for _, key := range order {
+		a := byKey[key]
+		g := a.group
+		if g.Kind == CellAlgorithm {
+			g.Seeds = len(a.seeds)
+		}
+		// Model-cost summaries over one representative record per seed,
+		// in ascending seed order for determinism.
+		seedList := make([]uint64, 0, len(a.perSeed))
+		for s := range a.perSeed {
+			seedList = append(seedList, s)
+		}
+		sort.Slice(seedList, func(i, j int) bool { return seedList[i] < seedList[j] })
+		var rounds, words []float64
+		for _, s := range seedList {
+			rounds = append(rounds, float64(a.perSeed[s].Rounds))
+			words = append(words, float64(a.perSeed[s].Words))
+		}
+		g.Rounds = stats.Summarize(rounds, 0)
+		g.Words = stats.Summarize(words, 0)
+		g.Timing = &GroupTiming{
+			WallNS:       stats.Summarize(a.wallNS, 0),
+			RoundsPerSec: stats.Summarize(a.rps, 0),
+		}
+		rep.Groups = append(rep.Groups, g)
+	}
+	rep.Timing = &RunTiming{WallNS: totalWall, Runs: len(records)}
+	rep.Fits, rep.TimingFits = fitSweeps(rep.Groups)
+	return rep
+}
+
+// fitSweeps fits rounds-vs-n (deterministic) and wall-vs-n (timing)
+// power laws for every (algorithm, wpp) sweep with at least two
+// distinct sizes, in first-seen group order.
+func fitSweeps(groups []Group) (fits, timingFits []GroupFit) {
+	type sweepKey struct {
+		alg string
+		wpp int
+	}
+	type sweep struct {
+		ns, rounds, wall []float64
+	}
+	bySweep := map[sweepKey]*sweep{}
+	var order []sweepKey
+	for _, g := range groups {
+		if g.Kind != CellAlgorithm {
+			continue
+		}
+		k := sweepKey{g.Algorithm, g.WPP}
+		s, ok := bySweep[k]
+		if !ok {
+			s = &sweep{}
+			bySweep[k] = s
+			order = append(order, k)
+		}
+		s.ns = append(s.ns, float64(g.N))
+		s.rounds = append(s.rounds, g.Rounds.Mean)
+		if g.Timing != nil {
+			s.wall = append(s.wall, g.Timing.WallNS.Mean)
+		}
+	}
+	for _, k := range order {
+		s := bySweep[k]
+		if distinct(s.ns) < 2 {
+			continue
+		}
+		if f, err := stats.FitPower(s.ns, s.rounds, 0); err == nil {
+			fits = append(fits, GroupFit{Algorithm: k.alg, WPP: k.wpp, Metric: "rounds", Fit: f})
+		}
+		if len(s.wall) == len(s.ns) {
+			if f, err := stats.FitPower(s.ns, s.wall, 0); err == nil {
+				timingFits = append(timingFits, GroupFit{Algorithm: k.alg, WPP: k.wpp, Metric: "wall_ns", Fit: f})
+			}
+		}
+	}
+	return fits, timingFits
+}
+
+func distinct(xs []float64) int {
+	seen := map[float64]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+// StripTiming returns a deep copy of the report with every wall-clock
+// field removed: the determinism artefact. Two grid executions of the
+// same spec on the same binary produce byte-identical stripped
+// summaries whatever the worker count.
+func (r *Report) StripTiming() *Report {
+	out := *r
+	out.Timing = nil
+	out.TimingFits = nil
+	out.Groups = make([]Group, len(r.Groups))
+	for i, g := range r.Groups {
+		g.Timing = nil
+		out.Groups[i] = g
+	}
+	return &out
+}
+
+// WriteJSON writes the envelope with stable indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

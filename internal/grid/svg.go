@@ -1,0 +1,230 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// Plot is one renderable log-log scatter: a sweep's points with CI
+// error bars and, when available, the fitted power law.
+type Plot struct {
+	// Name is the artefact file name (e.g. "rounds_triangle_wpp1.svg").
+	Name string
+
+	title  string
+	xLabel string
+	yLabel string
+	points []plotPoint
+	fit    *stats.Fit
+}
+
+// plotPoint is one (x, y) with its confidence interval on y.
+type plotPoint struct {
+	x, y, lo, hi float64
+}
+
+// Plots builds one rounds-vs-n plot per fitted sweep, plus wall-time
+// plots when withTiming is set. Ordering follows the report's fits, so
+// the plot set is deterministic.
+func (r *Report) Plots(withTiming bool) []Plot {
+	var plots []Plot
+	for _, f := range r.Fits {
+		p := r.sweepPlot(f, "rounds", func(g Group) (stats.Summary, bool) {
+			return g.Rounds, true
+		})
+		p.title = fmt.Sprintf("%s: rounds vs n (fit n^%.2f)", f.Algorithm, f.Fit.Exponent)
+		p.yLabel = "rounds"
+		plots = append(plots, p)
+	}
+	if !withTiming {
+		return plots
+	}
+	for _, f := range r.TimingFits {
+		p := r.sweepPlot(f, "wall_ns", func(g Group) (stats.Summary, bool) {
+			if g.Timing == nil {
+				return stats.Summary{}, false
+			}
+			return g.Timing.WallNS, true
+		})
+		p.title = fmt.Sprintf("%s: wall time vs n (fit n^%.2f)", f.Algorithm, f.Fit.Exponent)
+		p.yLabel = "wall ns"
+		plots = append(plots, p)
+	}
+	return plots
+}
+
+func (r *Report) sweepPlot(f GroupFit, metric string, pick func(Group) (stats.Summary, bool)) Plot {
+	fit := f.Fit
+	p := Plot{
+		Name:   fmt.Sprintf("%s_%s_wpp%d.svg", metric, f.Algorithm, f.WPP),
+		xLabel: "n",
+		fit:    &fit,
+	}
+	for _, g := range r.Groups {
+		if g.Kind != CellAlgorithm || g.Algorithm != f.Algorithm || g.WPP != f.WPP {
+			continue
+		}
+		s, ok := pick(g)
+		if !ok {
+			continue
+		}
+		p.points = append(p.points, plotPoint{x: float64(g.N), y: s.Mean, lo: s.CILo, hi: s.CIHi})
+	}
+	return p
+}
+
+// SVG geometry: fixed canvas, generous margins for tick labels.
+const (
+	svgW, svgH   = 640, 440
+	svgML, svgMR = 70, 20
+	svgMT, svgMB = 40, 50
+)
+
+// WriteSVG renders the plot as a self-contained, dependency-free SVG:
+// log-log axes with power-of-ten gridlines, CI whiskers, data points,
+// and the fitted power law as a line across the x-range.
+func (p Plot) WriteSVG(w io.Writer) error {
+	bw := &errWriter{w: w}
+
+	// Log-scale data ranges over positive values only.
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, pt := range p.points {
+		if pt.x <= 0 || pt.y <= 0 {
+			continue
+		}
+		xLo, xHi = math.Min(xLo, pt.x), math.Max(xHi, pt.x)
+		yLo, yHi = math.Min(yLo, pt.y), math.Max(yHi, pt.y)
+		if pt.lo > 0 {
+			yLo = math.Min(yLo, pt.lo)
+		}
+		if pt.hi > 0 {
+			yHi = math.Max(yHi, pt.hi)
+		}
+	}
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgW, svgH, svgW, svgH)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(bw, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		svgW/2, xmlEscape(p.title))
+	if !(xLo <= xHi && yLo <= yHi) {
+		fmt.Fprintf(bw, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">no positive data</text>`+"\n",
+			svgW/2, svgH/2)
+		fmt.Fprint(bw, "</svg>\n")
+		return bw.err
+	}
+	// Pad degenerate (single-point) ranges so the mapping is finite.
+	lx0, lx1 := math.Log10(xLo), math.Log10(xHi)
+	ly0, ly1 := math.Log10(yLo), math.Log10(yHi)
+	if lx1-lx0 < 0.1 {
+		lx0, lx1 = lx0-0.5, lx1+0.5
+	}
+	if ly1-ly0 < 0.1 {
+		ly0, ly1 = ly0-0.5, ly1+0.5
+	}
+	px := func(x float64) float64 {
+		return svgML + (math.Log10(x)-lx0)/(lx1-lx0)*float64(svgW-svgML-svgMR)
+	}
+	py := func(y float64) float64 {
+		return float64(svgH-svgMB) - (math.Log10(y)-ly0)/(ly1-ly0)*float64(svgH-svgMT-svgMB)
+	}
+
+	// Frame.
+	fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		svgML, svgMT, svgW-svgML-svgMR, svgH-svgMT-svgMB)
+	// Power-of-ten gridlines and tick labels.
+	for e := int(math.Ceil(lx0)); float64(e) <= lx1; e++ {
+		x := px(math.Pow(10, float64(e)))
+		fmt.Fprintf(bw, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="#ddd"/>`+"\n",
+			fcoord(x), svgMT, fcoord(x), svgH-svgMB)
+		fmt.Fprintf(bw, `<text x="%s" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">1e%d</text>`+"\n",
+			fcoord(x), svgH-svgMB+16, e)
+	}
+	for e := int(math.Ceil(ly0)); float64(e) <= ly1; e++ {
+		y := py(math.Pow(10, float64(e)))
+		fmt.Fprintf(bw, `<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#ddd"/>`+"\n",
+			svgML, fcoord(y), svgW-svgMR, fcoord(y))
+		fmt.Fprintf(bw, `<text x="%d" y="%s" font-family="sans-serif" font-size="11" text-anchor="end">1e%d</text>`+"\n",
+			svgML-6, fcoord(y+4), e)
+	}
+	// Axis labels.
+	fmt.Fprintf(bw, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		svgML+(svgW-svgML-svgMR)/2, svgH-12, xmlEscape(p.xLabel))
+	fmt.Fprintf(bw, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		svgMT+(svgH-svgMT-svgMB)/2, svgMT+(svgH-svgMT-svgMB)/2, xmlEscape(p.yLabel))
+
+	// Fitted power law y = C·x^a, sampled across the x-range.
+	if p.fit != nil && p.fit.Coeff > 0 {
+		var path string
+		const samples = 64
+		for i := 0; i <= samples; i++ {
+			x := math.Pow(10, lx0+(lx1-lx0)*float64(i)/samples)
+			y := p.fit.Coeff * math.Pow(x, p.fit.Exponent)
+			if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			yy := py(y)
+			if yy < svgMT || yy > svgH-svgMB {
+				continue
+			}
+			cmd := "L"
+			if path == "" {
+				cmd = "M"
+			}
+			path += fmt.Sprintf("%s%s %s ", cmd, fcoord(px(x)), fcoord(yy))
+		}
+		if path != "" {
+			fmt.Fprintf(bw, `<path d="%s" fill="none" stroke="#d62728" stroke-width="1.5" stroke-dasharray="6 3"/>`+"\n", path)
+		}
+	}
+
+	// CI whiskers, then points on top.
+	for _, pt := range p.points {
+		if pt.x <= 0 || pt.y <= 0 {
+			continue
+		}
+		x := px(pt.x)
+		if pt.lo > 0 && pt.hi > 0 && pt.hi > pt.lo {
+			yl, yh := py(pt.lo), py(pt.hi)
+			fmt.Fprintf(bw, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#1f77b4"/>`+"\n",
+				fcoord(x), fcoord(yl), fcoord(x), fcoord(yh))
+			for _, yy := range []float64{yl, yh} {
+				fmt.Fprintf(bw, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#1f77b4"/>`+"\n",
+					fcoord(x-4), fcoord(yy), fcoord(x+4), fcoord(yy))
+			}
+		}
+		fmt.Fprintf(bw, `<circle cx="%s" cy="%s" r="3.5" fill="#1f77b4"/>`+"\n",
+			fcoord(x), fcoord(py(pt.y)))
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.err
+}
+
+// fcoord renders a pixel coordinate with fixed precision so the SVG
+// bytes are stable across platforms.
+func fcoord(v float64) string {
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+func xmlEscape(s string) string {
+	var out []rune
+	for _, r := range s {
+		switch r {
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '"':
+			out = append(out, []rune("&quot;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

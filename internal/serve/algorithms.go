@@ -2,155 +2,23 @@ package serve
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/clique"
-	"repro/internal/comm"
-	"repro/internal/domset"
 	"repro/internal/exp"
-	"repro/internal/gather"
-	"repro/internal/graph"
-	"repro/internal/matmul"
-	"repro/internal/mst"
-	"repro/internal/paths"
-	"repro/internal/subgraph"
-	"repro/internal/vcover"
+	"repro/internal/workload"
 )
 
-// Algorithm is one entry of the ad-hoc catalogue served by POST /v1/run:
-// a named node program plus deterministic instance generation. Unlike
-// registry experiments, which fix their own instance sweep, an ad-hoc
-// run is parameterised by the request's (n, seed, words_per_pair).
-type Algorithm struct {
-	// Name is the stable request key.
-	Name string `json:"name"`
-	// Title is the one-line human description.
-	Title string `json:"title"`
-	// WPP is the per-pair word budget used when the request leaves
-	// words_per_pair at 0.
-	WPP int `json:"words_per_pair"`
-	// Make builds the instance for (n, seed) and returns the node
-	// program. It must be deterministic in both.
-	Make func(n int, seed uint64) clique.NodeFunc `json:"-"`
-}
-
-// algorithms is the ad-hoc catalogue, keyed by name. It deliberately
-// mirrors the Figure 1 probe set of exp.Fig1Workloads plus the
-// substrates the paper's algorithms build on, but with the seed exposed
-// so clients can sweep instances.
-var algorithms = map[string]Algorithm{
-	"exchange": {
-		Name: "exchange", Title: "one-round all-to-all broadcast exchange", WPP: 1,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			return func(nd *clique.Node) {
-				comm.BroadcastWord(nd, uint64(nd.ID())^seed)
-			}
-		},
-	},
-	"triangle": {
-		Name: "triangle", Title: "triangle detection (Dolev et al.)", WPP: 8,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g := graph.Gnp(n, 0.2, seed)
-			return func(nd *clique.Node) {
-				subgraph.DetectTriangle(nd, g.Row(nd.ID()))
-			}
-		},
-	},
-	"k-is": {
-		Name: "k-is", Title: "3-independent-set detection", WPP: 8,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g := graph.Gnp(n, 0.6, seed)
-			return func(nd *clique.Node) {
-				subgraph.DetectIndependentSet(nd, g.Row(nd.ID()), 3)
-			}
-		},
-	},
-	"k-ds": {
-		Name: "k-ds", Title: "3-dominating set (Theorem 9)", WPP: 8,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g, _ := graph.PlantedDominatingSet(n, 3, 0.1, seed)
-			return func(nd *clique.Node) {
-				domset.Find(nd, g.Row(nd.ID()), 3)
-			}
-		},
-	},
-	"k-vc": {
-		Name: "k-vc", Title: "3-vertex cover (Theorem 11)", WPP: 1,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g, _ := graph.PlantedVertexCover(n, 3, 0.4, seed)
-			return func(nd *clique.Node) {
-				vcover.Find(nd, g.Row(nd.ID()), 3)
-			}
-		},
-	},
-	"maxis": {
-		Name: "maxis", Title: "maximum independent set size (full gather)", WPP: 1,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g := graph.Gnp(n, 0.92, seed)
-			return func(nd *clique.Node) {
-				gather.MaxIndependentSetSize(nd, g.Row(nd.ID()))
-			}
-		},
-	},
-	"boolmm-3d": {
-		Name: "boolmm-3d", Title: "Boolean matrix multiplication (3D schedule)", WPP: 8,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g := graph.Gnp(n, 0.5, seed)
-			return func(nd *clique.Node) {
-				row := matmul.AdjacencyRow(g, nd.ID())
-				matmul.Mul3D(nd, matmul.Boolean{}, row, row)
-			}
-		},
-	},
-	"boolmm-naive": {
-		Name: "boolmm-naive", Title: "Boolean matrix multiplication (naive broadcast)", WPP: 8,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g := graph.Gnp(n, 0.5, seed)
-			return func(nd *clique.Node) {
-				row := matmul.AdjacencyRow(g, nd.ID())
-				matmul.MulNaive(nd, matmul.Boolean{}, row, row)
-			}
-		},
-	},
-	"apsp": {
-		Name: "apsp", Title: "APSP, weighted undirected ((min,+) squaring)", WPP: 8,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g := graph.GnpWeighted(n, 0.3, 40, false, seed)
-			return func(nd *clique.Node) {
-				paths.APSP(nd, g.W[nd.ID()], matmul.Mul3D)
-			}
-		},
-	},
-	"mst": {
-		Name: "mst", Title: "minimum spanning forest (Borůvka)", WPP: 1,
-		Make: func(n int, seed uint64) clique.NodeFunc {
-			g := graph.GnpWeighted(n, 0.3, 60, false, seed)
-			return func(nd *clique.Node) {
-				mst.Find(nd, g.W[nd.ID()])
-			}
-		},
-	},
-}
+// Algorithm is the ad-hoc catalogue entry served by POST /v1/run. The
+// catalogue itself lives in internal/workload so the cliquegrid runner
+// sweeps exactly the programs the daemon serves; serve only adds the
+// HTTP plumbing and the ad-hoc size cap.
+type Algorithm = workload.Algorithm
 
 // Algorithms returns the ad-hoc catalogue sorted by name.
-func Algorithms() []Algorithm {
-	out := make([]Algorithm, 0, len(algorithms))
-	for _, a := range algorithms {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+func Algorithms() []Algorithm { return workload.All() }
 
 // AlgorithmNames returns the sorted ad-hoc algorithm names.
-func AlgorithmNames() []string {
-	names := make([]string, 0, len(algorithms))
-	for name := range algorithms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func AlgorithmNames() []string { return workload.Names() }
 
 // maxAdhocN bounds ad-hoc instance sizes: an n-node run needs O(n^2)
 // mailbox words per budgeted pair, so an unbounded n would let a single
@@ -162,7 +30,7 @@ const maxAdhocN = 1024
 // it runs through the same counted exp.Ctx as registry experiments and
 // produces the same envelope shape.
 func adhocExperiment(req exp.Request) (exp.Experiment, error) {
-	alg, ok := algorithms[req.Algorithm]
+	alg, ok := workload.Get(req.Algorithm)
 	if !ok {
 		return exp.Experiment{}, fmt.Errorf("unknown algorithm %q (valid: %v)", req.Algorithm, AlgorithmNames())
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/workload"
 )
 
 // writeJSON writes v as a JSON response body.
@@ -94,7 +95,7 @@ func (s *Server) handleAdhocRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &body) {
 		return
 	}
-	alg, ok := algorithms[body.Algorithm]
+	alg, ok := workload.Get(body.Algorithm)
 	if !ok {
 		writeError(w, http.StatusBadRequest, "unknown algorithm %q (valid: %v)", body.Algorithm, AlgorithmNames())
 		return

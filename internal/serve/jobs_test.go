@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/clique"
+	"repro/internal/workload"
 )
 
 // blockGate lets tests hold a worker hostage deterministically: the
@@ -29,7 +30,7 @@ func armBlockGate() (release func()) {
 }
 
 func init() {
-	algorithms["test-block"] = Algorithm{
+	workload.Register(Algorithm{
 		Name: "test-block", Title: "test-only: parks until the gate opens", WPP: 1,
 		Make: func(n int, seed uint64) clique.NodeFunc {
 			return func(nd *clique.Node) {
@@ -41,13 +42,13 @@ func init() {
 				}
 			}
 		},
-	}
-	algorithms["test-panic"] = Algorithm{
+	})
+	workload.Register(Algorithm{
 		Name: "test-panic", Title: "test-only: panics during instance generation", WPP: 1,
 		Make: func(n int, seed uint64) clique.NodeFunc {
 			panic("test-panic: instance generation exploded")
 		},
-	}
+	})
 }
 
 // TestWorkerSurvivesPanickingJob pins that a panic escaping the

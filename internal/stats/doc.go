@@ -1,0 +1,14 @@
+// Package stats is the repo's small statistics layer: sample summaries
+// with Student-t confidence intervals and least-squares power-law fits
+// with slope confidence intervals. It exists so the experiment-grid
+// runner (internal/grid) and the benchmark regression gate
+// (internal/exp.Compare) agree on one definition of "noise": every
+// repeat-aware artefact — grid summaries, BENCH_baseline.json
+// distributions, fitted round-complexity exponents — routes its
+// interval math through here.
+//
+// The package is dependency-free and deterministic: the same samples
+// always produce the same Summary bytes, which is what lets grid
+// summaries (timing fields excluded) stay byte-identical across worker
+// counts.
+package stats

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is a least-squares power-law fit y = Coeff · x^Exponent, obtained
+// by ordinary least squares on (ln x, ln y). It carries the slope's
+// standard error and Student-t confidence interval, which is what turns
+// a fitted round-complexity exponent into a statistically defensible
+// claim: "the measured exponent is 0.33 ± 0.02" rather than "the four
+// points looked like n^(1/3)".
+type Fit struct {
+	// N is the number of (x, y) pairs used (both finite and positive).
+	N int `json:"n"`
+	// Exponent is the fitted slope in log-log space.
+	Exponent float64 `json:"exponent"`
+	// Coeff is exp(intercept): the fitted constant factor.
+	Coeff float64 `json:"coeff"`
+	// StdErr is the slope's standard error; 0 when N < 3 (a two-point
+	// fit is exact and carries no error estimate).
+	StdErr float64 `json:"std_err"`
+	// CILo and CIHi bound the slope's two-sided Student-t confidence
+	// interval at Level; both collapse to Exponent when N < 3.
+	CILo float64 `json:"ci_lo"`
+	CIHi float64 `json:"ci_hi"`
+	// Level is the confidence level of [CILo, CIHi].
+	Level float64 `json:"level"`
+	// R2 is the coefficient of determination in log-log space; 1 for an
+	// exact fit (including the degenerate all-points-equal case).
+	R2 float64 `json:"r2"`
+}
+
+func (f Fit) String() string {
+	if f.N < 3 {
+		return fmt.Sprintf("x^%.3f (n=%d)", f.Exponent, f.N)
+	}
+	return fmt.Sprintf("x^%.3f ± %.3f (n=%d, %g%% CI [%.3f, %.3f], R²=%.3f)",
+		f.Exponent, f.HalfWidth(), f.N, 100*f.Level, f.CILo, f.CIHi, f.R2)
+}
+
+// HalfWidth is the slope interval's half-width; 0 when N < 3.
+func (f Fit) HalfWidth() float64 { return (f.CIHi - f.CILo) / 2 }
+
+// FitPower fits y = C·x^a by least squares on the log-log transform at
+// the given confidence level (0 means DefaultLevel). Pairs with
+// non-positive or non-finite coordinates are skipped (a zero-round
+// measurement has no logarithm); at least two usable pairs with
+// distinct x are required.
+func FitPower(xs, ys []float64, level float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: FitPower got %d xs and %d ys", len(xs), len(ys))
+	}
+	if level == 0 {
+		level = DefaultLevel
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 && !math.IsInf(xs[i], 1) && !math.IsInf(ys[i], 1) {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := len(lx)
+	if n < 2 {
+		return Fit{}, fmt.Errorf("stats: FitPower needs at least 2 positive pairs, got %d", n)
+	}
+	mx, my := mean(lx), mean(ly)
+	var sxx, sxy, syy float64
+	for i := range lx {
+		dx, dy := lx[i]-mx, ly[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: FitPower needs at least 2 distinct x values")
+	}
+	slope := sxy / sxx
+	f := Fit{
+		N:        n,
+		Exponent: slope,
+		Coeff:    math.Exp(my - slope*mx),
+		Level:    level,
+		CILo:     slope,
+		CIHi:     slope,
+		R2:       1,
+	}
+	sse := syy - slope*sxy
+	if sse < 0 { // guard rounding
+		sse = 0
+	}
+	if syy > 0 {
+		f.R2 = 1 - sse/syy
+	}
+	if n >= 3 {
+		f.StdErr = math.Sqrt(sse / float64(n-2) / sxx)
+		half := TQuantile(1-(1-level)/2, n-2) * f.StdErr
+		f.CILo, f.CIHi = slope-half, slope+half
+	}
+	return f, nil
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,178 @@
+package stats_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// TestTQuantile pins the t quantile against standard table values —
+// the closed-form anchors of the whole CI layer. df=1 is the Cauchy
+// distribution, whose quantile has the exact form tan(π(p-1/2)).
+func TestTQuantile(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.975, 1, 12.7062}, // Cauchy: tan(0.475π)
+		{0.975, 2, 4.30265},
+		{0.975, 4, 2.77645},
+		{0.975, 9, 2.26216},
+		{0.975, 29, 2.04523},
+		{0.95, 5, 2.01505},
+		{0.995, 10, 3.16927},
+		{0.975, 100000, 1.95997}, // → normal 1.95996
+	}
+	for _, c := range cases {
+		approx(t, "TQuantile", stats.TQuantile(c.p, c.df), c.want, 5e-4)
+	}
+	// Exact Cauchy closed form at several probabilities.
+	for _, p := range []float64{0.6, 0.75, 0.9, 0.99} {
+		approx(t, "TQuantile(Cauchy)", stats.TQuantile(p, 1), math.Tan(math.Pi*(p-0.5)), 1e-6)
+	}
+	// Symmetry and median.
+	if q := stats.TQuantile(0.5, 7); q != 0 {
+		t.Errorf("median quantile = %v, want 0", q)
+	}
+	approx(t, "symmetry", stats.TQuantile(0.025, 4), -stats.TQuantile(0.975, 4), 1e-9)
+}
+
+// TestSummarize checks the closed-form case {1..5}: mean 3,
+// std sqrt(2.5), CI half-width t(0.975,4)·std/√5.
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5}, 0)
+	if s.N != 5 || s.Level != 0.95 {
+		t.Fatalf("summary header = %+v", s)
+	}
+	approx(t, "mean", s.Mean, 3, 1e-12)
+	approx(t, "std", s.Std, math.Sqrt(2.5), 1e-12)
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	half := 2.77645 * math.Sqrt(2.5) / math.Sqrt(5)
+	approx(t, "ci_lo", s.CILo, 3-half, 1e-4)
+	approx(t, "ci_hi", s.CIHi, 3+half, 1e-4)
+	approx(t, "half-width", s.HalfWidth(), half, 1e-4)
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := stats.Summarize(nil, 0); s.N != 0 || s.Mean != 0 || s.Level != 0.95 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := stats.Summarize([]float64{7}, 0.9)
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.CILo != 7 || s.CIHi != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	// Zero variance: the CI collapses to the mean.
+	s = stats.Summarize([]float64{4, 4, 4, 4}, 0)
+	if s.Std != 0 || s.CILo != 4 || s.CIHi != 4 {
+		t.Errorf("constant-sample summary = %+v", s)
+	}
+}
+
+// TestFitPowerExact: an exact power law must come back with the exact
+// exponent, coefficient, zero standard error and R² = 1.
+func TestFitPowerExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * math.Pow(x, 1.5)
+	}
+	f, err := stats.FitPower(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "exponent", f.Exponent, 1.5, 1e-9)
+	approx(t, "coeff", f.Coeff, 2, 1e-9)
+	approx(t, "stderr", f.StdErr, 0, 1e-9)
+	approx(t, "r2", f.R2, 1, 1e-9)
+	approx(t, "ci width", f.HalfWidth(), 0, 1e-7)
+}
+
+// TestFitPowerKnown pins a hand-computed regression: points
+// (e^0, e^0.1), (e^1, e^1.9), (e^2, e^4.1), (e^3, e^5.9) give slope
+// 1.96, intercept 0.06, SSE 0.032, se = √(0.016/5), R² = 1-0.032/19.24.
+func TestFitPowerKnown(t *testing.T) {
+	lx := []float64{0, 1, 2, 3}
+	ly := []float64{0.1, 1.9, 4.1, 5.9}
+	xs := make([]float64, len(lx))
+	ys := make([]float64, len(ly))
+	for i := range lx {
+		xs[i] = math.Exp(lx[i])
+		ys[i] = math.Exp(ly[i])
+	}
+	f, err := stats.FitPower(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "exponent", f.Exponent, 1.96, 1e-9)
+	approx(t, "coeff", f.Coeff, math.Exp(0.06), 1e-9)
+	se := math.Sqrt(0.016 / 5)
+	approx(t, "stderr", f.StdErr, se, 1e-9)
+	half := 4.30265 * se
+	approx(t, "ci_lo", f.CILo, 1.96-half, 1e-4)
+	approx(t, "ci_hi", f.CIHi, 1.96+half, 1e-4)
+	approx(t, "r2", f.R2, 1-0.032/19.24, 1e-9)
+}
+
+func TestFitPowerDegenerate(t *testing.T) {
+	if _, err := stats.FitPower([]float64{1, 2}, []float64{3}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := stats.FitPower([]float64{1, 0}, []float64{1, 2}, 0); err == nil {
+		t.Error("one usable pair accepted")
+	}
+	if _, err := stats.FitPower([]float64{4, 4, 4}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("all-equal x accepted")
+	}
+	// Zero-valued ys are skipped, not logged.
+	f, err := stats.FitPower([]float64{1, 2, 4, 8}, []float64{0, 1, 2, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N != 3 {
+		t.Errorf("N = %d, want 3 (zero y skipped)", f.N)
+	}
+	approx(t, "exponent", f.Exponent, 1, 1e-9)
+	// Two points: exact fit, no error estimate.
+	f, err = stats.FitPower([]float64{2, 8}, []float64{3, 12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "two-point exponent", f.Exponent, 1, 1e-12)
+	if f.StdErr != 0 || f.CILo != f.Exponent || f.CIHi != f.Exponent {
+		t.Errorf("two-point fit carries an error estimate: %+v", f)
+	}
+}
+
+// TestSummaryJSONStable: summaries serialise deterministically and
+// round-trip — the property grid summaries rely on for byte-identical
+// artefacts.
+func TestSummaryJSONStable(t *testing.T) {
+	s := stats.Summarize([]float64{3, 1, 4, 1, 5, 9, 2, 6}, 0)
+	a, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back stats.Summary
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("summary JSON unstable:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,12 @@
+// Package workload is the shared catalogue of parameterised node
+// programs: named algorithms with deterministic instance generation in
+// (n, seed). It is the one list both consumers of ad-hoc simulation
+// draw from — the cliqued daemon's POST /v1/run endpoint and the
+// cliquegrid experiment-grid runner — so a grid sweep and a served
+// request with the same (algorithm, n, wpp, seed) provably run the
+// same program on the same instance.
+//
+// The catalogue deliberately mirrors the Figure 1 probe set of
+// exp.Fig1Workloads plus the substrates the paper's algorithms build
+// on, but with the seed exposed so clients can sweep instances.
+package workload

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/clique"
+	"repro/internal/comm"
+	"repro/internal/domset"
+	"repro/internal/gather"
+	"repro/internal/graph"
+	"repro/internal/matmul"
+	"repro/internal/mst"
+	"repro/internal/paths"
+	"repro/internal/subgraph"
+	"repro/internal/vcover"
+)
+
+// Algorithm is one catalogue entry: a named node program plus
+// deterministic instance generation. Unlike registry experiments,
+// which fix their own instance sweep, a catalogue run is parameterised
+// by the caller's (n, seed, words_per_pair).
+type Algorithm struct {
+	// Name is the stable request key.
+	Name string `json:"name"`
+	// Title is the one-line human description.
+	Title string `json:"title"`
+	// WPP is the per-pair word budget used when the caller leaves
+	// words_per_pair at 0.
+	WPP int `json:"words_per_pair"`
+	// Make builds the instance for (n, seed) and returns the node
+	// program. It must be deterministic in both.
+	Make func(n int, seed uint64) clique.NodeFunc `json:"-"`
+}
+
+// catalogue is the algorithm set, keyed by name. Registration-time
+// extension (Register) exists for tests; the built-in set is fixed at
+// init.
+var (
+	catMu     sync.RWMutex
+	catalogue = map[string]Algorithm{}
+)
+
+// Register adds an algorithm to the catalogue; duplicate or empty
+// names panic, mirroring exp.Register.
+func Register(a Algorithm) {
+	catMu.Lock()
+	defer catMu.Unlock()
+	if a.Name == "" || a.Make == nil {
+		panic(fmt.Sprintf("workload: algorithm %+v missing Name or Make", a))
+	}
+	if _, dup := catalogue[a.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate algorithm %q", a.Name))
+	}
+	catalogue[a.Name] = a
+}
+
+// Get looks up one algorithm by name.
+func Get(name string) (Algorithm, bool) {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	a, ok := catalogue[name]
+	return a, ok
+}
+
+// All returns the catalogue sorted by name.
+func All() []Algorithm {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	out := make([]Algorithm, 0, len(catalogue))
+	for _, a := range catalogue {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted algorithm names.
+func Names() []string {
+	catMu.RLock()
+	defer catMu.RUnlock()
+	names := make([]string, 0, len(catalogue))
+	for name := range catalogue {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	for _, a := range []Algorithm{
+		{
+			Name: "exchange", Title: "one-round all-to-all broadcast exchange", WPP: 1,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				return func(nd *clique.Node) {
+					comm.BroadcastWord(nd, uint64(nd.ID())^seed)
+				}
+			},
+		},
+		{
+			Name: "triangle", Title: "triangle detection (Dolev et al.)", WPP: 8,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.Gnp(n, 0.2, seed)
+				return func(nd *clique.Node) {
+					subgraph.DetectTriangle(nd, g.Row(nd.ID()))
+				}
+			},
+		},
+		{
+			Name: "k-is", Title: "3-independent-set detection", WPP: 8,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.Gnp(n, 0.6, seed)
+				return func(nd *clique.Node) {
+					subgraph.DetectIndependentSet(nd, g.Row(nd.ID()), 3)
+				}
+			},
+		},
+		{
+			Name: "k-ds", Title: "3-dominating set (Theorem 9)", WPP: 8,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g, _ := graph.PlantedDominatingSet(n, 3, 0.1, seed)
+				return func(nd *clique.Node) {
+					domset.Find(nd, g.Row(nd.ID()), 3)
+				}
+			},
+		},
+		{
+			Name: "k-vc", Title: "3-vertex cover (Theorem 11)", WPP: 1,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g, _ := graph.PlantedVertexCover(n, 3, 0.4, seed)
+				return func(nd *clique.Node) {
+					vcover.Find(nd, g.Row(nd.ID()), 3)
+				}
+			},
+		},
+		{
+			Name: "maxis", Title: "maximum independent set size (full gather)", WPP: 1,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.Gnp(n, 0.92, seed)
+				return func(nd *clique.Node) {
+					gather.MaxIndependentSetSize(nd, g.Row(nd.ID()))
+				}
+			},
+		},
+		{
+			Name: "boolmm-3d", Title: "Boolean matrix multiplication (3D schedule)", WPP: 8,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.Gnp(n, 0.5, seed)
+				return func(nd *clique.Node) {
+					row := matmul.AdjacencyRow(g, nd.ID())
+					matmul.Mul3D(nd, matmul.Boolean{}, row, row)
+				}
+			},
+		},
+		{
+			Name: "boolmm-naive", Title: "Boolean matrix multiplication (naive broadcast)", WPP: 8,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.Gnp(n, 0.5, seed)
+				return func(nd *clique.Node) {
+					row := matmul.AdjacencyRow(g, nd.ID())
+					matmul.MulNaive(nd, matmul.Boolean{}, row, row)
+				}
+			},
+		},
+		{
+			Name: "apsp", Title: "APSP, weighted undirected ((min,+) squaring)", WPP: 8,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.GnpWeighted(n, 0.3, 40, false, seed)
+				return func(nd *clique.Node) {
+					paths.APSP(nd, g.W[nd.ID()], matmul.Mul3D)
+				}
+			},
+		},
+		{
+			Name: "mst", Title: "minimum spanning forest (Borůvka)", WPP: 1,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.GnpWeighted(n, 0.3, 60, false, seed)
+				return func(nd *clique.Node) {
+					mst.Find(nd, g.W[nd.ID()])
+				}
+			},
+		},
+	} {
+		Register(a)
+	}
+}
