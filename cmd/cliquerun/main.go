@@ -51,6 +51,12 @@ func main() {
 	format := flag.String("format", "text", "output format (text, json)")
 	traceFile := flag.String("trace", "", "run with the round-level tracer and write a Chrome trace-event file (Perfetto) to this path")
 	flag.Parse()
+	wppSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "wpp" {
+			wppSet = true
+		}
+	})
 	if *backend == "" {
 		*backend = clique.DefaultBackend
 	}
@@ -170,6 +176,34 @@ func main() {
 		res = run(func(nd *clique.Node) { wt = mst.Weight(mst.Find(nd, w.W[nd.ID()])) })
 		oracle, _ := mst.KruskalOracle(w)
 		answer = fmt.Sprintf("MSF weight %d (oracle %d)", wt, oracle)
+	case "mstsketch":
+		if !wppSet && *wpp < 32 {
+			*wpp = 32 // catalogue default: fit the sketch exchange in O(1) rounds
+		}
+		var wt int64
+		var st mst.SketchStats
+		res = run(func(nd *clique.Node) {
+			forest, s := mst.SketchFind(nd, w.W[nd.ID()], *seed)
+			wt, st = mst.Weight(forest), s
+		})
+		oracle, _ := mst.KruskalOracle(w)
+		answer = fmt.Sprintf("MSF weight %d (oracle %d), %d components seeded, cut samples %d/%d",
+			wt, oracle, st.Components, st.SampleOK, st.SampleTotal)
+	case "mstsparse":
+		if !wppSet && *wpp < 8 {
+			*wpp = 8 // catalogue default; SparseFind needs wpp >= 6
+		}
+		var wt int64
+		var st mst.SparseStats
+		res = run(func(nd *clique.Node) {
+			forest, s := mst.SparseFind(nd, w.W[nd.ID()], *seed)
+			if nd.ID() == 0 {
+				wt, st = mst.Weight(forest), s
+			}
+		})
+		oracle, _ := mst.KruskalOracle(w)
+		answer = fmt.Sprintf("MSF weight %d (oracle %d) in %d phases, %d merges",
+			wt, oracle, st.Phases, st.Merges)
 	case "sort":
 		res = run(func(nd *clique.Node) {
 			keys := make([]uint64, 8)

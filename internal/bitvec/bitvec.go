@@ -43,6 +43,17 @@ func (r Row) Or(o Row) {
 	}
 }
 
+// Xor folds o into r symmetric-difference-wise: r ^= o. o may be
+// shorter than r. XOR is the linearity kernel of the sketch plane
+// (internal/sketch): sketches merge by word-parallel XOR, so the merge
+// of two sketches is bit-identically the sketch of the symmetric
+// difference of their edge sets.
+func (r Row) Xor(o Row) {
+	for i, w := range o {
+		r[i] ^= w
+	}
+}
+
 // And intersects r with o in place: r &= o.
 func (r Row) And(o Row) {
 	for i, w := range o {

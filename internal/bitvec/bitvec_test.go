@@ -72,6 +72,9 @@ func TestRowSetOps(t *testing.T) {
 	andnot := NewRow(bits)
 	andnot.CopyFrom(a)
 	andnot.AndNot(b)
+	xor := NewRow(bits)
+	xor.CopyFrom(a)
+	xor.Xor(b)
 	wantAndCount := 0
 	for i := 0; i < bits; i++ {
 		if or.Get(i) != (refA[i] || refB[i]) {
@@ -83,6 +86,9 @@ func TestRowSetOps(t *testing.T) {
 		if andnot.Get(i) != (refA[i] && !refB[i]) {
 			t.Fatalf("AndNot bit %d wrong", i)
 		}
+		if xor.Get(i) != (refA[i] != refB[i]) {
+			t.Fatalf("Xor bit %d wrong", i)
+		}
 		if refA[i] && refB[i] {
 			wantAndCount++
 		}
@@ -92,6 +98,10 @@ func TestRowSetOps(t *testing.T) {
 	}
 	if a.Intersects(b) != (wantAndCount > 0) {
 		t.Error("Intersects disagrees with AndOnesCount")
+	}
+	xor.Xor(b)
+	if !xor.Equal(a) {
+		t.Error("Xor is not self-inverse")
 	}
 	if !a.Equal(a) {
 		t.Error("row not Equal to itself")

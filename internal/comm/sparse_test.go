@@ -1,0 +1,232 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clique"
+)
+
+func TestSendToFewDelivers(t *testing.T) {
+	const n = 6
+	for _, backend := range clique.Backends() {
+		got := make([][][]uint64, n)
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: 2, Backend: backend}, func(nd *clique.Node) {
+			me := nd.ID()
+			// Node v messages v+1 mod n with a (v+1)-word payload and,
+			// when even, node 0 with one word. Sparse: most links idle.
+			var msgs []Msg
+			words := make([]uint64, me+1)
+			for i := range words {
+				words[i] = uint64(me*100 + i)
+			}
+			if dst := (me + 1) % n; dst != me {
+				msgs = append(msgs, Msg{To: dst, Words: words})
+			}
+			if me%2 == 0 && me != 0 {
+				msgs = append(msgs, Msg{To: 0, Words: []uint64{uint64(me)}})
+			}
+			got[me] = SendToFew(nd, msgs, 3)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if res.Stats.Rounds != 3 {
+			t.Errorf("%s: rounds = %d, want 3", backend, res.Stats.Rounds)
+		}
+		for v := 0; v < n; v++ {
+			src := (v + n - 1) % n
+			want := make([]uint64, src+1)
+			for i := range want {
+				want[i] = uint64(src*100 + i)
+			}
+			if fmt.Sprintf("%v", got[v][src]) != fmt.Sprintf("%v", want) {
+				t.Fatalf("%s: node %d got %v from %d, want %v", backend, v, got[v][src], src, want)
+			}
+			for p := 0; p < n; p++ {
+				if p == src || p == v {
+					continue
+				}
+				if v == 0 && p%2 == 0 && p != 0 {
+					if len(got[0][p]) != 1 || got[0][p][0] != uint64(p) {
+						t.Fatalf("%s: node 0 got %v from %d", backend, got[0][p], p)
+					}
+					continue
+				}
+				if got[v][p] != nil {
+					t.Fatalf("%s: node %d heard silent peer %d: %v", backend, v, p, got[v][p])
+				}
+			}
+		}
+	}
+}
+
+// TestSendToFewCostsOnlyMessages pins the sparse cost model: total
+// words sent equals the words queued, not n² per round.
+func TestSendToFewCostsOnlyMessages(t *testing.T) {
+	const n = 16
+	res := runBoth(t, clique.Config{N: n, WordsPerPair: 4}, func(nd *clique.Node) {
+		var msgs []Msg
+		if nd.ID() == 3 {
+			msgs = append(msgs, Msg{To: 7, Words: []uint64{1, 2, 3, 4, 5}})
+		}
+		SendToFew(nd, msgs, 2)
+	})
+	for backend, r := range res {
+		if r.Stats.WordsSent != 5 {
+			t.Errorf("%s: WordsSent = %d, want 5 (only the queued message)", backend, r.Stats.WordsSent)
+		}
+		if r.Stats.Rounds != 2 {
+			t.Errorf("%s: rounds = %d, want 2", backend, r.Stats.Rounds)
+		}
+	}
+}
+
+func TestSampledBroadcast(t *testing.T) {
+	const n, k = 8, 5
+	for _, backend := range clique.Backends() {
+		got := make([][][]uint64, n)
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: 2, Backend: backend}, func(nd *clique.Node) {
+			me := nd.ID()
+			active := me%3 == 0
+			var words []uint64
+			if active {
+				words = make([]uint64, k)
+				for i := range words {
+					words[i] = uint64(me*10 + i)
+				}
+			}
+			got[me] = SampledBroadcast(nd, words, k, active)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if want := (k + 1) / 2; res.Stats.Rounds != want {
+			t.Errorf("%s: rounds = %d, want %d", backend, res.Stats.Rounds, want)
+		}
+		for v := 0; v < n; v++ {
+			for p := 0; p < n; p++ {
+				if p%3 == 0 {
+					if len(got[v][p]) != k || got[v][p][0] != uint64(p*10) {
+						t.Fatalf("%s: node %d table[%d] = %v", backend, v, p, got[v][p])
+					}
+				} else if got[v][p] != nil {
+					t.Fatalf("%s: node %d heard silent peer %d", backend, v, p)
+				}
+			}
+		}
+	}
+}
+
+// TestSampledBroadcastSilenceIsFree: zero active nodes, zero words.
+func TestSampledBroadcastSilenceIsFree(t *testing.T) {
+	res := runBoth(t, clique.Config{N: 8}, func(nd *clique.Node) {
+		SampledBroadcast(nd, nil, 4, false)
+	})
+	for backend, r := range res {
+		if r.Stats.WordsSent != 0 {
+			t.Errorf("%s: WordsSent = %d, want 0", backend, r.Stats.WordsSent)
+		}
+	}
+}
+
+func TestGatherSparse(t *testing.T) {
+	const n, k, root = 9, 3, 2
+	for _, backend := range clique.Backends() {
+		var atRoot [][]uint64
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: 1, Backend: backend}, func(nd *clique.Node) {
+			me := nd.ID()
+			var words []uint64
+			if me%2 == 0 {
+				words = []uint64{uint64(me), uint64(me + 1), uint64(me + 2)}
+			}
+			table := GatherSparse(nd, root, words, k)
+			if me == root {
+				atRoot = table
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if res.Stats.Rounds != k {
+			t.Errorf("%s: rounds = %d, want %d", backend, res.Stats.Rounds, k)
+		}
+		// Word cost: the 4 active non-root senders (root's own entry is
+		// free), k words each.
+		if want := int64(4 * k); res.Stats.WordsSent != want {
+			t.Errorf("%s: WordsSent = %d, want %d", backend, res.Stats.WordsSent, want)
+		}
+		for p := 0; p < n; p++ {
+			if p%2 == 0 {
+				if len(atRoot[p]) != k || atRoot[p][0] != uint64(p) {
+					t.Fatalf("%s: root table[%d] = %v", backend, p, atRoot[p])
+				}
+			} else if atRoot[p] != nil {
+				t.Fatalf("%s: root heard silent node %d", backend, p)
+			}
+		}
+	}
+}
+
+// TestSparseCollectiveBackendEquivalence is the transcript-level
+// cross-backend gate for the sparse collectives, mirroring
+// TestCollectiveBackendEquivalence for the dense ones.
+func TestSparseCollectiveBackendEquivalence(t *testing.T) {
+	const n = 7
+	type snapshot struct {
+		stats       clique.Stats
+		transcripts string
+		outputs     string
+	}
+	shots := map[string]snapshot{}
+	for _, backend := range clique.Backends() {
+		outputs := make([]string, n)
+		res, err := clique.Run(clique.Config{N: n, WordsPerPair: 2, Backend: backend, RecordTranscript: true},
+			func(nd *clique.Node) {
+				me := nd.ID()
+				var log []any
+				var msgs []Msg
+				for p := 0; p < n; p++ {
+					if p != me && (me+p)%3 == 0 {
+						msgs = append(msgs, Msg{To: p, Words: []uint64{uint64(me*100 + p), uint64(p)}})
+					}
+				}
+				log = append(log, SendToFew(nd, msgs, 2))
+				var words []uint64
+				if me%2 == 1 {
+					words = []uint64{uint64(me), uint64(me * me), uint64(me + 42)}
+				}
+				log = append(log, SampledBroadcast(nd, words, 3, me%2 == 1))
+				var pay []uint64
+				if me >= n/2 {
+					pay = []uint64{uint64(me * 7)}
+				}
+				log = append(log, GatherSparse(nd, 0, pay, 1))
+				outputs[me] = fmt.Sprintf("%v", log)
+			})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		var trs []string
+		for _, tr := range res.Transcripts {
+			trs = append(trs, fmt.Sprintf("%d:%v", tr.NodeID, tr.Rounds))
+		}
+		shots[backend] = snapshot{
+			stats:       res.Stats,
+			transcripts: fmt.Sprintf("%v", trs),
+			outputs:     fmt.Sprintf("%v", outputs),
+		}
+	}
+	ref := shots[clique.Backends()[0]]
+	for backend, s := range shots {
+		if s.stats != ref.stats {
+			t.Errorf("%s stats = %+v, reference %+v", backend, s.stats, ref.stats)
+		}
+		if s.outputs != ref.outputs {
+			t.Errorf("%s sparse collective outputs diverge from reference", backend)
+		}
+		if s.transcripts != ref.transcripts {
+			t.Errorf("%s transcripts diverge from reference", backend)
+		}
+	}
+}

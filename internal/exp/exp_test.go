@@ -18,7 +18,8 @@ import (
 // report order.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "thm2", "thm4", "thm8", "lemma1",
-		"thm3", "thm6", "thm7", "thm9", "thm11", "fpt", "mst", "sub", "ablation"}
+		"thm3", "thm6", "thm7", "thm9", "thm11", "fpt", "mst",
+		"mstsketch", "mstsparse", "sub", "ablation"}
 	if got := exp.IDs(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("IDs() = %v, want %v", got, want)
 	}

@@ -1,0 +1,68 @@
+package mst
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// unionFind is the shared merge structure of the MST family. Roots
+// are always the minimum vertex id of their component, matching the
+// "component label = smallest member" convention every variant (and
+// the coordinator of SparseFind) relies on.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	u := make(unionFind, n)
+	for i := range u {
+		u[i] = i
+	}
+	return u
+}
+
+func (u unionFind) find(x int) int {
+	for u[x] != x {
+		u[x] = u[u[x]]
+		x = u[x]
+	}
+	return x
+}
+
+// union merges the components of a and b, keeping the smaller root as
+// the label; reports whether a merge happened.
+func (u unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u[rb] = ra
+	return true
+}
+
+// KruskalForest computes the minimum spanning forest centrally under
+// the same (weight, u, v) total order as the distributed variants.
+// Because the order is total, the forest is unique, so Find,
+// SketchFind and SparseFind must agree with it edge for edge — the
+// oracle the equivalence tests pin against.
+func KruskalForest(g *graph.Weighted) []Edge {
+	var edges []Edge
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if g.HasEdge(u, v) {
+				edges = append(edges, Edge{U: u, V: v, W: g.W[u][v]})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return less(edges[i], edges[j]) })
+	uf := newUnionFind(g.N)
+	var forest []Edge
+	for _, e := range edges {
+		if uf.union(e.U, e.V) {
+			forest = append(forest, e)
+		}
+	}
+	return forest
+}

@@ -121,6 +121,11 @@ func better(a, b Edge) bool {
 	return less(normalize(a), normalize(b))
 }
 
+// less is the package's total order on edges: lexicographic on
+// (W, U, V) with U < V canonical. Every variant — Find, SketchFind,
+// SparseFind, KruskalForest — breaks weight ties by this order, so
+// the minimum spanning forest is unique and the variants agree edge
+// for edge, not just in total weight.
 func less(a, b Edge) bool {
 	if a.W != b.W {
 		return a.W < b.W
@@ -165,50 +170,8 @@ func Weight(es []Edge) int64 {
 // KruskalOracle computes the minimum spanning forest weight centrally,
 // with the same (weight, pair) tie-break as Find, for ground truth.
 func KruskalOracle(g *graph.Weighted) (int64, int) {
-	type edge struct {
-		u, v int
-		w    int64
-	}
-	var edges []edge
-	for u := 0; u < g.N; u++ {
-		for v := u + 1; v < g.N; v++ {
-			if g.HasEdge(u, v) {
-				edges = append(edges, edge{u, v, g.W[u][v]})
-			}
-		}
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].w != edges[j].w {
-			return edges[i].w < edges[j].w
-		}
-		if edges[i].u != edges[j].u {
-			return edges[i].u < edges[j].u
-		}
-		return edges[i].v < edges[j].v
-	})
-	parent := make([]int, g.N)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(x int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	var total int64
-	count := 0
-	for _, e := range edges {
-		ru, rv := find(e.u), find(e.v)
-		if ru != rv {
-			parent[ru] = rv
-			total += e.w
-			count++
-		}
-	}
-	return total, count
+	forest := KruskalForest(g)
+	return Weight(forest), len(forest)
 }
 
 // Components labels connected components from the spanning forest:

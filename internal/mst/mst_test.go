@@ -116,6 +116,51 @@ func TestMSTDisconnected(t *testing.T) {
 	}
 }
 
+func TestMSTDisconnectedForest(t *testing.T) {
+	// Multi-island forest with isolated vertices: the forest must match
+	// the Kruskal oracle edge for edge, island by island.
+	g := graph.NewWeighted(16, false)
+	for _, e := range [][3]int64{
+		{0, 1, 7}, {1, 2, 7}, {0, 2, 7}, // triangle, duplicate weights
+		{4, 5, 3}, {5, 6, 9},
+		{8, 9, 1}, {9, 10, 1}, {10, 11, 1}, {8, 11, 1}, // 4-cycle, all ties
+		// 3, 7, 12..15 isolated
+	} {
+		g.SetEdge(int(e[0]), int(e[1]), e[2])
+	}
+	forest, _ := runFind(t, g)
+	oracle := KruskalForest(g)
+	if len(forest) != len(oracle) {
+		t.Fatalf("forest has %d edges, oracle %d", len(forest), len(oracle))
+	}
+	for i := range forest {
+		if forest[i] != oracle[i] {
+			t.Fatalf("forest[%d] = %v, oracle %v", i, forest[i], oracle[i])
+		}
+	}
+}
+
+func TestMSTDuplicateWeightTieBreaking(t *testing.T) {
+	// With every weight equal, the forest is determined purely by the
+	// documented (weight, u, v) tie-break order; the result must be the
+	// oracle's forest exactly and identical across repeated runs.
+	g := graph.GnpWeighted(15, 0.5, 1, false, 3) // maxW=1: all weights 1
+	oracle := KruskalForest(g)
+	first, _ := runFind(t, g)
+	second, _ := runFind(t, g)
+	if len(first) != len(oracle) {
+		t.Fatalf("forest has %d edges, oracle %d", len(first), len(oracle))
+	}
+	for i := range first {
+		if first[i] != oracle[i] {
+			t.Fatalf("tie-break diverged from (weight,u,v) oracle at edge %d: %v vs %v", i, first[i], oracle[i])
+		}
+		if first[i] != second[i] {
+			t.Fatalf("tie-break not deterministic across runs at edge %d", i)
+		}
+	}
+}
+
 func TestMSTLogRounds(t *testing.T) {
 	// Rounds grow logarithmically: 2 * ceil(log2 n) + O(1).
 	for _, n := range []int{8, 32, 128} {

@@ -1,0 +1,268 @@
+package mst
+
+import (
+	"sort"
+
+	"repro/internal/clique"
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+// seedPhases is the constant number of fused Borůvka phases SketchFind
+// runs before switching to the contracted exchange: after 3 phases at
+// most n/8 components remain, which keeps the leader-row broadcast
+// within a couple of rounds at sweep sizes.
+const seedPhases = 3
+
+// SketchStats is the telemetry SketchFind derives from the leader
+// broadcast — identical at every node.
+type SketchStats struct {
+	// Components is the component count entering the contracted
+	// exchange (after the seed phases).
+	Components int
+	// SampleOK counts leaders whose merged cut sketch produced a
+	// verified cut-edge sample; SampleTotal counts leaders with a
+	// nonempty cut. SampleOK/SampleTotal is the empirical ℓ₀-sampling
+	// success rate the experiment reports.
+	SampleOK, SampleTotal int
+}
+
+// SketchFind computes the minimum spanning forest in O(1) phases, in
+// the style of the sketch-based constant-round MST algorithms
+// (Jurdziński–Nowicki, arXiv:1707.08484): a constant number of
+// Borůvka seed phases, then AGM cut sketches merged at component
+// leaders over sparse links, then one contracted min-edge exchange
+// that every node replays locally. wRow is this node's weight row
+// (graph.Inf for non-edges); seed seeds the shared sketch hash
+// family. Every node returns the identical forest, sorted by
+// (W, U, V) — exactly the forest Find and KruskalForest produce,
+// because all three use the same total edge order.
+//
+// Round count: seedPhases·ceil(2/wpp) + ceil(sketchWords/wpp) +
+// ceil(2/wpp) + ceil((2k+2)/wpp) with k components after seeding —
+// single-digit for connected sweeps up to n = 256 at wpp = 32. The
+// cut sketches are advisory (the exchange is exact either way): their
+// merge–sample cycle is validated in-protocol and surfaced as
+// SketchStats, so the experiment can gate on the recovery rate.
+func SketchFind(nd clique.Endpoint, wRow []int64, seed uint64) ([]Edge, SketchStats) {
+	n := nd.N()
+	me := nd.ID()
+
+	// Phase A: seed contraction. Identical logic to Find's phases, but
+	// a fixed constant number of them, with pair and weight fused into
+	// one two-word broadcast.
+	comp := make([]int, n)
+	for v := range comp {
+		comp[v] = v
+	}
+	var forest []Edge
+	for phase := 0; phase < seedPhases; phase++ {
+		endPhase := trace.Phase(nd, "sketchmst/seed")
+		best := Edge{U: -1, W: graph.Inf}
+		for u := 0; u < n; u++ {
+			if comp[u] == comp[me] || wRow[u] >= graph.Inf {
+				continue
+			}
+			if cand := (Edge{U: me, V: u, W: wRow[u]}); better(cand, best) {
+				best = cand
+			}
+		}
+		pairWord := noEdge
+		if best.U >= 0 {
+			pairWord = clique.PairWord(best.U, best.V, n)
+		}
+		table := comm.BroadcastAll(nd, []uint64{pairWord, uint64(best.W)}, 2)
+		bestOf := make(map[int]Edge)
+		for v := 0; v < n; v++ {
+			if table[v][0] == noEdge {
+				continue
+			}
+			u, w := clique.UnpairWord(table[v][0], n)
+			e := Edge{U: u, V: w, W: int64(table[v][1])}
+			if cur, ok := bestOf[comp[e.U]]; !ok || better(e, cur) {
+				bestOf[comp[e.U]] = e
+			}
+		}
+		for _, e := range stableEdges(bestOf) {
+			if comp[e.U] == comp[e.V] {
+				continue
+			}
+			forest = append(forest, normalize(e))
+			from, to := comp[e.U], comp[e.V]
+			if to > from {
+				from, to = to, from
+			}
+			for v := range comp {
+				if comp[v] == from {
+					comp[v] = to
+				}
+			}
+		}
+		endPhase()
+	}
+
+	// Component index after seeding: labels are minimum member ids, so
+	// the label doubles as the leader's node id.
+	comps := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for v := 0; v < n; v++ {
+		if !seen[comp[v]] {
+			seen[comp[v]] = true
+			comps = append(comps, comp[v])
+		}
+	}
+	sort.Ints(comps)
+	k := len(comps)
+	leader := me == comp[me]
+
+	// Phase B: cut sketches. Every node sketches its full incidence
+	// list and ships it to its leader over one sparse link; XOR at the
+	// leader cancels intra-component edges, leaving the sketch of the
+	// component's cut (the AGM mechanism).
+	endB := trace.Phase(nd, "sketchmst/sketch")
+	sp := sketch.DefaultParams(n, seed^0xa5a5a5a5a5a5a5a5)
+	mine := sketch.New(sp)
+	for u := 0; u < n; u++ {
+		if u != me && wRow[u] < graph.Inf {
+			mine.Toggle(me, u)
+		}
+	}
+	sketchRounds := (sp.Words() + nd.WordsPerPair() - 1) / nd.WordsPerPair()
+	var up []comm.Msg
+	if !leader {
+		up = append(up, comm.Msg{To: comp[me], Words: mine.Row})
+	}
+	rows := comm.SendToFew(nd, up, sketchRounds)
+	cut := mine // leaders fold members into their own sketch
+	if leader {
+		for p := 0; p < n; p++ {
+			if rows[p] != nil {
+				cut.MergeRow(rows[p])
+			}
+		}
+	}
+	endB()
+
+	// Phase C: exact contracted candidates. Every node sends, to the
+	// leader of each foreign component it has an edge into, its
+	// minimum such edge — two words over each sparse link.
+	endC := trace.Phase(nd, "sketchmst/exchange")
+	bestInto := make(map[int]Edge, k)
+	for u := 0; u < n; u++ {
+		if comp[u] == comp[me] || wRow[u] >= graph.Inf {
+			continue
+		}
+		e := Edge{U: me, V: u, W: wRow[u]}
+		if cur, ok := bestInto[comp[u]]; !ok || better(e, cur) {
+			bestInto[comp[u]] = e
+		}
+	}
+	var cands []comm.Msg
+	for c, e := range bestInto {
+		// c is a foreign component's label = its leader's id; it can
+		// never be me, because my own component is excluded above.
+		cands = append(cands, comm.Msg{To: c, Words: []uint64{clique.PairWord(e.U, e.V, n), uint64(e.W)}})
+	}
+	candRounds := (2 + nd.WordsPerPair() - 1) / nd.WordsPerPair()
+	recv := comm.SendToFew(nd, cands, candRounds)
+
+	// Leaders reduce received candidates per source component into
+	// their D-row: slot i holds the minimum edge between component
+	// comps[i] and mine. The leader's own outgoing candidates went to
+	// the foreign leaders, whose rows cover the same pairs from the
+	// other side.
+	row := make([]uint64, 2*k+2)
+	if leader {
+		bestFrom := make(map[int]Edge, k)
+		for p := 0; p < n; p++ {
+			if recv[p] == nil {
+				continue
+			}
+			u, v := clique.UnpairWord(recv[p][0], n)
+			e := Edge{U: u, V: v, W: int64(recv[p][1])}
+			src := comp[p]
+			if cur, ok := bestFrom[src]; !ok || better(e, cur) {
+				bestFrom[src] = e
+			}
+		}
+		for i, c := range comps {
+			if e, ok := bestFrom[c]; ok {
+				row[2*i] = clique.PairWord(e.U, e.V, n)
+				row[2*i+1] = uint64(e.W)
+			} else {
+				row[2*i] = noEdge
+			}
+		}
+		// Telemetry word: validate the sketch sample against the
+		// component labels (a true cut edge has exactly one endpoint
+		// inside). Bit 0: cut sketch nonempty; bit 1: verified sample.
+		var tele uint64
+		if !cut.Empty() {
+			tele |= 1
+			if u, v, ok := cut.Sample(); ok {
+				inU, inV := comp[u] == me, comp[v] == me
+				if inU != inV {
+					tele |= 2
+				}
+			}
+		}
+		row[2*k] = tele
+		row[2*k+1] = 0
+	}
+
+	// Phase D: leaders broadcast their rows; silence is free for the
+	// n-k non-leaders.
+	table := comm.SampledBroadcast(nd, row, 2*k+2, leader)
+	endC()
+
+	// Phase E: local replay, identical everywhere. Collect the
+	// contracted edges (minimum per component pair), then Kruskal over
+	// the seed partition under the shared (W, U, V) order.
+	stats := SketchStats{Components: k}
+	type pairKey struct{ a, b int }
+	contracted := make(map[pairKey]Edge)
+	for _, c := range comps {
+		r := table[c]
+		if r == nil {
+			nd.Fail("mst: SketchFind missing row from leader %d", c)
+		}
+		for i, a := range comps {
+			if r[2*i] == noEdge {
+				continue
+			}
+			u, v := clique.UnpairWord(r[2*i], n)
+			e := Edge{U: u, V: v, W: int64(r[2*i+1])}
+			key := pairKey{a, c}
+			if key.a > key.b {
+				key.a, key.b = key.b, key.a
+			}
+			if cur, ok := contracted[key]; !ok || better(e, cur) {
+				contracted[key] = e
+			}
+		}
+		if tele := r[2*k]; tele&1 != 0 {
+			stats.SampleTotal++
+			if tele&2 != 0 {
+				stats.SampleOK++
+			}
+		}
+	}
+	edges := make([]Edge, 0, len(contracted))
+	for _, e := range contracted {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return less(edges[i], edges[j]) })
+	uf := newUnionFind(n)
+	for v := 0; v < n; v++ {
+		uf.union(comp[v], v)
+	}
+	for _, e := range edges {
+		if uf.union(e.U, e.V) {
+			forest = append(forest, e)
+		}
+	}
+	sort.Slice(forest, func(i, j int) bool { return less(forest[i], forest[j]) })
+	return forest, stats
+}

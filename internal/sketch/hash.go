@@ -1,0 +1,50 @@
+package sketch
+
+import (
+	"math/bits"
+	"math/rand/v2"
+)
+
+// mersenne61 is the Mersenne prime 2^61 − 1, the field the hash
+// family lives in. Mod-p reduction is two shifts and an add because
+// 2^61 ≡ 1 (mod p).
+const mersenne61 = 1<<61 - 1
+
+// rng is the deterministic generator idiom shared with internal/graph:
+// one seed fans out to a PCG stream, so equal seeds give equal hash
+// families at every node of a clique.
+func rng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// pairHash is one member h(x) = (a·x + b) mod (2^61 − 1) of the
+// textbook pairwise-independent family over Z_p: for x ≠ y the pair
+// (h(x), h(y)) is uniform over Z_p², which is all the level-sampling
+// analysis needs.
+type pairHash struct{ a, b uint64 }
+
+// newPairHash draws one family member; a ≠ 0 keeps it non-constant.
+func newPairHash(r *rand.Rand) pairHash {
+	return pairHash{
+		a: r.Uint64()%(mersenne61-1) + 1,
+		b: r.Uint64() % mersenne61,
+	}
+}
+
+// apply evaluates h(x) into [0, 2^61 − 1).
+func (h pairHash) apply(x uint64) uint64 {
+	hi, lo := bits.Mul64(h.a, x%mersenne61)
+	// a·x = hi·2^64 + lo ≡ 8·hi + (lo >> 61) + (lo & p) (mod p),
+	// and the folded sum fits a uint64 because hi < 2^58.
+	r := hi<<3 + lo>>61 + lo&mersenne61 + h.b
+	for r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+// level maps a hash value to its sampling depth: depth ≥ ℓ with
+// probability 2^-ℓ, read off the leading zeros of the 61-bit value.
+func level(h uint64) int {
+	return bits.LeadingZeros64(h) - (64 - 61)
+}

@@ -1,0 +1,66 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Sampler is KKT-style edge subsampling: every edge survives with
+// probability rate, decided by a pairwise-independent hash of the
+// edge coordinate, so every node of a clique holding the same (n,
+// rate, seed) makes the identical keep/drop decision for every edge
+// without communicating — the property the Karger–Klein–Tarjan
+// recursion needs when the sampled subgraph is solved distributedly.
+type Sampler struct {
+	n      int
+	bound  uint64
+	levelH pairHash
+}
+
+// NewSampler builds the shared sampler; rate is clamped to [0, 1].
+func NewSampler(n int, rate float64, seed uint64) Sampler {
+	if n < 2 {
+		panic(fmt.Sprintf("sketch: NewSampler(n = %d)", n))
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return Sampler{
+		n:      n,
+		bound:  uint64(rate * float64(mersenne61)),
+		levelH: newPairHash(rng(seed)),
+	}
+}
+
+// Keep reports whether edge {u, v} survives the subsample. Symmetric
+// in u, v.
+func (s Sampler) Keep(u, v int) bool {
+	return s.levelH.apply(EdgeID(u, v, s.n)) < s.bound
+}
+
+// WeightedEdge is one surviving edge of a central subsample.
+type WeightedEdge struct {
+	U, V int
+	W    int64
+}
+
+// SampleEdges applies the sampler centrally to a weighted graph and
+// returns the surviving edges in canonical (u, v) order — the oracle
+// counterpart of per-node Keep calls, used by tests and experiments
+// to check concentration.
+func SampleEdges(g *graph.Weighted, rate float64, seed uint64) []WeightedEdge {
+	s := NewSampler(g.N, rate, seed)
+	var out []WeightedEdge
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if g.HasEdge(u, v) && s.Keep(u, v) {
+				out = append(out, WeightedEdge{U: u, V: v, W: g.W[u][v]})
+			}
+		}
+	}
+	return out
+}

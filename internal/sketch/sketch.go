@@ -1,0 +1,187 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Params fixes a sketch's shape and hash family. Two sketches are
+// mergeable iff their Params are equal: equal Params derive equal
+// hash families, which is what makes the XOR linearity meaningful.
+type Params struct {
+	// N is the vertex count; edge coordinates live below N².
+	N int
+	// Levels is the number of geometric sampling levels per repetition.
+	Levels int
+	// Reps is the number of independent repetitions.
+	Reps int
+	// Seed seeds the pairwise-independent hash families.
+	Seed uint64
+}
+
+// DefaultParams sizes a sketch for up to n² live coordinates: enough
+// levels to shave any subset of the coordinate space down to an
+// expected Θ(1) survivors at the deepest level, and two independent
+// repetitions to push Sample's failure probability down.
+func DefaultParams(n int, seed uint64) Params {
+	levels := 2
+	for c := uint64(4); c < uint64(n)*uint64(n); c *= 2 {
+		levels++
+	}
+	return Params{N: n, Levels: levels, Reps: 2, Seed: seed}
+}
+
+// Words is the packed wire size of a sketch with these Params: two
+// XOR-accumulator words (name, fingerprint) per cell.
+func (p Params) Words() int { return p.Reps * p.Levels * 2 }
+
+// Sketch is an ℓ₀-sampling summary of a set of edge coordinates. The
+// cells are packed in one bitvec.Row — repetition-major, then level —
+// so the whole sketch ships over a clique link as Row's word slice
+// and merges with word-parallel XOR.
+type Sketch struct {
+	P   Params
+	Row bitvec.Row
+
+	// One level hash and one fingerprint hash per repetition, derived
+	// from P.Seed; never serialised (receivers re-derive from Params).
+	levelH []pairHash
+	checkH []pairHash
+}
+
+// New builds an empty sketch for p, deriving the hash families.
+func New(p Params) *Sketch {
+	if p.N < 2 || p.Levels < 1 || p.Reps < 1 {
+		panic(fmt.Sprintf("sketch: bad params %+v", p))
+	}
+	r := rng(p.Seed)
+	s := &Sketch{
+		P:      p,
+		Row:    make(bitvec.Row, p.Words()),
+		levelH: make([]pairHash, p.Reps),
+		checkH: make([]pairHash, p.Reps),
+	}
+	for i := 0; i < p.Reps; i++ {
+		s.levelH[i] = newPairHash(r)
+		s.checkH[i] = newPairHash(r)
+	}
+	return s
+}
+
+// EdgeID packs the undirected edge {u, v} of an n-vertex graph into
+// its coordinate min·n + max. Coordinates are always nonzero (the
+// smallest pair {0, 1} maps to 1), so a zero name word is reliably
+// "empty or collided", never a real edge.
+func EdgeID(u, v, n int) uint64 {
+	if u == v || u < 0 || v < 0 || u >= n || v >= n {
+		panic(fmt.Sprintf("sketch: EdgeID(%d, %d) out of range for n = %d", u, v, n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)*uint64(n) + uint64(v)
+}
+
+// DecodeEdgeID inverts EdgeID; ok is false for words that do not
+// decode to a canonical u < v pair.
+func DecodeEdgeID(id uint64, n int) (u, v int, ok bool) {
+	if n < 2 || id >= uint64(n)*uint64(n) {
+		return 0, 0, false
+	}
+	u, v = int(id/uint64(n)), int(id%uint64(n))
+	return u, v, u < v
+}
+
+// cell returns the row offset of cell (rep, lvl).
+func (s *Sketch) cell(rep, lvl int) int { return 2 * (rep*s.P.Levels + lvl) }
+
+// Toggle XORs edge {u, v} into the sketch. XOR insertion is its own
+// inverse: toggling an edge twice removes it, so a sequence of
+// Toggles sketches the symmetric difference of its arguments.
+func (s *Sketch) Toggle(u, v int) { s.ToggleID(EdgeID(u, v, s.P.N)) }
+
+// ToggleID is Toggle on a raw coordinate.
+func (s *Sketch) ToggleID(id uint64) {
+	for rep := 0; rep < s.P.Reps; rep++ {
+		depth := level(s.levelH[rep].apply(id))
+		if depth >= s.P.Levels {
+			depth = s.P.Levels - 1
+		}
+		check := s.checkH[rep].apply(id)
+		// The coordinate lives in levels 0..depth: level ℓ keeps it
+		// with probability 2^-ℓ, so deeper levels hold sparser sets.
+		for lvl := 0; lvl <= depth; lvl++ {
+			off := s.cell(rep, lvl)
+			s.Row[off] ^= id
+			s.Row[off+1] ^= check
+		}
+	}
+}
+
+// Merge folds o into s: afterwards s is bit-identically the sketch of
+// the symmetric difference of the two edge sets. Params must match.
+func (s *Sketch) Merge(o *Sketch) {
+	if s.P != o.P {
+		panic(fmt.Sprintf("sketch: merging mismatched params %+v vs %+v", s.P, o.P))
+	}
+	s.Row.Xor(o.Row)
+}
+
+// MergeRow folds a received wire image (o must be Words() long) into
+// s, for protocols that ship sketches as raw word payloads.
+func (s *Sketch) MergeRow(o bitvec.Row) {
+	if len(o) != len(s.Row) {
+		panic(fmt.Sprintf("sketch: merging row of %d words into %d-word sketch", len(o), len(s.Row)))
+	}
+	s.Row.Xor(o)
+}
+
+// Empty reports whether every accumulator is zero. For a true sketch
+// image this means the sketched set is empty (a nonempty set leaves
+// its coordinates' XOR in level 0 of every repetition unless distinct
+// coordinates collide to zero in both words — probability ≲ 2^-61).
+func (s *Sketch) Empty() bool {
+	for _, w := range s.Row {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sample recovers one coordinate of the sketched set, as its
+// endpoints, by scanning for a verified 1-sparse cell (deepest levels
+// first — they are the sparsest). ok is false if no repetition has a
+// recoverable cell; for a nonempty set that happens with probability
+// falling geometrically in Reps, never spuriously returning a
+// coordinate outside the set except with fingerprint-collision
+// probability ≲ 2^-61 per cell.
+func (s *Sketch) Sample() (u, v int, ok bool) {
+	for lvl := s.P.Levels - 1; lvl >= 0; lvl-- {
+		for rep := 0; rep < s.P.Reps; rep++ {
+			off := s.cell(rep, lvl)
+			name, check := s.Row[off], s.Row[off+1]
+			if name == 0 && check == 0 {
+				continue
+			}
+			// A 1-sparse cell holds exactly one coordinate: its name
+			// must re-hash to the fingerprint, decode to a canonical
+			// pair, and belong at this depth.
+			if s.checkH[rep].apply(name) != check {
+				continue
+			}
+			depth := level(s.levelH[rep].apply(name))
+			if depth >= s.P.Levels {
+				depth = s.P.Levels - 1
+			}
+			if depth < lvl {
+				continue
+			}
+			if u, v, ok = DecodeEdgeID(name, s.P.N); ok {
+				return u, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -181,6 +181,24 @@ func init() {
 				}
 			},
 		},
+		{
+			Name: "mst-sketch", Title: "minimum spanning forest (ℓ₀-sketch, O(1) rounds)", WPP: 32,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.GnpWeighted(n, 0.3, 60, false, seed)
+				return func(nd *clique.Node) {
+					mst.SketchFind(nd, g.W[nd.ID()], seed)
+				}
+			},
+		},
+		{
+			Name: "mst-sparse", Title: "minimum spanning forest (message-frugal, o(m) words)", WPP: 8,
+			Make: func(n int, seed uint64) clique.NodeFunc {
+				g := graph.GnpWeighted(n, 0.5, 60, false, seed)
+				return func(nd *clique.Node) {
+					mst.SparseFind(nd, g.W[nd.ID()], seed)
+				}
+			},
+		},
 	} {
 		Register(a)
 	}
