@@ -17,12 +17,16 @@
 // JSON output without -timing is deterministic: bit-identical across
 // repeat runs and across -parallel settings. With -timing it carries a
 // throughput block, two allocation probes (canonical exchange, packed
-// boolean MM), and the trace-off throughput probe, the figures the
-// BENCH_*.json perf trajectory and the CI regression gate track.
-// -compare warns on throughput and model-cost drift and FAILS (exit 1)
-// when a probe's allocs/op regresses beyond -alloc-regress-fail or the
-// trace-off probe's rounds/sec drops beyond -trace-regress-fail — the
-// latter is the zero-cost-when-off gate on the trace plane.
+// boolean MM), the trace-off throughput probe, and the batched
+// throughput probe (a batch of exchanges through one engine execution
+// vs the same runs serial), the figures the BENCH_*.json perf
+// trajectory and the CI regression gate track. -compare warns on
+// throughput and model-cost drift and FAILS (exit 1) when a probe's
+// allocs/op regresses beyond -alloc-regress-fail, the trace-off probe's
+// rounds/sec drops beyond -trace-regress-fail (the zero-cost-when-off
+// gate on the trace plane), or the batched probe's aggregate
+// sim-rounds/sec drops beyond -batch-regress-fail (the throughput gate
+// on the batched execution plane).
 //
 // -trace=FILE runs every experiment with the round-level tracer
 // attached, writes a Chrome trace-event file to FILE (open it in
@@ -71,6 +75,7 @@ func main() {
 	allocFail := flag.Float64("alloc-regress-fail", 0.25, "allocs/op probe regression fraction beyond which -compare fails (exit 1) when the baseline has no distribution")
 	traceFile := flag.String("trace", "", "run with the round-level tracer and write a Chrome trace-event file (Perfetto) to this path")
 	traceFail := flag.Float64("trace-regress-fail", 0.01, "trace-off probe throughput regression fraction beyond which -compare fails (exit 1) when the baseline has no distribution")
+	batchFail := flag.Float64("batch-regress-fail", 0.25, "batched probe throughput regression fraction beyond which -compare fails (exit 1) when the baseline has no distribution")
 	list := flag.Bool("list", false, "print the experiment registry (id, artefact, title) and exit without running anything")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
@@ -185,7 +190,7 @@ func main() {
 		// -timing opt-in (without it the report stays deterministic) —
 		// but only where something consumes them: the JSON envelope or
 		// -compare.
-		var bench, benchPacked, benchTraceOff *exp.BenchProbe
+		var bench, benchPacked, benchTraceOff, benchBatched *exp.BenchProbe
 		if *timing && (*format == "json" || *compare != "") {
 			if bench, err = exp.MeasureBenchProbe(*backend); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -196,6 +201,10 @@ func main() {
 				return 1
 			}
 			if benchTraceOff, err = exp.MeasureTraceOffProbe(*backend); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if benchBatched, err = exp.MeasureBatchedProbe(*backend); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
@@ -211,6 +220,7 @@ func main() {
 			report.Bench = bench
 			report.BenchPacked = benchPacked
 			report.BenchTraceOff = benchTraceOff
+			report.BenchBatched = benchBatched
 			if err := report.WriteJSON(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
@@ -222,10 +232,12 @@ func main() {
 			current.Bench = bench
 			current.BenchPacked = benchPacked
 			current.BenchTraceOff = benchTraceOff
+			current.BenchBatched = benchBatched
 			warnGate := exp.Gate{CIFactor: *ciFactor, Frac: *threshold}
 			allocGate := exp.Gate{CIFactor: *failCIFactor, Frac: *allocFail}
 			traceGate := exp.Gate{CIFactor: *failCIFactor, Frac: *traceFail}
-			if err := compareBaseline(*compare, current, warnGate, allocGate, traceGate); err != nil {
+			batchGate := exp.Gate{CIFactor: *failCIFactor, Frac: *batchFail}
+			if err := compareBaseline(*compare, current, warnGate, allocGate, traceGate, batchGate); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
@@ -260,11 +272,12 @@ func writeList(w io.Writer, format string) error {
 
 // compareBaseline reports regressions against the stored baseline to
 // stderr in GitHub Actions annotation form. Throughput, model-cost and
-// missing-metric findings stay warn-only; an allocation-probe or
-// trace-off regression beyond its fatal gate is an error annotation and
-// fails the run — a hot path that started allocating, or a disabled
-// tracer that started costing, is a bug, not a judgement call.
-func compareBaseline(path string, current *exp.Report, warnGate, allocGate, traceGate exp.Gate) error {
+// missing-metric findings stay warn-only; an allocation-probe,
+// trace-off, or batched-throughput regression beyond its fatal gate is
+// an error annotation and fails the run — a hot path that started
+// allocating, a disabled tracer that started costing, or a batched
+// plane that lost its speedup is a bug, not a judgement call.
+func compareBaseline(path string, current *exp.Report, warnGate, allocGate, traceGate, batchGate exp.Gate) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("compare: %w", err)
@@ -278,6 +291,7 @@ func compareBaseline(path string, current *exp.Report, warnGate, allocGate, trac
 	// fail gate tighter than Compare's warn gate still bites.
 	fatal := exp.AllocRegressions(&baseline, current, allocGate)
 	fatal = append(fatal, exp.TraceOffRegressions(&baseline, current, traceGate)...)
+	fatal = append(fatal, exp.BatchedRegressions(&baseline, current, batchGate)...)
 	if len(warns) == 0 && len(fatal) == 0 {
 		fmt.Fprintf(os.Stderr, "compare: no regressions vs %s\n", path)
 		return nil
@@ -294,7 +308,7 @@ func compareBaseline(path string, current *exp.Report, warnGate, allocGate, trac
 		fmt.Fprintf(os.Stderr, "::error title=benchmark regression::%s\n", f)
 	}
 	for _, w := range warns {
-		if (w.Kind == exp.RegressAllocs || w.Kind == exp.RegressTraceOff) && isFatal(w) {
+		if (w.Kind == exp.RegressAllocs || w.Kind == exp.RegressTraceOff || w.Kind == exp.RegressBatched) && isFatal(w) {
 			continue // already reported as an error
 		}
 		fmt.Fprintf(os.Stderr, "::warning title=benchmark regression::%s\n", w)

@@ -47,6 +47,8 @@ func main() {
 	backend := flag.String("backend", "lockstep",
 		"default execution backend for requests that name none ("+strings.Join(serve.Backends(), ", ")+")")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
+	batchWidth := flag.Int("batch-width", 1,
+		"max queued ad-hoc jobs coalesced into one batched engine execution (1 = off)")
 	flag.Parse()
 
 	// Catch an operator typo at boot, not as a 400 on every request.
@@ -59,6 +61,7 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		DefaultBackend: *backend,
+		BatchWidth:     *batchWidth,
 	})
 	// Make the service counters visible to standard expvar tooling as
 	// well as at the service's own /metrics endpoint.
@@ -79,8 +82,8 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("cliqued: serving on %s (workers=%s, queue=%d, cache=%d, backend=%s)",
-			*addr, workersLabel, *queue, *cacheEntries, *backend)
+		log.Printf("cliqued: serving on %s (workers=%s, queue=%d, cache=%d, backend=%s, batch-width=%d)",
+			*addr, workersLabel, *queue, *cacheEntries, *backend, *batchWidth)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

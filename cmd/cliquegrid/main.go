@@ -39,6 +39,7 @@ func run() int {
 		backend  = flag.String("backend", "", fmt.Sprintf("execution backend (overrides the spec; valid: %v)", clique.Backends()))
 		noTiming = flag.Bool("no-timing", false, "strip wall-clock fields from summary.json (deterministic artefact)")
 		progress = flag.Bool("progress", true, "report per-run progress on stderr")
+		batch    = flag.Bool("batch", false, "batch same-(algorithm,n,wpp) seed sweeps through one engine execution per repeat")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -65,6 +66,7 @@ func run() int {
 		Repeats:  *repeats,
 		Warmup:   *warmup,
 		Parallel: *parallel,
+		Batch:    *batch,
 	}
 	if *progress {
 		opts.Progress = func(done, total int) {

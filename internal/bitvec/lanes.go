@@ -1,0 +1,44 @@
+package bitvec
+
+// Cross-run lane packing: a batch of up to 64 independent runs of the
+// same boolean workload keeps one Row per run — the same bit width,
+// different data. Packing them transposes that run-major bundle into a
+// lane matrix with one word per bit position, run r in bit lane r, so
+// a single word-parallel kernel call (Or, AndOnesCount, MulRowInto)
+// advances all runs of the batch at once: 64 seeds per uint64.
+
+// PackLanes transposes up to 64 same-width rows into a lane matrix:
+// the result is a bits x len(rows) matrix whose row i carries bit i of
+// every input, with rows[r] in bit lane r. len(rows) must be in
+// [1, 64]. Input rows shorter than Words(bits) are treated as
+// zero-extended.
+func PackLanes(rows []Row, bitCount int) *Matrix {
+	runs := len(rows)
+	if runs < 1 || runs > WordBits {
+		panic("bitvec: PackLanes needs 1..64 rows")
+	}
+	src := GetMatrix(runs, bitCount)
+	for r, row := range rows {
+		copy(src.Row(r), row)
+	}
+	out := NewMatrix(bitCount, runs)
+	Transpose(src, out)
+	PutMatrix(src)
+	return out
+}
+
+// UnpackLanes is the inverse of PackLanes: lane r of the bits x runs
+// matrix l is written back into dst[r]. len(dst) must not exceed
+// l.Bits; destination rows must hold Words(l.R) words (extra words are
+// left untouched).
+func UnpackLanes(l *Matrix, dst []Row) {
+	if len(dst) > l.Bits {
+		panic("bitvec: UnpackLanes destination wider than the lane count")
+	}
+	t := GetMatrix(l.Bits, l.R)
+	Transpose(l, t)
+	for r := range dst {
+		copy(dst[r], t.Row(r))
+	}
+	PutMatrix(t)
+}

@@ -1,0 +1,50 @@
+package clique
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// RunBatch executes len(programs) independent runs of the same network
+// shape — one NodeFunc per run, typically the same algorithm over a
+// seed sweep — through one batched engine execution. Results and errors
+// are indexed by run, and each entry is bit-identical to what a serial
+// Run(cfg, programs[r]) would return: same Stats, same Transcripts,
+// same canonical violation error. Runs are independent; one run's
+// failure does not disturb the others.
+//
+// On the lockstep backend the batch shares round scheduling, barrier
+// bookkeeping, and run-major mailbox storage, so per-round fixed costs
+// amortise across the batch; other backends fall back to serial
+// execution with the same per-run results. Tracing is per-run by
+// nature, so traced configurations also execute serially; phase/op
+// span recording (a node-0 sampling concern, not a model output) is
+// not wired in batch mode.
+func RunBatch(cfg Config, programs []NodeFunc) ([]*Result, []error) {
+	batch := len(programs)
+	if batch == 0 {
+		return nil, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		errs := make([]error, batch)
+		for i := range errs {
+			errs[i] = err
+		}
+		return make([]*Result, batch), errs
+	}
+	cfg = cfg.withDefaults()
+	be, err := engine.New(cfg.Backend)
+	if err != nil {
+		err = fmt.Errorf("clique: %w", err)
+		errs := make([]error, batch)
+		for i := range errs {
+			errs[i] = err
+		}
+		return make([]*Result, batch), errs
+	}
+	return engine.RunBatch(be, cfg.engineConfig(), batch, func(run, id int, rt engine.NodeRuntime) {
+		nd := &Node{id: id, n: cfg.N, wpp: cfg.WordsPerPair, rt: rt}
+		programs[run](nd)
+	})
+}

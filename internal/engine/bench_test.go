@@ -195,3 +195,58 @@ func BenchmarkBackendBarrier(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunBatch measures the cross-run batched scheduler against a
+// serial loop over the same seed sweep, at the small-message shape
+// batching targets (per-round dispatch dominates an n=8 exchange).
+// rounds/sec is aggregate simulated rounds across the whole sweep; the
+// batched/serial ratio is the live form of the committed bench_batched
+// probe's speedup figure.
+func BenchmarkRunBatch(b *testing.B) {
+	const (
+		n            = 8
+		roundsPerRun = 256
+		batch        = 8
+	)
+	body := func(id int, rt NodeRuntime) {
+		for r := 0; r < roundsPerRun; r++ {
+			buf := rt.BroadcastBuf(id, r, 1)
+			buf[0] = uint64(id + r)
+			rt.Barrier(id)
+		}
+	}
+	cfg := Config{N: n, WordsPerPair: 1}
+	be, err := New("lockstep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := func(b *testing.B, res *Result, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Rounds != roundsPerRun {
+			b.Fatalf("rounds = %d", res.Stats.Rounds)
+		}
+	}
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			results, errs := RunBatch(be, cfg, batch, func(run, id int, rt NodeRuntime) { body(id, rt) })
+			for r := range results {
+				check(b, results[r], errs[r])
+			}
+		}
+		b.ReportMetric(float64(batch*roundsPerRun)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < batch; r++ {
+				res, err := be.Run(cfg, body)
+				check(b, res, err)
+			}
+		}
+		b.ReportMetric(float64(batch*roundsPerRun)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+	})
+}

@@ -20,4 +20,11 @@
 // Both backends are required to be result- and round-count-identical for
 // every node program; the cross-backend tests in the repository root
 // enforce this.
+//
+// Independent runs of the same shape — seed sweeps — can execute as one
+// batched lockstep execution (RunBatch): a single scheduler drives all
+// runs round by round in cache-sized chunks over a shared run-major
+// mailbox arena, amortising per-round dispatch while keeping every
+// run's result bit-identical to a serial Run. Backends without native
+// batching fall back to an equivalent serial loop.
 package engine

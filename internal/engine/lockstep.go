@@ -441,23 +441,11 @@ type lockstepEngine struct {
 	pairsFn   func(visit func(from, to, words int))
 }
 
-func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	cfg = cfg.withDefaults()
-	n := cfg.N
-
+// newLockstepEngine allocates the per-run node state shared by the
+// serial and batched schedulers. The mailbox and tracer are attached by
+// the caller, which also owns their lifecycles.
+func newLockstepEngine(cfg Config, n int) *lockstepEngine {
 	e := &lockstepEngine{cfg: cfg, n: n}
-	if e.tr = effectiveTracer(cfg); e.tr != nil {
-		e.lastRound = time.Now()
-		e.pairsFn = e.visitPairs
-	}
-	e.box = getBox(n, cfg.WordsPerPair)
-	// Retire the mailbox to the pool once every coroutine has unwound
-	// (the stop defer below runs first, LIFO): node programs may touch
-	// their rows right up to the Abort that unwinds them.
-	defer func() { putBox(e.box) }()
 	e.rows = make([][][]uint64, n)
 	e.pend = make([]int, n)
 	e.pendRound = make([]int, n)
@@ -474,19 +462,49 @@ func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Resu
 			e.transcripts[v] = &Transcript{NodeID: v}
 		}
 	}
+	return e
+}
 
-	for v := 0; v < n; v++ {
+// start wraps every node's body in a pull coroutine and marks it live.
+func (e *lockstepEngine) start(body func(id int, rt NodeRuntime)) {
+	for v := 0; v < e.n; v++ {
 		e.next[v], e.stop[v] = iter.Pull(e.program(v, body))
 		e.live[v] = true
 	}
+}
+
+// stopAll unwinds every still-suspended coroutine so their goroutines
+// are released; a pending yield returns false, raising Abort inside the
+// node program.
+func (e *lockstepEngine) stopAll() {
+	for v := 0; v < e.n; v++ {
+		e.stop[v]()
+	}
+}
+
+func (lockstepBackend) Run(cfg Config, body func(id int, rt NodeRuntime)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := cfg.N
+
+	e := newLockstepEngine(cfg, n)
+	if e.tr = effectiveTracer(cfg); e.tr != nil {
+		e.lastRound = time.Now()
+		e.pairsFn = e.visitPairs
+	}
+	e.box = getBox(n, cfg.WordsPerPair)
+	// Retire the mailbox to the pool once every coroutine has unwound
+	// (the stop defer below runs first, LIFO): node programs may touch
+	// their rows right up to the Abort that unwinds them.
+	defer func() { putBox(e.box) }()
+
+	e.start(body)
 	liveCount := n
 	// Whatever happens below, unwind every still-suspended coroutine so
 	// their goroutines are released.
-	defer func() {
-		for v := 0; v < n; v++ {
-			e.stop[v]()
-		}
-	}()
+	defer e.stopAll()
 
 	// The worker pool: each worker owns a fixed contiguous shard of
 	// nodes for the whole run, so a given node is always resumed by the

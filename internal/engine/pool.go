@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -26,10 +27,16 @@ type boxKey struct {
 	arena  bool
 }
 
+// shapeCounter is one shape's (or size class's) hit/miss pair.
+type shapeCounter struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
 var (
-	boxPools     sync.Map // boxKey -> *sync.Pool
-	boxPoolHits  atomic.Int64
-	boxPoolMiss  atomic.Int64
+	boxPools    sync.Map // boxKey -> *sync.Pool
+	boxCounters sync.Map // boxKey -> *shapeCounter
+
 	boxPoolStops atomic.Bool
 )
 
@@ -40,10 +47,55 @@ var (
 func DisableMailboxPool(off bool) { boxPoolStops.Store(off) }
 
 // PoolStats reports how many lockstep runs reused a pooled mailbox and
-// how many had to allocate one. The split is a cheap health signal for
-// long-running services: a hot serving loop should converge to hits.
+// how many had to allocate one, summed over every shape. The split is a
+// cheap health signal for long-running services: a hot serving loop
+// should converge to hits.
 func PoolStats() (hits, misses int64) {
-	return boxPoolHits.Load(), boxPoolMiss.Load()
+	boxCounters.Range(func(_, v any) bool {
+		c := v.(*shapeCounter)
+		hits += c.hits.Load()
+		misses += c.misses.Load()
+		return true
+	})
+	return hits, misses
+}
+
+// PoolShapeStat is one mailbox shape's pool scorecard: how often runs
+// of exactly this (n, wpp, layout) reused pooled storage. Per-shape
+// hit rates localise pool churn that the aggregate hides — one
+// odd-shaped workload missing on every run is invisible next to a hot
+// steady shape.
+type PoolShapeStat struct {
+	N            int
+	WordsPerPair int
+	Arena        bool // dense-arena layout (sliceBox otherwise)
+	Hits         int64
+	Misses       int64
+}
+
+// PoolShapeStats reports the mailbox pool's per-shape hit/miss split,
+// sorted by (n, wpp, layout) for stable output.
+func PoolShapeStats() []PoolShapeStat {
+	var out []PoolShapeStat
+	boxCounters.Range(func(k, v any) bool {
+		key, c := k.(boxKey), v.(*shapeCounter)
+		out = append(out, PoolShapeStat{
+			N: key.n, WordsPerPair: key.wpp, Arena: key.arena,
+			Hits: c.hits.Load(), Misses: c.misses.Load(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.WordsPerPair != b.WordsPerPair {
+			return a.WordsPerPair < b.WordsPerPair
+		}
+		return !a.Arena && b.Arena
+	})
+	return out
 }
 
 func boxPoolFor(key boxKey) *sync.Pool {
@@ -54,21 +106,29 @@ func boxPoolFor(key boxKey) *sync.Pool {
 	return p.(*sync.Pool)
 }
 
+func boxCounterFor(key boxKey) *shapeCounter {
+	if c, ok := boxCounters.Load(key); ok {
+		return c.(*shapeCounter)
+	}
+	c, _ := boxCounters.LoadOrStore(key, &shapeCounter{})
+	return c.(*shapeCounter)
+}
+
 // getBox returns a mailbox for the given shape, reusing a pooled one
 // when available. The returned box is always fully reset. The int64
 // product cannot overflow: Config.Validate caps n and wpp at
 // MaxN/MaxWordsPerPair (2^32 * 2^24 < 2^63).
 func getBox(n, wpp int) mailbox {
 	arena := int64(n)*int64(n)*int64(wpp) <= arenaThresholdWords
+	key := boxKey{n: n, wpp: wpp, arena: arena}
 	if !boxPoolStops.Load() {
-		key := boxKey{n: n, wpp: wpp, arena: arena}
 		if b, _ := boxPoolFor(key).Get().(mailbox); b != nil {
-			boxPoolHits.Add(1)
+			boxCounterFor(key).hits.Add(1)
 			b.reset()
 			return b
 		}
 	}
-	boxPoolMiss.Add(1)
+	boxCounterFor(key).misses.Add(1)
 	if arena {
 		return newArenaBox(n, wpp)
 	}
@@ -102,10 +162,12 @@ func putBox(b mailbox) {
 // anything larger is allocated fresh rather than pooled.
 const scratchClasses = 31
 
+// scratchCounters has one hit/miss pair per pooled size class plus a
+// final oversize bucket (index scratchClasses) for requests too large
+// to pool, which always miss.
 var (
-	scratchPools [scratchClasses]sync.Pool
-	scratchHits  atomic.Int64
-	scratchMiss  atomic.Int64
+	scratchPools    [scratchClasses]sync.Pool
+	scratchCounters [scratchClasses + 1]shapeCounter
 )
 
 // scratchClass returns the size-class index of a buffer of k words: the
@@ -126,18 +188,19 @@ func GetScratch(k int) []uint64 {
 		return nil
 	}
 	c := scratchClass(k)
-	if c < scratchClasses && !boxPoolStops.Load() {
+	if c >= scratchClasses {
+		scratchCounters[scratchClasses].misses.Add(1)
+		return make([]uint64, k)
+	}
+	if !boxPoolStops.Load() {
 		if buf, _ := scratchPools[c].Get().([]uint64); buf != nil {
-			scratchHits.Add(1)
+			scratchCounters[c].hits.Add(1)
 			buf = buf[:k]
 			clear(buf)
 			return buf
 		}
 	}
-	scratchMiss.Add(1)
-	if c >= scratchClasses {
-		return make([]uint64, k)
-	}
+	scratchCounters[c].misses.Add(1)
 	return make([]uint64, k, 1<<c)
 }
 
@@ -157,8 +220,41 @@ func PutScratch(buf []uint64) {
 }
 
 // ScratchStats reports how many scratch acquisitions reused a pooled
-// buffer and how many allocated. Like PoolStats, a hot serving loop
-// should converge to hits.
+// buffer and how many allocated, summed over every size class. Like
+// PoolStats, a hot serving loop should converge to hits.
 func ScratchStats() (hits, misses int64) {
-	return scratchHits.Load(), scratchMiss.Load()
+	for i := range scratchCounters {
+		hits += scratchCounters[i].hits.Load()
+		misses += scratchCounters[i].misses.Load()
+	}
+	return hits, misses
+}
+
+// ScratchClassStat is one scratch size class's pool scorecard. Words is
+// the class capacity (1<<Class); the oversize bucket — requests beyond
+// the largest pooled class, which always allocate — reports Class ==
+// scratchClasses with Words == 0.
+type ScratchClassStat struct {
+	Class  int
+	Words  int64 // class capacity in words; 0 for the oversize bucket
+	Hits   int64
+	Misses int64
+}
+
+// ScratchClassStats reports the word-scratch pool's per-class hit/miss
+// split, ascending by class, omitting classes with no traffic.
+func ScratchClassStats() []ScratchClassStat {
+	var out []ScratchClassStat
+	for c := range scratchCounters {
+		hits, misses := scratchCounters[c].hits.Load(), scratchCounters[c].misses.Load()
+		if hits == 0 && misses == 0 {
+			continue
+		}
+		words := int64(0)
+		if c < scratchClasses {
+			words = int64(1) << c
+		}
+		out = append(out, ScratchClassStat{Class: c, Words: words, Hits: hits, Misses: misses})
+	}
+	return out
 }

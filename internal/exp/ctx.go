@@ -112,6 +112,90 @@ func (c *Ctx) Run(cfg clique.Config, f clique.NodeFunc) (*clique.Result, error) 
 	return res, err
 }
 
+// RunBatch executes len(programs) independent runs of the same shape
+// as one batched engine execution (clique.RunBatch) and folds each
+// run's model cost into the experiment's SimCost exactly as the
+// equivalent serial Run loop would: runs are accounted in order, and on
+// the first failing run accounting stops (the failing run counts as a
+// run without rounds, later runs are not counted) so the deterministic
+// Result envelope is bit-identical to the serial loop that stops at the
+// first error. Traced experiments need one collector per run, so they
+// fall back to that serial loop outright.
+func (c *Ctx) RunBatch(cfg clique.Config, programs []clique.NodeFunc) ([]*clique.Result, error) {
+	if c.tracing {
+		results := make([]*clique.Result, 0, len(programs))
+		for _, f := range programs {
+			res, err := c.Run(cfg, f)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+		return results, nil
+	}
+	c.checkCancelled()
+	cfg.Backend = c.Backend
+	start := time.Now()
+	results, errs := clique.RunBatch(cfg, programs)
+	wall := time.Since(start)
+	c.simWall += wall
+	// Attribute the batch wall to runs by their share of the batch's
+	// rounds, so per-run Progress throughput stays meaningful.
+	var totalRounds int64
+	for r := range results {
+		if errs[r] == nil {
+			totalRounds += int64(results[r].Stats.Rounds)
+		}
+	}
+	for r := range results {
+		c.res.Sim.Runs++
+		if errs[r] != nil {
+			c.reportProgress(0, 0)
+			return nil, errs[r]
+		}
+		rounds := results[r].Stats.Rounds
+		c.res.Sim.Rounds += int64(rounds)
+		c.res.Sim.Words += results[r].Stats.WordsSent
+		runWall := time.Duration(0)
+		if totalRounds > 0 {
+			runWall = time.Duration(int64(wall) * int64(rounds) / totalRounds)
+		}
+		c.reportProgress(rounds, runWall)
+	}
+	return results, nil
+}
+
+// Record folds an already-completed run's model cost into the
+// experiment's SimCost, for callers that executed the run outside the
+// Ctx: the serving daemon's batch coalescer runs whole groups of jobs
+// through one clique.RunBatch and then builds each job's envelope
+// through its own Ctx afterwards. wall is the run's attributed share of
+// the batch's wall clock. The Result built from a recorded run is
+// identical to the one Run would have built executing it serially,
+// because batched per-run results are bit-identical to serial ones.
+func (c *Ctx) Record(res *clique.Result, wall time.Duration) {
+	c.simWall += wall
+	c.res.Sim.Runs++
+	c.res.Sim.Rounds += int64(res.Stats.Rounds)
+	c.res.Sim.Words += res.Stats.WordsSent
+	c.reportProgress(res.Stats.Rounds, wall)
+}
+
+// RoundsBatch is the batched form of Rounds: one batched execution of
+// same-shape programs, returning each run's round count and aborting
+// the experiment on the first error.
+func (c *Ctx) RoundsBatch(n, wpp int, programs []clique.NodeFunc) []int {
+	results, err := c.RunBatch(clique.Config{N: n, WordsPerPair: wpp}, programs)
+	if err != nil {
+		c.Failf("%v", err)
+	}
+	rounds := make([]int, len(results))
+	for i, res := range results {
+		rounds[i] = res.Stats.Rounds
+	}
+	return rounds
+}
+
 // startTrace attaches a fresh labelled collector to cfg on traced
 // experiments; it returns nil (and leaves cfg alone) otherwise.
 func (c *Ctx) startTrace(cfg *clique.Config) *trace.Collector {

@@ -342,6 +342,12 @@ type Report struct {
 	// baseline comparison is the <1% overhead gate on the trace plane's
 	// off path. Timing-gated like the other probes.
 	BenchTraceOff *BenchProbe `json:"bench_trace_off,omitempty"`
+	// BenchBatched is the batched-execution throughput probe: a batch of
+	// canonical exchanges through one engine execution versus the same
+	// runs serial, best-of-runs aggregate sim-rounds/sec. Its baseline
+	// comparison gates the batched plane's throughput claim. Timing-gated
+	// like the other probes.
+	BenchBatched *BenchProbe `json:"bench_batched,omitempty"`
 	// Build attributes the report to the producing binary (module
 	// version, VCS revision, toolchain, available backends). It is
 	// deterministic for a fixed binary, so envelopes stay bit-identical
@@ -394,6 +400,7 @@ const (
 	RegressModelCost  = "model-cost"
 	RegressMismatch   = "mismatch"
 	RegressTraceOff   = "trace-off"
+	RegressBatched    = "batched"
 	// RegressMissing flags a metric tracked on one side only: a baseline
 	// metric absent from the current report is lost gate coverage, and a
 	// current metric absent from the baseline runs ungated until the
@@ -505,10 +512,13 @@ func Compare(baseline, current *Report, gate Gate) []Regression {
 	warns = append(warns, missingMetric("bench probe", baseline.Bench != nil, current.Bench != nil)...)
 	warns = append(warns, missingMetric("packed bench probe", baseline.BenchPacked != nil, current.BenchPacked != nil)...)
 	warns = append(warns, missingMetric("trace-off probe", baseline.BenchTraceOff != nil, current.BenchTraceOff != nil)...)
+	warns = append(warns, missingMetric("batched probe", baseline.BenchBatched != nil, current.BenchBatched != nil)...)
 	warns = append(warns, missingMetric("throughput block", baseline.Throughput != nil, current.Throughput != nil)...)
 	warns = append(warns, compareProbe(baseline.Bench, current.Bench, probeGate)...)
 	warns = append(warns, compareProbe(baseline.BenchPacked, current.BenchPacked, probeGate)...)
 	warns = append(warns, compareTraceOff(baseline.BenchTraceOff, current.BenchTraceOff, traceGate)...)
+	warns = append(warns, compareBatched(baseline.BenchBatched, current.BenchBatched,
+		Gate{CIFactor: gate.CIFactor, Frac: batchedWarnFraction})...)
 	if baseline.Throughput != nil && current.Throughput != nil {
 		b := baseline.Throughput
 		slack := gateSlack(b.RoundsPerSec, b.Dist, gate.ciFactor(), gate.frac(throughputWarnFraction))
@@ -606,6 +616,12 @@ const (
 	// allocAbsSlack is the absolute allocs/op slack on top of any gate,
 	// absorbing runtime bookkeeping noise.
 	allocAbsSlack = 16
+	// batchedWarnFraction is the batched-probe aggregate rounds/sec drop
+	// beyond which Compare warns when the baseline has no distribution.
+	// Batched throughput is a macro measurement (scheduler + mailbox +
+	// coroutine resume), so it tolerates the same fraction as the
+	// whole-registry throughput gate.
+	batchedWarnFraction = 0.25
 )
 
 // compareProbe checks one allocation probe against its baseline under
@@ -657,6 +673,47 @@ func compareTraceOff(b, c *BenchProbe, gate Gate) []Regression {
 		}}
 	}
 	return nil
+}
+
+// compareBatched checks the batched-execution throughput probe against
+// its baseline under the gate; nil on either side compares nothing. The
+// gated figure is the batched aggregate sim-rounds/sec (best-of-runs);
+// the serial reference and speedup ride along in the envelope but are
+// not gated separately, since the aggregate figure already moves when
+// either side does.
+func compareBatched(b, c *BenchProbe, gate Gate) []Regression {
+	if b == nil || c == nil {
+		return nil
+	}
+	slack := gateSlack(b.RoundsPerSec, b.RPSDist, gate.ciFactor(), gate.frac(batchedWarnFraction))
+	switch {
+	case b.Name != c.Name || b.N != c.N || b.WordsPerPair != c.WordsPerPair ||
+		b.Rounds != c.Rounds || b.Batch != c.Batch || b.Backend != c.Backend:
+		return []Regression{{Kind: RegressMismatch, What: fmt.Sprintf(
+			"batched probe shape mismatch (baseline %s/%s n=%d batch=%d, current %s/%s n=%d batch=%d): throughput not compared",
+			b.Name, b.Backend, b.N, b.Batch, c.Name, c.Backend, c.N, c.Batch)}}
+	case b.RoundsPerSec > 0 && c.RoundsPerSec < b.RoundsPerSec-slack:
+		return []Regression{{
+			What:     fmt.Sprintf("batched steady-state throughput (sim-rounds/sec, %s backend, batch %d)", c.Backend, c.Batch),
+			Kind:     RegressBatched,
+			Baseline: b.RoundsPerSec,
+			Current:  c.RoundsPerSec,
+		}}
+	}
+	return nil
+}
+
+// BatchedRegressions reports batched-throughput regressions beyond the
+// given gate — the fatal half of cliquebench's -batch-regress-fail
+// gate, mirroring TraceOffRegressions.
+func BatchedRegressions(baseline, current *Report, gate Gate) []Regression {
+	var out []Regression
+	for _, r := range compareBatched(baseline.BenchBatched, current.BenchBatched, gate) {
+		if r.Kind == RegressBatched {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // TraceOffRegressions reports trace-off throughput regressions beyond

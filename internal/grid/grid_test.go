@@ -287,3 +287,51 @@ func TestWriteArtifactsStripped(t *testing.T) {
 		t.Fatalf("stripped summary.json still has timing:\n%s", data)
 	}
 }
+
+// TestRunGridBatchMatchesSerial pins the -batch contract: batching
+// same-shape seed sweeps changes neither the record order nor any model
+// cost, so the stripped deterministic summary is byte-identical to a
+// serial run's.
+func TestRunGridBatchMatchesSerial(t *testing.T) {
+	spec, err := grid.ParseSpec([]byte(`{
+	  "name": "batch-check",
+	  "repeats": 2,
+	  "warmup": 1,
+	  "experiments": [
+	    {"algorithm": "exchange", "ns": [4, 8], "seeds": [1, 2, 3]},
+	    {"algorithm": "triangle", "ns": [8], "seeds": [1, 2]},
+	    {"algorithm": "mst", "ns": [8]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(batch bool) (*grid.Report, []grid.RunRecord) {
+		rep, recs, err := grid.Run(context.Background(), spec, grid.Options{Batch: batch, Backend: "lockstep"})
+		if err != nil {
+			t.Fatalf("Run(batch=%v): %v", batch, err)
+		}
+		return rep, recs
+	}
+	repS, recsS := run(false)
+	repB, recsB := run(true)
+	if len(recsS) != len(recsB) {
+		t.Fatalf("got %d batched records, want %d", len(recsB), len(recsS))
+	}
+	for i := range recsS {
+		a, b := recsS[i], recsB[i]
+		if a.Cell != b.Cell || a.Repeat != b.Repeat || a.Rounds != b.Rounds || a.Words != b.Words {
+			t.Fatalf("record %d differs under -batch: %+v vs %+v", i, a, b)
+		}
+	}
+	var bufS, bufB bytes.Buffer
+	if err := repS.StripTiming().WriteJSON(&bufS); err != nil {
+		t.Fatal(err)
+	}
+	if err := repB.StripTiming().WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufS.Bytes(), bufB.Bytes()) {
+		t.Fatalf("stripped summaries differ under -batch:\n%s\n---\n%s", bufS.Bytes(), bufB.Bytes())
+	}
+}

@@ -40,6 +40,13 @@ type Options struct {
 	// Progress, when non-nil, is called after every recorded run with
 	// cumulative counts. It may be called concurrently under Parallel.
 	Progress func(done, total int)
+	// Batch groups algorithm cells sharing an (algorithm, n, wpp) shape
+	// — seed sweeps — into one batched engine execution per repeat.
+	// Model costs are bit-identical to serial runs; each repeat's wall
+	// clock is measured per batch and attributed to cells by their share
+	// of the batch's rounds, so per-cell throughput stays comparable.
+	// Experiment cells and shapes that appear once run serially.
+	Batch bool
 }
 
 // resolve folds spec defaults and option overrides into concrete knobs.
@@ -111,36 +118,63 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Report, []RunRecord, e
 		opts.Progress(n, total)
 	}
 
-	execCell := func(i int) {
-		recs, err := runCell(ctx, cells[i], backend, repeats, warmup, progress)
+	// The unit of work is a group of cell indices: singletons normally,
+	// same-shape seed sweeps under Batch. Records land in perCell by
+	// cell index either way, so output order is deterministic.
+	groups := make([][]int, 0, len(cells))
+	if opts.Batch {
+		groups = batchGroups(cells)
+	} else {
+		for i := range cells {
+			groups = append(groups, []int{i})
+		}
+	}
+
+	execGroup := func(g []int) {
+		if len(g) == 1 {
+			recs, err := runCell(ctx, cells[g[0]], backend, repeats, warmup, progress)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			perCell[g[0]] = recs
+			return
+		}
+		group := make([]Cell, len(g))
+		for j, i := range g {
+			group[j] = cells[i]
+		}
+		recsByCell, err := runCellsBatched(ctx, group, backend, repeats, warmup, progress)
 		if err != nil {
 			setErr(err)
 			return
 		}
-		perCell[i] = recs
+		for j, i := range g {
+			perCell[i] = recsByCell[j]
+		}
 	}
 
 	workers := opts.Parallel
-	if workers < 2 || len(cells) < 2 {
-		for i := range cells {
-			execCell(i)
+	if workers < 2 || len(groups) < 2 {
+		for _, g := range groups {
+			execGroup(g)
 		}
 	} else {
-		if workers > len(cells) {
-			workers = len(cells)
+		if workers > len(groups) {
+			workers = len(groups)
 		}
-		jobs := make(chan int)
+		jobs := make(chan []int)
 		for w := 0; w < workers; w++ {
 			done.Add(1)
 			go func() {
 				defer done.Done()
-				for i := range jobs {
-					execCell(i)
+				for g := range jobs {
+					execGroup(g)
 				}
 			}()
 		}
-		for i := range cells {
-			jobs <- i
+		for _, g := range groups {
+			jobs <- g
 		}
 		close(jobs)
 		done.Wait()
@@ -155,6 +189,109 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Report, []RunRecord, e
 	}
 	rep := Summarize(spec, records, backend, repeats, warmup)
 	return rep, records, nil
+}
+
+// batchGroups partitions cells into batchable groups: algorithm cells
+// sharing an (algorithm, n, wpp) shape — i.e. differing only by seed —
+// group together in first-appearance order; everything else stays a
+// singleton.
+func batchGroups(cells []Cell) [][]int {
+	type shape struct {
+		alg    string
+		n, wpp int
+	}
+	seen := map[shape]int{}
+	var groups [][]int
+	for i, c := range cells {
+		if c.Kind != CellAlgorithm {
+			groups = append(groups, []int{i})
+			continue
+		}
+		k := shape{c.Algorithm, c.N, c.WPP}
+		if gi, ok := seen[k]; ok {
+			groups[gi] = append(groups[gi], i)
+		} else {
+			seen[k] = len(groups)
+			groups = append(groups, []int{i})
+		}
+	}
+	return groups
+}
+
+// runCellsBatched executes a same-shape group of algorithm cells:
+// every warmup and repeat is one batched engine execution covering the
+// whole group. Per-cell model costs come from the per-run results
+// (bit-identical to serial runs); the batch's wall clock is attributed
+// to cells proportionally to their rounds. The per-cell determinism
+// check is identical to runCell's.
+func runCellsBatched(ctx context.Context, group []Cell, backend string, repeats, warmup int, progress func()) ([][]RunRecord, error) {
+	alg, ok := workload.Get(group[0].Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("grid: cell %d: unknown algorithm %q", group[0].Index, group[0].Algorithm)
+	}
+	cfg := clique.Config{N: group[0].N, WordsPerPair: group[0].WPP, Backend: backend}
+
+	one := func() ([]*clique.Result, int64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("grid: cell %d (%s): %w", group[0].Index, group[0].GroupKey(), err)
+		}
+		start := time.Now()
+		// Instance generation is rebuilt per execution and stays inside
+		// the timed region, exactly as in the serial path.
+		progs := make([]clique.NodeFunc, len(group))
+		for j, c := range group {
+			progs[j] = alg.Make(c.N, c.Seed)
+		}
+		results, errs := clique.RunBatch(cfg, progs)
+		wall := time.Since(start)
+		for j, err := range errs {
+			if err != nil {
+				return nil, 0, fmt.Errorf("grid: cell %d (%s): %w", group[j].Index, group[j].GroupKey(), err)
+			}
+		}
+		return results, wall.Nanoseconds(), nil
+	}
+
+	for i := 0; i < warmup; i++ {
+		if _, _, err := one(); err != nil {
+			return nil, err
+		}
+	}
+	recs := make([][]RunRecord, len(group))
+	for r := 0; r < repeats; r++ {
+		results, wallNS, err := one()
+		if err != nil {
+			return nil, err
+		}
+		var totalRounds int64
+		for _, res := range results {
+			totalRounds += int64(res.Stats.Rounds)
+		}
+		for j, c := range group {
+			rounds := int64(results[j].Stats.Rounds)
+			words := results[j].Stats.WordsSent
+			cellWall := int64(0)
+			if totalRounds > 0 {
+				cellWall = wallNS * rounds / totalRounds
+			} else if len(group) > 0 {
+				cellWall = wallNS / int64(len(group))
+			}
+			rec := RunRecord{Cell: c, Repeat: r, Rounds: rounds, Words: words, WallNS: cellWall}
+			if cellWall > 0 {
+				rec.RoundsPerSec = float64(rounds) / (float64(cellWall) / 1e9)
+			}
+			if r > 0 && (rounds != recs[j][0].Rounds || words != recs[j][0].Words) {
+				return nil, fmt.Errorf(
+					"grid: cell %d (%s): repeat %d cost %d rounds/%d words, repeat 0 cost %d/%d — model nondeterminism",
+					c.Index, c.GroupKey(), r, rounds, words, recs[j][0].Rounds, recs[j][0].Words)
+			}
+			recs[j] = append(recs[j], rec)
+			if progress != nil {
+				progress()
+			}
+		}
+	}
+	return recs, nil
 }
 
 // runCell executes one cell: warmup runs discarded, repeats recorded,

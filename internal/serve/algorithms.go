@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/clique"
 	"repro/internal/exp"
@@ -26,22 +27,32 @@ func AlgorithmNames() []string { return workload.Names() }
 // registered experiment simulates.
 const maxAdhocN = 1024
 
+// adhocParams validates an ad-hoc request against the catalogue and
+// resolves its effective word budget. The handler resolves the
+// catalogue default before hashing; the fallback here only covers
+// direct (non-HTTP) callers.
+func adhocParams(req exp.Request) (Algorithm, int, error) {
+	alg, ok := workload.Get(req.Algorithm)
+	if !ok {
+		return Algorithm{}, 0, fmt.Errorf("unknown algorithm %q (valid: %v)", req.Algorithm, AlgorithmNames())
+	}
+	if req.N > maxAdhocN {
+		return Algorithm{}, 0, fmt.Errorf("n = %d exceeds the ad-hoc limit %d", req.N, maxAdhocN)
+	}
+	wpp := req.WordsPerPair
+	if wpp == 0 {
+		wpp = alg.WPP
+	}
+	return alg, wpp, nil
+}
+
 // adhocExperiment wraps an ad-hoc request as an ephemeral Experiment so
 // it runs through the same counted exp.Ctx as registry experiments and
 // produces the same envelope shape.
 func adhocExperiment(req exp.Request) (exp.Experiment, error) {
-	alg, ok := workload.Get(req.Algorithm)
-	if !ok {
-		return exp.Experiment{}, fmt.Errorf("unknown algorithm %q (valid: %v)", req.Algorithm, AlgorithmNames())
-	}
-	if req.N > maxAdhocN {
-		return exp.Experiment{}, fmt.Errorf("n = %d exceeds the ad-hoc limit %d", req.N, maxAdhocN)
-	}
-	// The handler resolves the catalogue default before hashing; this
-	// fallback only covers direct (non-HTTP) callers.
-	wpp := req.WordsPerPair
-	if wpp == 0 {
-		wpp = alg.WPP
+	alg, wpp, err := adhocParams(req)
+	if err != nil {
+		return exp.Experiment{}, err
 	}
 	return exp.Experiment{
 		ID:       "adhoc:" + alg.Name,
@@ -53,11 +64,38 @@ func adhocExperiment(req exp.Request) (exp.Experiment, error) {
 			if err != nil {
 				c.Failf("%v", err)
 			}
-			t.Row(exp.Int(req.N), exp.Int(wpp), exp.Int(res.Stats.Rounds),
-				exp.Int64(res.Stats.WordsSent), exp.Int64(res.Stats.BitsSent),
-				exp.Int(res.Stats.MaxPairWords))
-			c.Metric("rounds", float64(res.Stats.Rounds), "rounds")
-			c.Metric("words", float64(res.Stats.WordsSent), "words")
+			adhocRow(c, t, req.N, wpp, res)
 		},
 	}, nil
+}
+
+// adhocResultExperiment is adhocExperiment for a run that already
+// executed inside a batched engine execution: the body folds the
+// precomputed result's cost into the counted Ctx (exp.Ctx.Record) and
+// emits exactly the table and metrics the serial body would, so the
+// marshalled envelope is byte-identical to the serial path's. wall is
+// the run's attributed share of the batch's wall clock, feeding the
+// same progress/throughput plumbing a serial run would.
+func adhocResultExperiment(req exp.Request, alg Algorithm, wpp int, res *clique.Result, wall time.Duration) exp.Experiment {
+	return exp.Experiment{
+		ID:       "adhoc:" + alg.Name,
+		Artefact: "ad-hoc",
+		Title:    fmt.Sprintf("%s (n=%d, seed=%d)", alg.Title, req.N, req.Seed),
+		Run: func(c *exp.Ctx) {
+			t := c.Table("", "n", "wpp", "rounds", "words", "bits", "max pair words")
+			c.Record(res, wall)
+			adhocRow(c, t, req.N, wpp, res)
+		},
+	}
+}
+
+// adhocRow emits the one-row table and scalar metrics shared by the
+// serial and batched ad-hoc bodies — one definition, so the two
+// envelopes cannot drift apart.
+func adhocRow(c *exp.Ctx, t *exp.TableBuilder, n, wpp int, res *clique.Result) {
+	t.Row(exp.Int(n), exp.Int(wpp), exp.Int(res.Stats.Rounds),
+		exp.Int64(res.Stats.WordsSent), exp.Int64(res.Stats.BitsSent),
+		exp.Int(res.Stats.MaxPairWords))
+	c.Metric("rounds", float64(res.Stats.Rounds), "rounds")
+	c.Metric("words", float64(res.Stats.WordsSent), "words")
 }

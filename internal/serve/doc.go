@@ -23,7 +23,12 @@
 // repeated requests are served from memory without simulating anything.
 // Workers run experiments on the lockstep engine whose mailbox arenas
 // are pooled across runs (internal/engine), so a hot serving loop stops
-// allocating its largest buffers. Clients that ask for
+// allocating its largest buffers; /metrics breaks the pools' hit rates
+// down per mailbox shape and per scratch size class. With
+// Config.BatchWidth > 1 a worker additionally coalesces queued
+// same-shape untraced ad-hoc jobs into one batched engine execution
+// (clique.RunBatch) whose per-job envelopes stay byte-identical to
+// serial runs. Clients that ask for
 // `Accept: text/event-stream` (or `?stream=sse`) get queued/progress
 // events while the job runs and the envelope as the final event.
 // Shutdown is graceful: the queue stops accepting, running jobs drain

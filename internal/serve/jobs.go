@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/clique"
 	"repro/internal/exp"
 )
 
@@ -55,17 +56,93 @@ func (s *Server) enqueue(e *entry) error {
 	}
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker drains the queue until Shutdown closes it. With BatchWidth
+// > 1 it opportunistically coalesces batchable jobs already waiting in
+// the queue into one batched engine execution. Jobs drained while
+// probing that do not match the leader's shape carry over as pending
+// work and run next, so nothing is dropped or starved; coalescing never
+// waits for work that is not already queued.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for e := range s.queue {
-		s.metrics.jobsQueued.Add(-1)
-		s.metrics.queueWait.observe(jobLabel(e.req), time.Since(e.enqueuedAt).Nanoseconds())
-		s.metrics.jobsRunning.Add(1)
-		s.runJob(e)
-		s.metrics.jobsRunning.Add(-1)
-		s.metrics.jobsDone.Add(1)
+	var pending []*entry
+	for {
+		var e *entry
+		if len(pending) > 0 {
+			e, pending = pending[0], pending[1:]
+		} else {
+			var ok bool
+			if e, ok = <-s.queue; !ok {
+				return
+			}
+			s.metrics.jobsQueued.Add(-1)
+		}
+		group := []*entry{e}
+		if s.cfg.BatchWidth > 1 && batchable(e.req) {
+			group, pending = s.coalesce(e, pending)
+		}
+		for _, g := range group {
+			s.metrics.queueWait.observe(jobLabel(g.req), time.Since(g.enqueuedAt).Nanoseconds())
+		}
+		s.metrics.jobsRunning.Add(int64(len(group)))
+		if len(group) == 1 {
+			s.runJob(e)
+		} else {
+			s.runJobBatch(group)
+		}
+		s.metrics.jobsRunning.Add(int64(-len(group)))
+		s.metrics.jobsDone.Add(int64(len(group)))
 	}
+}
+
+// batchable reports whether a request may join a batched execution at
+// all: ad-hoc simulations, untraced (a trace collector is per-run state
+// the batched engine path does not thread).
+func batchable(req exp.Request) bool {
+	return req.Kind == exp.KindAdhoc && !req.Trace
+}
+
+// sameBatchShape reports whether b can share a batched engine
+// execution with leader a: both batchable and differing only by seed.
+// The handler resolves the words-per-pair default before hashing, so
+// equal budgets compare equal here.
+func sameBatchShape(a, b exp.Request) bool {
+	return batchable(b) &&
+		a.Algorithm == b.Algorithm && a.N == b.N &&
+		a.WordsPerPair == b.WordsPerPair &&
+		a.Backend == b.Backend && a.Quick == b.Quick
+}
+
+// coalesce grows e's batch group up to BatchWidth, first from pending
+// jobs a previous probe drained, then from whatever is sitting in the
+// queue right now. Non-matching drained jobs are returned as the new
+// pending list in arrival order.
+func (s *Server) coalesce(e *entry, pending []*entry) (group, rest []*entry) {
+	group = []*entry{e}
+	rest = pending[:0]
+	for _, p := range pending {
+		if len(group) < s.cfg.BatchWidth && sameBatchShape(e.req, p.req) {
+			group = append(group, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	for len(group) < s.cfg.BatchWidth {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return group, rest
+			}
+			s.metrics.jobsQueued.Add(-1)
+			if sameBatchShape(e.req, p.req) {
+				group = append(group, p)
+			} else {
+				rest = append(rest, p)
+			}
+		default:
+			return group, rest
+		}
+	}
+	return group, rest
 }
 
 // jobLabel is the histogram label of a request: the experiment id, or
@@ -121,6 +198,101 @@ func (s *Server) executeJob(e *entry) (data []byte, err error) {
 	}
 	s.metrics.window.record(tim.Rounds, tim.SimWall.Nanoseconds())
 	return marshalEnvelope(e.req.Backend, opts, res)
+}
+
+// runJobBatch executes a coalesced group of same-shape ad-hoc jobs as
+// one batched engine execution and completes every entry exactly once,
+// with the same panic containment as runJob. Each job's envelope is
+// byte-identical to what a serial runJob would have produced for it:
+// batched per-run results are bit-identical to serial runs, and the
+// envelope is built by the same exp/marshal path (pinned by tests).
+func (s *Server) runJobBatch(group []*entry) {
+	start := time.Now()
+	data, errs := s.executeBatch(group)
+	// The group shares one shape, so jobs are comparable in cost: split
+	// the batch's wall evenly across them for the per-job histogram.
+	wall := time.Since(start).Nanoseconds() / int64(len(group))
+	s.metrics.batches.Add(1)
+	s.metrics.jobsBatched.Add(int64(len(group)))
+	for i, e := range group {
+		s.metrics.runWall.observe(jobLabel(e.req), wall)
+		if errs[i] != nil {
+			s.metrics.jobsFailed.Add(1)
+		}
+		s.cache.markCompleted(e, errs[i] != nil)
+		e.complete(data[i], errs[i])
+	}
+}
+
+// executeBatch is runJobBatch's fallible body: one clique.RunBatch over
+// the group's programs, then one envelope per job. A panic fails every
+// job that has not already been decided.
+func (s *Server) executeBatch(group []*entry) (data [][]byte, errs []error) {
+	data = make([][]byte, len(group))
+	errs = make([]error, len(group))
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("job %s panicked: %v", group[0].req.Kind, r)
+			for i := range group {
+				if data[i] == nil && errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}
+	}()
+	// The group shares one shape, so validation is decided once for all.
+	alg, wpp, err := adhocParams(group[0].req)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return data, errs
+	}
+	backend := group[0].req.Backend
+	if backend == "" {
+		backend = clique.DefaultBackend
+	}
+	cfg := clique.Config{N: group[0].req.N, WordsPerPair: wpp, Backend: backend}
+	progs := make([]clique.NodeFunc, len(group))
+	for i, e := range group {
+		progs[i] = alg.Make(e.req.N, e.req.Seed)
+	}
+	start := time.Now()
+	results, runErrs := clique.RunBatch(cfg, progs)
+	wall := time.Since(start)
+	var totalRounds int64
+	for i := range group {
+		if runErrs[i] == nil {
+			totalRounds += int64(results[i].Stats.Rounds)
+		}
+	}
+	for i, e := range group {
+		if runErrs[i] != nil {
+			// The serial body Failf()s a run error under the experiment
+			// id; reproduce that exact shape.
+			errs[i] = fmt.Errorf("exp adhoc:%s: %v", alg.Name, runErrs[i])
+			continue
+		}
+		runWall := time.Duration(0)
+		if totalRounds > 0 {
+			runWall = time.Duration(int64(wall) * int64(results[i].Stats.Rounds) / totalRounds)
+		}
+		opts := exp.Options{Backend: e.req.Backend, Quick: e.req.Quick, Progress: e.publishProgress}
+		res, tim, err := exp.RunExperiment(s.baseCtx,
+			adhocResultExperiment(e.req, alg, wpp, results[i], runWall), opts)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		s.metrics.simRounds.Add(tim.Rounds)
+		if tim.SimWall > 0 {
+			s.metrics.rpsHist.observe(jobLabel(e.req),
+				int64(float64(tim.Rounds)/tim.SimWall.Seconds()))
+		}
+		s.metrics.window.record(tim.Rounds, tim.SimWall.Nanoseconds())
+		data[i], errs[i] = marshalEnvelope(e.req.Backend, opts, res)
+	}
+	return data, errs
 }
 
 // experimentFor resolves a canonical request to a runnable Experiment.

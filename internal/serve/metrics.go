@@ -22,6 +22,8 @@ type metrics struct {
 	cacheHits    expvar.Int // answered from cache or coalesced
 	cacheMisses  expvar.Int // scheduled a fresh run
 	simRounds    expvar.Int // total simulated rounds served
+	batches      expvar.Int // batched engine executions (BatchWidth > 1)
+	jobsBatched  expvar.Int // jobs that ran inside a batched execution
 
 	// The latency plane: log₂-bucketed distributions labelled by
 	// experiment id (or "adhoc:<algorithm>"). queueWait is time spent in
@@ -47,6 +49,8 @@ func newMetrics() *metrics {
 	m.vars.Set("cache_hits", &m.cacheHits)
 	m.vars.Set("cache_misses", &m.cacheMisses)
 	m.vars.Set("sim_rounds", &m.simRounds)
+	m.vars.Set("batches", &m.batches)
+	m.vars.Set("jobs_batched", &m.jobsBatched)
 	m.vars.Set("queue_wait_ns", &m.queueWait)
 	m.vars.Set("run_wall_ns", &m.runWall)
 	m.vars.Set("rounds_per_sec_hist", &m.rpsHist)
@@ -67,6 +71,33 @@ func newMetrics() *metrics {
 	m.vars.Set("scratch_pool", expvar.Func(func() any {
 		hits, misses := engine.ScratchStats()
 		return map[string]int64{"hits": hits, "misses": misses}
+	}))
+	// Per-size-class splits behind the aggregates: keys are the mailbox
+	// shape ("n=64,wpp=1,arena") and the scratch class capacity in words
+	// ("4096w", "oversize"). A persistently missing key pinpoints the
+	// workload shape defeating the pools.
+	m.vars.Set("arena_pool_by_shape", expvar.Func(func() any {
+		out := map[string]map[string]int64{}
+		for _, s := range engine.PoolShapeStats() {
+			layout := "slices"
+			if s.Arena {
+				layout = "arena"
+			}
+			key := fmt.Sprintf("n=%d,wpp=%d,%s", s.N, s.WordsPerPair, layout)
+			out[key] = map[string]int64{"hits": s.Hits, "misses": s.Misses}
+		}
+		return out
+	}))
+	m.vars.Set("scratch_pool_by_class", expvar.Func(func() any {
+		out := map[string]map[string]int64{}
+		for _, s := range engine.ScratchClassStats() {
+			key := "oversize"
+			if s.Words > 0 {
+				key = fmt.Sprintf("%dw", s.Words)
+			}
+			out[key] = map[string]int64{"hits": s.Hits, "misses": s.Misses}
+		}
+		return out
 	}))
 	m.vars.Set("batched_ops", expvar.Func(func() any {
 		sendBuf, broadcastBuf, recvInto := engine.BatchedStats()

@@ -28,6 +28,12 @@ type Config struct {
 	// DefaultBackend is the engine used when a request does not name
 	// one. Default: "lockstep", the serving-optimised engine.
 	DefaultBackend string
+	// BatchWidth caps how many batchable ad-hoc jobs a worker coalesces
+	// from the queue into one batched engine execution (untraced ad-hoc
+	// requests sharing algorithm/n/wpp/backend/quick — seed sweeps).
+	// Each coalesced job still produces the envelope a serial execution
+	// would, byte for byte. Default: 1, i.e. batching off.
+	BatchWidth int
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +48,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultBackend == "" {
 		c.DefaultBackend = "lockstep"
+	}
+	if c.BatchWidth < 1 {
+		c.BatchWidth = 1
 	}
 	return c
 }

@@ -52,6 +52,9 @@ func TestHandlers(t *testing.T) {
 		{"metrics has cache rate", "GET", "/metrics", "", 200, `"cache_hit_rate"`},
 		{"metrics has rounds per sec", "GET", "/metrics", "", 200, `"rounds_per_sec"`},
 		{"metrics has latency histograms", "GET", "/metrics", "", 200, `"queue_wait_ns"`},
+		{"metrics has per-shape pool split", "GET", "/metrics", "", 200, `"arena_pool_by_shape"`},
+		{"metrics has per-class scratch split", "GET", "/metrics", "", 200, `"scratch_pool_by_class"`},
+		{"metrics has batch counters", "GET", "/metrics", "", 200, `"jobs_batched"`},
 		{"traced run carries trace block", "POST", "/v1/experiments/fig1:run?trace=1", `{"quick":true}`, 200, `"cliquetrace/v1"`},
 		{"list experiments", "GET", "/v1/experiments", "", 200, `"fig1"`},
 		{"get experiment", "GET", "/v1/experiments/thm2", "", 200, `E3 / Theorem 2`},
