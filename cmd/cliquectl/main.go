@@ -1,0 +1,119 @@
+// Command cliquectl is the retrying command-line client for a cliqued
+// daemon. It wraps internal/client, so every invocation gets the
+// failure-semantics-aware retry loop: exponential backoff with full
+// jitter, Retry-After honoring on 503 shed, and a hard retry budget —
+// which makes it the right tool for scripts that must converge across
+// daemon restarts (scripts/smoke-recovery.sh drives it through a
+// SIGKILL).
+//
+// Usage:
+//
+//	cliquectl [flags] run -algorithm triangle -n 64 -seed 7
+//	cliquectl [flags] experiment fig1 -quick
+//	cliquectl [flags] ledger-stats
+//	cliquectl [flags] health
+//
+// Global flags (before the subcommand): -addr, -attempts, -base-delay,
+// -max-delay, -retry-budget, -timeout. The envelope (or stats JSON) is
+// written to stdout; errors go to stderr with exit status 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+)
+
+func main() {
+	globals := flag.NewFlagSet("cliquectl", flag.ExitOnError)
+	addr := globals.String("addr", "http://localhost:8347", "cliqued base URL")
+	attempts := globals.Int("attempts", 6, "max attempts per call (first try included)")
+	baseDelay := globals.Duration("base-delay", 100*time.Millisecond, "backoff base delay")
+	maxDelay := globals.Duration("max-delay", 5*time.Second, "backoff delay cap")
+	budget := globals.Duration("retry-budget", 60*time.Second, "total time allowed across retries")
+	timeout := globals.Duration("timeout", 0, "overall call deadline (0 = none)")
+	globals.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cliquectl [flags] {run|experiment|ledger-stats|health} [args]\n")
+		globals.PrintDefaults()
+	}
+	globals.Parse(os.Args[1:])
+	if globals.NArg() == 0 {
+		globals.Usage()
+		os.Exit(2)
+	}
+
+	c := client.New(client.Config{
+		BaseURL:     *addr,
+		MaxAttempts: *attempts,
+		BaseDelay:   *baseDelay,
+		MaxDelay:    *maxDelay,
+		RetryBudget: *budget,
+	})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cmd, rest := globals.Arg(0), globals.Args()[1:]
+	var data []byte
+	var err error
+	switch cmd {
+	case "run":
+		data, err = cmdRun(ctx, c, rest)
+	case "experiment":
+		data, err = cmdExperiment(ctx, c, rest)
+	case "ledger-stats":
+		data, err = c.LedgerStats(ctx)
+	case "health":
+		if err = c.Health(ctx); err == nil {
+			data = []byte("ok\n")
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cliquectl: unknown command %q\n", cmd)
+		globals.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliquectl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+}
+
+func cmdRun(ctx context.Context, c *client.Client, args []string) ([]byte, error) {
+	fs := flag.NewFlagSet("cliquectl run", flag.ExitOnError)
+	algorithm := fs.String("algorithm", "", "workload algorithm (required)")
+	n := fs.Int("n", 0, "node count (required)")
+	wpp := fs.Int("wpp", 0, "words per pair (0 = algorithm default)")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	backend := fs.String("backend", "", "execution backend (empty = server default)")
+	quick := fs.Bool("quick", false, "quick mode")
+	trace := fs.Bool("trace", false, "collect a round trace")
+	timeoutMS := fs.Int64("timeout-ms", 0, "per-job wall budget in ms (capped by the server)")
+	fs.Parse(args)
+	return c.Run(ctx, client.RunRequest{
+		Algorithm: *algorithm, N: *n, WordsPerPair: *wpp, Seed: *seed,
+		Backend: *backend, Quick: *quick, Trace: *trace, TimeoutMS: *timeoutMS,
+	})
+}
+
+func cmdExperiment(ctx context.Context, c *client.Client, args []string) ([]byte, error) {
+	fs := flag.NewFlagSet("cliquectl experiment", flag.ExitOnError)
+	backend := fs.String("backend", "", "execution backend (empty = server default)")
+	quick := fs.Bool("quick", false, "quick mode")
+	trace := fs.Bool("trace", false, "collect a round trace")
+	timeoutMS := fs.Int64("timeout-ms", 0, "per-job wall budget in ms (capped by the server)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("usage: cliquectl experiment [flags] <id>")
+	}
+	return c.RunExperiment(ctx, fs.Arg(0), client.ExperimentOptions{
+		Backend: *backend, Quick: *quick, Trace: *trace, TimeoutMS: *timeoutMS,
+	})
+}

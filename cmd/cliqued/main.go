@@ -18,11 +18,20 @@
 //	curl -N 'localhost:8347/v1/experiments/thm9:run?stream=sse' -X POST
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
-// running jobs finish (up to -drain), then the process exits.
+// running jobs finish (up to -drain), pending ledger appends are
+// fsync'd, then the process exits.
+//
+// Durability: -ledger names an append-only, hash-chained result store;
+// computed envelopes survive restarts and SIGKILL (the file recovers
+// its committed prefix on reopen). -verify-ledger scans a ledger file
+// offline and exits. -job-timeout caps every job's wall budget (504 on
+// overrun). CLIQUE_FAULTS, when set, installs the deterministic fault
+// plan at boot — chaos testing only; a malformed spec is fatal.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -36,6 +45,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/ledger"
 	"repro/internal/serve"
 )
 
@@ -49,11 +60,44 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
 	batchWidth := flag.Int("batch-width", 1,
 		"max queued ad-hoc jobs coalesced into one batched engine execution (1 = off)")
+	ledgerPath := flag.String("ledger", "",
+		"durable result ledger file (empty = no persistence); computed envelopes survive restarts")
+	jobTimeout := flag.Duration("job-timeout", 0,
+		"per-job wall-clock budget cap, 0 = none (overrun answers 504; requests may shrink via timeout_ms)")
+	verifyLedger := flag.String("verify-ledger", "",
+		"scan the named ledger file read-only, print its integrity report, and exit")
 	flag.Parse()
 
-	// Catch an operator typo at boot, not as a 400 on every request.
+	if *verifyLedger != "" {
+		os.Exit(runVerifyLedger(*verifyLedger))
+	}
+
+	// Catch operator typos at boot, not as a 400 on every request — and
+	// a malformed CLIQUE_FAULTS spec before it silently runs no faults.
 	if !slices.Contains(serve.Backends(), *backend) {
 		log.Fatalf("cliqued: unknown -backend %q (have: %s)", *backend, strings.Join(serve.Backends(), ", "))
+	}
+	if err := fault.EnvError(); err != nil {
+		log.Fatalf("cliqued: %v", err)
+	}
+	if plan := fault.Active(); plan != nil {
+		log.Printf("cliqued: WARNING: fault injection active (%d clauses from $CLIQUE_FAULTS)", len(plan.Counts()))
+	}
+
+	var led *ledger.Ledger
+	if *ledgerPath != "" {
+		var stats ledger.OpenStats
+		var err error
+		led, stats, err = ledger.Open(*ledgerPath)
+		if err != nil {
+			log.Fatalf("cliqued: open ledger: %v", err)
+		}
+		defer led.Close()
+		suffix := ""
+		if stats.TruncatedBytes > 0 {
+			suffix = fmt.Sprintf(", truncated %d torn tail bytes", stats.TruncatedBytes)
+		}
+		log.Printf("cliqued: ledger %s: %d records recovered%s", *ledgerPath, stats.Records, suffix)
 	}
 
 	s := serve.New(serve.Config{
@@ -62,6 +106,8 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		DefaultBackend: *backend,
 		BatchWidth:     *batchWidth,
+		JobTimeout:     *jobTimeout,
+		Ledger:         led,
 	})
 	// Make the service counters visible to standard expvar tooling as
 	// well as at the service's own /metrics endpoint.
@@ -106,4 +152,22 @@ func main() {
 		log.Printf("cliqued: listener: %v", err)
 	}
 	fmt.Println("cliqued: bye")
+}
+
+// runVerifyLedger is the -verify-ledger mode: scan, print the report
+// as JSON, exit 0 if the whole file verifies (no torn tail), 1 if a
+// torn tail was found, 2 on a broken chain or unreadable file. The
+// smoke scripts key off these exit codes.
+func runVerifyLedger(path string) int {
+	rep, err := ledger.Verify(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cliqued: verify-ledger: %v\n", err)
+		return 2
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if !rep.OK {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,280 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Config parameterises a Client. The zero value is usable: every field
+// has a default applied by New.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8347".
+	// Default: http://localhost:8347.
+	BaseURL string
+	// HTTPClient is the transport. Default: a client with a 0 (no)
+	// overall timeout — per-call deadlines belong to the caller's ctx.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (first attempt included).
+	// Default: 6.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k waits a
+	// full-jitter draw from [0, min(MaxDelay, BaseDelay·2^(k-1))].
+	// Default: 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff delay. Default: 5s.
+	MaxDelay time.Duration
+	// RetryBudget caps the total time a call may spend across attempts
+	// and waits; once the next delay would cross it, the call fails
+	// with the last attempt's error. Default: 60s.
+	RetryBudget time.Duration
+	// Seed fixes the jitter PRNG for reproducible retry schedules.
+	// Default: 1.
+	Seed uint64
+
+	// sleep is the test seam for backoff waits.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaseURL == "" {
+		c.BaseURL = "http://localhost:8347"
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 6
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 100 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 5 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 60 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StatusError is a non-2xx response, carrying the taxonomy status and
+// the server's error message.
+type StatusError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After, 0 if absent
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cliqued: HTTP %d: %s", e.Status, e.Message)
+}
+
+// ErrBudgetExhausted wraps the final attempt's error once the retry
+// budget or attempt count runs out.
+var ErrBudgetExhausted = errors.New("retry budget exhausted")
+
+// Client calls a cliqued daemon with retries. Safe for concurrent
+// use; the jitter PRNG is locked, so concurrent calls interleave
+// draws but each draw is a valid sample.
+type Client struct {
+	cfg Config
+	rng *lockedRand
+}
+
+// New builds a Client.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, rng: &lockedRand{state: cfg.Seed}}
+}
+
+// RunRequest mirrors POST /v1/run's body.
+type RunRequest struct {
+	Algorithm    string `json:"algorithm"`
+	N            int    `json:"n"`
+	WordsPerPair int    `json:"words_per_pair,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	Backend      string `json:"backend,omitempty"`
+	Quick        bool   `json:"quick,omitempty"`
+	Trace        bool   `json:"trace,omitempty"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+}
+
+// ExperimentOptions mirrors POST /v1/experiments/{id}:run's body.
+type ExperimentOptions struct {
+	Backend   string `json:"backend,omitempty"`
+	Quick     bool   `json:"quick,omitempty"`
+	Trace     bool   `json:"trace,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// Run executes an ad-hoc simulation and returns the cliquebench/v1
+// envelope bytes exactly as served.
+func (c *Client) Run(ctx context.Context, req RunRequest) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(ctx, http.MethodPost, "/v1/run", body)
+}
+
+// RunExperiment executes a registered experiment and returns the
+// envelope bytes.
+func (c *Client) RunExperiment(ctx context.Context, id string, opts ExperimentOptions) ([]byte, error) {
+	body, err := json.Marshal(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(ctx, http.MethodPost, "/v1/experiments/"+id+":run", body)
+}
+
+// LedgerStats returns the durable tier's integrity view, or a
+// *StatusError with status 404 when the daemon runs without a ledger.
+func (c *Client) LedgerStats(ctx context.Context) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/ledger/stats", nil)
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// retryable reports whether a status is worth another attempt: the
+// 5xx legs of the server's error taxonomy. Every request the client
+// can issue is idempotent by construction, so retrying a failure can
+// never double work — at worst it hits the daemon's cache.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs the retry loop around one logical call.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	start := time.Now()
+	var lastErr error
+	var retryAfter time.Duration
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt, retryAfter)
+			if time.Since(start)+delay > c.cfg.RetryBudget {
+				break
+			}
+			if err := c.cfg.sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+		}
+		data, serr, err := c.attempt(ctx, method, path, body)
+		switch {
+		case err == nil && serr == nil:
+			return data, nil
+		case err != nil:
+			// Transport-level failure (connection refused, reset, EOF
+			// from a killed daemon). Retryable unless the caller's ctx
+			// is what gave out.
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr, retryAfter = err, 0
+		case !retryable(serr.Status):
+			return nil, serr
+		default:
+			lastErr, retryAfter = serr, serr.RetryAfter
+		}
+	}
+	return nil, fmt.Errorf("%w after %v: %w", ErrBudgetExhausted,
+		time.Since(start).Round(time.Millisecond), lastErr)
+}
+
+// attempt issues one HTTP exchange. Exactly one of the returns is
+// non-nil/non-zero: (data, nil, nil) on 2xx, (nil, serr, nil) on a
+// non-2xx response, (nil, nil, err) on transport failure.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, *StatusError, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode/100 == 2 {
+		return data, nil, nil
+	}
+	serr := &StatusError{Status: resp.StatusCode, Message: errorMessage(data)}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+			serr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, serr, nil
+}
+
+// errorMessage extracts the service's {"error": ...} shape, falling
+// back to the raw body.
+func errorMessage(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// backoff computes the wait before the given attempt (1-based over
+// retries): a full-jitter draw from [0, min(MaxDelay, BaseDelay·2^
+// (attempt-1))], floored by the server's Retry-After when one was
+// given — the server's estimate of when capacity returns outranks the
+// client's blind guess, but jitter still spreads clients that were
+// all shed in the same instant.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	ceil := c.cfg.BaseDelay << (attempt - 1)
+	if ceil > c.cfg.MaxDelay || ceil <= 0 {
+		ceil = c.cfg.MaxDelay
+	}
+	d := time.Duration(c.rng.float64() * float64(ceil))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}

@@ -1,0 +1,229 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newRecordingClient builds a client whose sleeps are recorded instead
+// of slept, so retry schedules are asserted without wall-clock cost.
+func newRecordingClient(url string, cfg Config, slept *[]time.Duration) *Client {
+	cfg.BaseURL = url
+	cfg.sleep = func(_ context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return nil
+	}
+	return New(cfg)
+}
+
+// TestRetriesUntilSuccess pins the basic loop: transient 503s are
+// retried and the eventual 200's body comes back verbatim.
+func TestRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"job queue full"}`))
+			return
+		}
+		w.Write([]byte(`{"schema":"cliquebench/v1"}`))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newRecordingClient(ts.URL, Config{Seed: 42}, &slept)
+	data, err := c.Run(context.Background(), RunRequest{Algorithm: "exchange", N: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !strings.Contains(string(data), "cliquebench/v1") {
+		t.Fatalf("unexpected body: %s", data)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+}
+
+// TestBackoffGrowsWithJitter pins the schedule shape: each delay is a
+// full-jitter draw below an exponentially growing ceiling, and the
+// same seed reproduces the same schedule.
+func TestBackoffGrowsWithJitter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"injected"}`))
+	}))
+	defer ts.Close()
+
+	run := func() []time.Duration {
+		var slept []time.Duration
+		c := newRecordingClient(ts.URL, Config{
+			Seed: 7, MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+		}, &slept)
+		if _, err := c.Run(context.Background(), RunRequest{Algorithm: "exchange", N: 8}); !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("want ErrBudgetExhausted, got %v", err)
+		}
+		return slept
+	}
+	first := run()
+	if len(first) != 4 {
+		t.Fatalf("slept %d times, want 4 (MaxAttempts-1)", len(first))
+	}
+	for i, d := range first {
+		ceil := 100 * time.Millisecond << i
+		if ceil > time.Second {
+			ceil = time.Second
+		}
+		if d < 0 || d >= ceil {
+			t.Fatalf("delay %d = %v outside [0, %v)", i, d, ceil)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed, different schedule: %v vs %v", first, second)
+		}
+	}
+}
+
+// TestRetryAfterIsFloor pins Retry-After honoring: the server's
+// estimate floors the jittered delay.
+func TestRetryAfterIsFloor(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"job queue full"}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	// BaseDelay 1ms: any jitter draw is far below the 2s Retry-After,
+	// so observing a 2s delay proves the header set the floor.
+	c := newRecordingClient(ts.URL, Config{BaseDelay: time.Millisecond, RetryBudget: time.Minute}, &slept)
+	if _, err := c.Run(context.Background(), RunRequest{Algorithm: "exchange", N: 8}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly [2s]", slept)
+	}
+}
+
+// TestNonRetryableFailsFast pins that a 400 — the request itself is
+// wrong — surfaces immediately without burning attempts.
+func TestNonRetryableFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"unknown algorithm"}`))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newRecordingClient(ts.URL, Config{}, &slept)
+	_, err := c.Run(context.Background(), RunRequest{Algorithm: "nope", N: 8})
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Status != http.StatusBadRequest {
+		t.Fatalf("want StatusError{400}, got %v", err)
+	}
+	if !strings.Contains(serr.Message, "unknown algorithm") {
+		t.Fatalf("message not propagated: %q", serr.Message)
+	}
+	if calls.Load() != 1 || len(slept) != 0 {
+		t.Fatalf("retried a 400: calls=%d sleeps=%d", calls.Load(), len(slept))
+	}
+}
+
+// TestRetryBudgetCapsTotalTime pins the budget: once the next delay
+// would cross it, the call stops and wraps the last error.
+func TestRetryBudgetCapsTotalTime(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"job queue full"}`))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newRecordingClient(ts.URL, Config{RetryBudget: 10 * time.Second, MaxAttempts: 10}, &slept)
+	_, err := c.Run(context.Background(), RunRequest{Algorithm: "exchange", N: 8})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	// The 30s Retry-After floor exceeds the 10s budget on the first
+	// retry, so nothing was ever slept.
+	if len(slept) != 0 {
+		t.Fatalf("slept %v despite the budget", slept)
+	}
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("budget error does not wrap the last StatusError: %v", err)
+	}
+}
+
+// TestTransportErrorsRetryAndConverge pins the crash-recovery story's
+// client half: connection failures (a killed daemon) are retried, and
+// the call converges once the endpoint is back.
+func TestTransportErrorsRetryAndConverge(t *testing.T) {
+	// The daemon "dies mid-exchange" on the first two attempts — the
+	// handler hijacks the connection and slams it shut, which the
+	// client sees as a transport error — then "restarts".
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= 2 {
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close()
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newRecordingClient(ts.URL, Config{}, &slept)
+	if _, err := c.Run(context.Background(), RunRequest{Algorithm: "exchange", N: 8}); err != nil {
+		t.Fatalf("did not converge across the outage: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times across the outage, want 2", len(slept))
+	}
+}
+
+// TestContextCancelStopsRetrying pins that the caller's ctx outranks
+// the retry loop.
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"job queue full"}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{MaxAttempts: 100}
+	cfg.BaseURL = ts.URL
+	cfg.sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	c := New(cfg)
+	_, err := c.Run(ctx, RunRequest{Algorithm: "exchange", N: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,0 +1,18 @@
+// Package client is the Go client for the cliqued service, built for
+// the failure semantics the server documents: requests are idempotent
+// by construction (a canonical request always maps to the same
+// envelope bytes), so the client retries freely — transport errors,
+// 503 shed/shutdown, 504 deadline and 500 run failures — with
+// exponential backoff, full jitter, and a hard retry budget. A 503's
+// Retry-After header, when present, sets the floor for the next delay
+// so shed retries pace themselves to the server's own estimate.
+//
+// Retrying a 504 or 500 is safe for the same reason retrying a
+// connection reset is: the daemon's result cache and ledger make the
+// retried request a lookup, not a re-execution, whenever the first
+// attempt actually completed. Client-visible failures therefore mean
+// "not done yet", never "maybe done twice".
+//
+// Non-retryable statuses (4xx: the request itself is wrong) surface
+// immediately as *StatusError without consuming the budget.
+package client

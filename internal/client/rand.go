@@ -1,0 +1,24 @@
+package client
+
+import "sync"
+
+// lockedRand is a tiny seeded PRNG (splitmix64) behind a mutex. A
+// dedicated generator instead of math/rand keeps retry schedules
+// reproducible from Config.Seed without touching process-global state
+// — the same discipline internal/fault uses for its clause PRNGs.
+type lockedRand struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// float64 draws a uniform sample from [0, 1).
+func (r *lockedRand) float64() float64 {
+	r.mu.Lock()
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	r.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,23 @@
+// Package fault is the deterministic fault-injection layer behind the
+// daemon's chaos test suite. Production code declares named injection
+// points (Hit, Stall, WrapWriter, Crashf); a Plan — parsed from the
+// CLIQUE_FAULTS spec string or installed programmatically by tests —
+// decides, deterministically from a seed and a per-site hit counter,
+// which hits inject which failure. With no plan installed every hook is
+// a nil check: the zero-cost-when-off discipline the trace plane set.
+//
+// Spec grammar (semicolon-separated clauses):
+//
+//	kind@site[:param=value[,param=value...]]
+//
+// Kinds: io-error (return a typed error), short-write (truncate a
+// write and return a typed error), panic (panic at the point), stall
+// (sleep before proceeding). Sites are the dotted names production
+// code passes, e.g. ledger.append, ledger.sync, job.run. A clause
+// site may end in "*" to prefix-match a family of sites.
+//
+// Params: p=0.5 (independent injection probability per hit), every=3
+// (inject every 3rd hit), after=10 (arm only after 10 hits), ms=50
+// (stall duration), seed=7 (per-clause PRNG seed). Omitting p and
+// every injects on every hit once armed.
+package fault

@@ -1,0 +1,366 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates what a clause injects at its site.
+type Kind string
+
+const (
+	KindIOError    Kind = "io-error"
+	KindShortWrite Kind = "short-write"
+	KindPanic      Kind = "panic"
+	KindStall      Kind = "stall"
+)
+
+// ErrInjected is the sentinel every injected error wraps, so callers
+// and tests can tell a synthetic failure from a real one with
+// errors.Is without matching strings.
+var ErrInjected = errors.New("fault: injected")
+
+// Err is an injected failure: which kind fired at which site.
+type Err struct {
+	Kind Kind
+	Site string
+}
+
+func (e *Err) Error() string { return fmt.Sprintf("fault: injected %s at %s", e.Kind, e.Site) }
+
+// Unwrap makes errors.Is(err, ErrInjected) true for every Err.
+func (e *Err) Unwrap() error { return ErrInjected }
+
+// clause is one parsed spec clause. Its PRNG state and hit counter are
+// per-clause, so two clauses at one site make independent decisions and
+// the injection sequence at a site is a pure function of (spec, hit
+// order).
+type clause struct {
+	kind   Kind
+	site   string // injection site, or a prefix when glob
+	glob   bool   // site ended in "*": prefix match
+	p      float64
+	every  int
+	after  int
+	stall  time.Duration
+	mu     sync.Mutex
+	rng    uint64 // splitmix64 state
+	hits   int64
+	seed   uint64
+	pSet   bool
+	params string // original parameter text, for String
+}
+
+// next draws the clause's next uniform float64 in [0,1).
+func (c *clause) next() float64 {
+	// splitmix64: tiny, seedable, and plenty for injection decisions.
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// fires decides, deterministically, whether this hit injects.
+func (c *clause) fires() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	if c.hits <= int64(c.after) {
+		return false
+	}
+	if c.pSet {
+		return c.next() < c.p
+	}
+	if c.every > 1 {
+		return (c.hits-int64(c.after))%int64(c.every) == 0
+	}
+	return true
+}
+
+func (c *clause) matches(site string) bool {
+	if c.glob {
+		return strings.HasPrefix(site, c.site)
+	}
+	return site == c.site
+}
+
+// Plan is a parsed fault specification plus injection counters.
+type Plan struct {
+	clauses  []*clause
+	spec     string
+	mu       sync.Mutex
+	injected map[string]int64 // site -> injections fired
+}
+
+// Parse builds a Plan from a CLIQUE_FAULTS spec string. An empty spec
+// yields a nil Plan (inject nothing).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{spec: spec, injected: map[string]int64{}}
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		c, err := parseClause(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", raw, err)
+		}
+		p.clauses = append(p.clauses, c)
+	}
+	if len(p.clauses) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+func parseClause(raw string) (*clause, error) {
+	head, params, _ := strings.Cut(raw, ":")
+	kindStr, site, ok := strings.Cut(head, "@")
+	if !ok || site == "" {
+		return nil, errors.New(`want kind@site[:param=value,...]`)
+	}
+	c := &clause{site: site, params: params}
+	switch Kind(kindStr) {
+	case KindIOError, KindShortWrite, KindPanic, KindStall:
+		c.kind = Kind(kindStr)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (valid: %s, %s, %s, %s)",
+			kindStr, KindIOError, KindShortWrite, KindPanic, KindStall)
+	}
+	if strings.HasSuffix(site, "*") {
+		c.glob = true
+		c.site = strings.TrimSuffix(site, "*")
+	}
+	if params != "" {
+		for _, kv := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("parameter %q is not key=value", kv)
+			}
+			switch key {
+			case "p":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("p=%q is not a probability", val)
+				}
+				c.p, c.pSet = f, true
+			case "every":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("every=%q is not a positive count", val)
+				}
+				c.every = n
+			case "after":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("after=%q is not a count", val)
+				}
+				c.after = n
+			case "ms":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 || n > 600_000 {
+					return nil, fmt.Errorf("ms=%q is not a duration in [0, 600000]", val)
+				}
+				c.stall = time.Duration(n) * time.Millisecond
+			case "seed":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("seed=%q is not a uint64", val)
+				}
+				c.seed = n
+			default:
+				return nil, fmt.Errorf("unknown parameter %q", key)
+			}
+		}
+	}
+	if c.kind == KindStall && c.stall == 0 {
+		c.stall = 10 * time.Millisecond
+	}
+	c.rng = c.seed ^ 0x2545f4914f6cdd1d
+	return c, nil
+}
+
+// String returns the spec the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}
+
+// Counts reports how many injections have fired per site, for tests
+// asserting that a chaos run actually exercised its faults.
+func (p *Plan) Counts() map[string]int64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.injected))
+	for k, v := range p.injected {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *Plan) count(site string) {
+	p.mu.Lock()
+	p.injected[site]++
+	p.mu.Unlock()
+}
+
+// decide returns the injections firing for one hit of site, stalls
+// first so an io-error clause still observes its companion stall.
+func (p *Plan) decide(site string, forWrite bool) []Kind {
+	var kinds []Kind
+	for _, c := range p.clauses {
+		if !c.matches(site) {
+			continue
+		}
+		if c.kind == KindShortWrite && !forWrite {
+			continue // short writes only make sense inside a Write
+		}
+		if c.fires() {
+			p.count(site)
+			kinds = append(kinds, c.kind)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] == KindStall && kinds[j] != KindStall })
+	return kinds
+}
+
+// stallFor returns the stall duration configured for site (the first
+// matching stall clause's).
+func (p *Plan) stallFor(site string) time.Duration {
+	for _, c := range p.clauses {
+		if c.kind == KindStall && c.matches(site) {
+			return c.stall
+		}
+	}
+	return 10 * time.Millisecond
+}
+
+// active is the installed plan; nil means inject nothing. The envErr
+// from parsing CLIQUE_FAULTS at init is surfaced via EnvError so the
+// daemon can refuse to boot on a typo instead of silently not
+// injecting.
+var (
+	active atomic.Pointer[Plan]
+	envErr error
+)
+
+func init() {
+	p, err := Parse(os.Getenv("CLIQUE_FAULTS"))
+	if err != nil {
+		envErr = err
+		return
+	}
+	if p != nil {
+		active.Store(p)
+	}
+}
+
+// EnvError reports a parse failure of the CLIQUE_FAULTS environment
+// spec, if any.
+func EnvError() error { return envErr }
+
+// Install makes plan the active one (nil disables injection). Returns
+// the previous plan so tests can restore it.
+func Install(plan *Plan) (prev *Plan) {
+	return active.Swap(plan)
+}
+
+// Active returns the installed plan, nil when injection is off.
+func Active() *Plan { return active.Load() }
+
+// Hit is an injection point for fallible operations. With no active
+// plan it is one atomic load. Otherwise matched stall clauses sleep,
+// a matched panic clause panics with *Err, and a matched io-error
+// clause returns *Err (wrapping ErrInjected).
+func Hit(site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.hit(site, false)
+}
+
+func (p *Plan) hit(site string, forWrite bool) error {
+	var failure error
+	for _, kind := range p.decide(site, forWrite) {
+		switch kind {
+		case KindStall:
+			time.Sleep(p.stallFor(site))
+		case KindPanic:
+			panic(&Err{Kind: KindPanic, Site: site})
+		case KindIOError:
+			if failure == nil {
+				failure = &Err{Kind: KindIOError, Site: site}
+			}
+		case KindShortWrite:
+			if failure == nil {
+				failure = &Err{Kind: KindShortWrite, Site: site}
+			}
+		}
+	}
+	return failure
+}
+
+// WrapWriter interposes the active plan on a writer: matched io-error
+// clauses fail the Write without writing, matched short-write clauses
+// write a strict prefix and then fail — the torn-write shape a crash
+// mid-append leaves on disk. With no active plan it returns w itself.
+func WrapWriter(site string, w io.Writer) io.Writer {
+	if active.Load() == nil {
+		return w
+	}
+	return &faultWriter{site: site, w: w}
+}
+
+type faultWriter struct {
+	site string
+	w    io.Writer
+}
+
+func (f *faultWriter) Write(b []byte) (int, error) {
+	p := active.Load()
+	if p == nil {
+		return f.w.Write(b)
+	}
+	err := p.hit(f.site, true)
+	var ferr *Err
+	if errors.As(err, &ferr) {
+		switch ferr.Kind {
+		case KindShortWrite:
+			// A torn write commits a strict prefix: at least one byte
+			// short, and possibly nothing.
+			n := len(b) / 2
+			if n >= len(b) {
+				n = len(b) - 1
+			}
+			if n > 0 {
+				if wrote, werr := f.w.Write(b[:n]); werr != nil {
+					return wrote, werr
+				}
+			}
+			return n, ferr
+		default:
+			return 0, ferr
+		}
+	}
+	return f.w.Write(b)
+}

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// install swaps plan in for the duration of the test.
+func install(t *testing.T, spec string) *Plan {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	prev := Install(p)
+	t.Cleanup(func() { Install(prev) })
+	return p
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"io-error",              // no site
+		"explode@ledger.append", // unknown kind
+		"io-error@x:p=2",        // p out of range
+		"io-error@x:every=0",    // bad count
+		"io-error@x:bogus=1",    // unknown param
+		"stall@x:ms=-5",         // negative duration
+		"io-error@x:p",          // not key=value
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+		}
+	}
+	for _, spec := range []string{"", "  ", ";;"} {
+		p, err := Parse(spec)
+		if err != nil || p != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+}
+
+func TestHitEveryAndAfter(t *testing.T) {
+	install(t, "io-error@ledger.append:every=3,after=2")
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := Hit("ledger.append"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	// Armed after 2 hits, firing every 3rd armed hit: 5, 8, 11.
+	want := []int{5, 8, 11}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	sequence := func() []bool {
+		install(t, "io-error@job.run:p=0.5,seed=42")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Hit("job.run") != nil
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	some := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identically seeded plans", i)
+		}
+		some = some || a[i]
+	}
+	if !some {
+		t.Fatal("p=0.5 over 64 hits never fired")
+	}
+}
+
+func TestSiteMatching(t *testing.T) {
+	p := install(t, "io-error@ledger.*")
+	if Hit("ledger.append") == nil || Hit("ledger.sync") == nil {
+		t.Fatal("glob clause did not match ledger.* sites")
+	}
+	if Hit("job.run") != nil {
+		t.Fatal("glob clause leaked onto an unrelated site")
+	}
+	counts := p.Counts()
+	if counts["ledger.append"] != 1 || counts["ledger.sync"] != 1 {
+		t.Fatalf("counts = %v, want one injection per ledger site", counts)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	install(t, "panic@worker.job")
+	defer func() {
+		r := recover()
+		ferr, ok := r.(*Err)
+		if !ok || ferr.Kind != KindPanic || ferr.Site != "worker.job" {
+			t.Fatalf("recovered %v, want *Err{panic, worker.job}", r)
+		}
+	}()
+	_ = Hit("worker.job")
+	t.Fatal("panic clause did not panic")
+}
+
+func TestStallKind(t *testing.T) {
+	install(t, "stall@job.run:ms=30")
+	start := time.Now()
+	if err := Hit("job.run"); err != nil {
+		t.Fatalf("stall returned error %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stall slept %v, want >= 30ms", d)
+	}
+}
+
+func TestShortWriteWriter(t *testing.T) {
+	install(t, "short-write@ledger.write")
+	var buf bytes.Buffer
+	w := WrapWriter("ledger.write", &buf)
+	payload := []byte("0123456789abcdef")
+	n, err := w.Write(payload)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write returned %v, want injected error", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("short write wrote %d of %d bytes — not short", n, len(payload))
+	}
+	if buf.Len() != n {
+		t.Fatalf("writer reported %d bytes but sank %d", n, buf.Len())
+	}
+	if !bytes.Equal(buf.Bytes(), payload[:n]) {
+		t.Fatal("short write did not commit a strict prefix")
+	}
+}
+
+func TestIOErrorWriterWritesNothing(t *testing.T) {
+	install(t, "io-error@ledger.write")
+	var buf bytes.Buffer
+	w := WrapWriter("ledger.write", &buf)
+	if _, err := w.Write([]byte("data")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("io-error write sank %d bytes, want 0", buf.Len())
+	}
+}
+
+func TestWrapWriterNoPlanIsIdentity(t *testing.T) {
+	prev := Install(nil)
+	t.Cleanup(func() { Install(prev) })
+	var buf bytes.Buffer
+	if w := WrapWriter("x", &buf); w != &buf {
+		t.Fatal("WrapWriter with no plan should return the writer itself")
+	}
+}
+
+func TestErrorText(t *testing.T) {
+	err := &Err{Kind: KindIOError, Site: "ledger.append"}
+	if !strings.Contains(err.Error(), "ledger.append") {
+		t.Fatalf("error text %q does not name the site", err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package ledger is the crash-safe, tamper-evident result store under
+// the cliqued daemon's in-memory cache: an append-only file of
+// length-prefixed records keyed by the canonical request hash, each
+// carrying a CRC-32C and a SHA-256 digest chained through every
+// earlier record. Because cliquebench/v1 envelopes are bit-identical
+// for a given canonical request (the property the whole caching plane
+// rests on), a record is a verifiable artefact: reopening after a
+// crash recovers exactly the committed prefix — the torn tail a
+// SIGKILL mid-append leaves behind is detected by framing/CRC and
+// truncated, and any record surviving with a valid CRC but a broken
+// chain digest is tampering, refused with a typed error rather than
+// served.
+//
+// Appends are one buffered write followed by fsync, so a record that
+// Append reported durable survives any later crash. Get re-verifies
+// the record's CRC on every read: the ledger never serves bytes it
+// cannot prove are the ones appended.
+//
+// Fault-injection sites (package fault): ledger.append (entry),
+// ledger.write (the record write — io-error and short-write),
+// ledger.sync (fsync), ledger.get (reads), ledger.open (reopen scan).
+package ledger

@@ -1,0 +1,512 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// magic is the file header; the version suffix guards against reading
+// a future incompatible layout as garbage records.
+const magic = "cliqueledger/v1\n"
+
+// Framing limits. A record larger than these is not a record — it is
+// garbage framing from a torn or corrupt length prefix, and bounding
+// it keeps the reopen scan from attempting a multi-gigabyte read on a
+// flipped bit.
+const (
+	maxKeyLen   = 1 << 10
+	maxValueLen = 64 << 20
+)
+
+// chainSize is the size of the chained SHA-256 digest each record
+// carries.
+const chainSize = sha256.Size
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed failures. ErrChainBroken is the tamper signal: a record whose
+// CRC is intact (so not a torn write) but whose chain digest does not
+// extend its predecessor's. ErrClosed and ErrBroken are lifecycle
+// errors; ErrTooLarge rejects oversized appends up front.
+var (
+	ErrChainBroken = errors.New("ledger: hash chain broken (file tampered or rewritten)")
+	ErrClosed      = errors.New("ledger: closed")
+	ErrBroken      = errors.New("ledger: previous append failed and the tail could not be restored")
+	ErrTooLarge    = errors.New("ledger: record exceeds size limits")
+	ErrNotFound    = errors.New("ledger: key not found")
+)
+
+// ref locates one committed record in the file.
+type ref struct {
+	frameOff int64 // offset of the u32 frame-length prefix
+	frameLen int   // bytes after the prefix
+	keyLen   int
+}
+
+// Ledger is an open append-only result store. All methods are safe for
+// concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	index   map[string]ref
+	size    int64 // committed file size (header + verified records)
+	chain   [chainSize]byte
+	records int64
+	appends int64 // appends performed by this process
+	broken  bool
+	closed  bool
+}
+
+// OpenStats reports what reopening found: how many committed records
+// were recovered and how many torn-tail bytes were truncated.
+type OpenStats struct {
+	Records        int64
+	TruncatedBytes int64
+}
+
+// Stats is the operator view served at /v1/ledger/stats.
+type Stats struct {
+	Path      string `json:"path"`
+	Records   int64  `json:"records"`
+	Bytes     int64  `json:"bytes"`
+	ChainHead string `json:"chain_head"`
+	Appends   int64  `json:"appends"` // appends by this process lifetime
+	Broken    bool   `json:"broken,omitempty"`
+}
+
+// Open opens or creates the ledger at path, scans and verifies every
+// record (CRC + hash chain), truncates a torn tail left by a crash
+// mid-append, and rebuilds the key index. A chain digest that does not
+// verify on a CRC-intact record fails with ErrChainBroken: that file
+// was tampered with, not torn, and refusing it is the point.
+func Open(path string) (*Ledger, OpenStats, error) {
+	if err := fault.Hit("ledger.open"); err != nil {
+		return nil, OpenStats{}, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, OpenStats{}, fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	l := &Ledger{f: f, path: path, index: map[string]ref{}}
+	stats, err := l.recover()
+	if err != nil {
+		f.Close()
+		return nil, OpenStats{}, err
+	}
+	return l, stats, nil
+}
+
+// recover scans the file from the header, verifying each record and
+// truncating at the first torn or CRC-invalid one.
+func (l *Ledger) recover() (OpenStats, error) {
+	fileSize, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return OpenStats{}, fmt.Errorf("ledger: seek %s: %w", l.path, err)
+	}
+	if fileSize == 0 {
+		// Fresh file: write the header and sync it.
+		if err := l.writeHeader(); err != nil {
+			return OpenStats{}, err
+		}
+		return OpenStats{}, nil
+	}
+	hdr := make([]byte, len(magic))
+	if n, err := l.f.ReadAt(hdr, 0); err != nil || string(hdr[:n]) != magic {
+		// A file too short to hold the header is a torn header write:
+		// recover to an empty ledger. A full-length mismatch is a
+		// different format — refuse rather than destroy it.
+		if err == nil || (errors.Is(err, io.EOF) && string(hdr[:n]) == magic[:n]) {
+			if err == nil {
+				return OpenStats{}, fmt.Errorf("ledger: %s: bad magic %q", l.path, hdr)
+			}
+			if terr := l.truncateTo(0); terr != nil {
+				return OpenStats{}, terr
+			}
+			if werr := l.writeHeader(); werr != nil {
+				return OpenStats{}, werr
+			}
+			return OpenStats{TruncatedBytes: fileSize}, nil
+		}
+		return OpenStats{}, fmt.Errorf("ledger: read header: %w", err)
+	}
+
+	off := int64(len(magic))
+	var stats OpenStats
+	for off < fileSize {
+		rec, key, ok, err := l.readRecord(off, fileSize)
+		if err != nil {
+			return OpenStats{}, err
+		}
+		if !ok {
+			// Torn or corrupt from here on: truncate to the verified
+			// prefix. Committed records never follow a torn one —
+			// appends are sequential and fsync'd in order.
+			stats.TruncatedBytes = fileSize - off
+			if err := l.truncateTo(off); err != nil {
+				return OpenStats{}, err
+			}
+			break
+		}
+		l.index[key] = rec.ref
+		l.chain = rec.chain
+		l.records++
+		off += 4 + int64(rec.ref.frameLen)
+	}
+	l.size = off
+	stats.Records = l.records
+	return stats, nil
+}
+
+// record is one parsed frame.
+type record struct {
+	ref   ref
+	chain [chainSize]byte
+}
+
+// readRecord parses and verifies the record at off. ok=false means the
+// bytes at off are torn or corrupt (truncate here); a non-nil error is
+// an I/O failure or the tamper signal ErrChainBroken.
+func (l *Ledger) readRecord(off, fileSize int64) (record, string, bool, error) {
+	var lenBuf [4]byte
+	if off+4 > fileSize {
+		return record{}, "", false, nil // torn length prefix
+	}
+	if _, err := l.f.ReadAt(lenBuf[:], off); err != nil {
+		return record{}, "", false, fmt.Errorf("ledger: read at %d: %w", off, err)
+	}
+	frameLen := int64(binary.BigEndian.Uint32(lenBuf[:]))
+	// Minimum frame: keyLen(2) + valLen(4) + chain + crc(4).
+	if frameLen < 2+4+chainSize+4 || frameLen > 2+maxKeyLen+4+maxValueLen+chainSize+4 {
+		return record{}, "", false, nil
+	}
+	if off+4+frameLen > fileSize {
+		return record{}, "", false, nil // torn body
+	}
+	frame := make([]byte, frameLen)
+	if _, err := l.f.ReadAt(frame, off+4); err != nil {
+		return record{}, "", false, fmt.Errorf("ledger: read at %d: %w", off+4, err)
+	}
+	rec, key, ok := parseFrame(frame, l.chain)
+	if !ok {
+		return record{}, "", false, nil
+	}
+	if rec.chainOK {
+		r := record{chain: rec.chain}
+		r.ref = ref{frameOff: off, frameLen: int(frameLen), keyLen: len(key)}
+		return r, key, true, nil
+	}
+	// CRC verified but the chain does not extend the predecessor:
+	// rewritten content, not a crash artefact.
+	return record{}, "", false, fmt.Errorf("ledger: %s: record at offset %d: %w", l.path, off, ErrChainBroken)
+}
+
+// parsedFrame is the outcome of structurally parsing one frame.
+type parsedFrame struct {
+	key     string
+	value   []byte
+	chain   [chainSize]byte
+	chainOK bool
+}
+
+// parseFrame validates structure and CRC, then checks the chain digest
+// against prev. ok=false means the frame is structurally invalid or
+// fails its CRC.
+func parseFrame(frame []byte, prev [chainSize]byte) (parsedFrame, string, bool) {
+	if len(frame) < 2+4+chainSize+4 {
+		return parsedFrame{}, "", false
+	}
+	body, crcBytes := frame[:len(frame)-4], frame[len(frame)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(crcBytes) {
+		return parsedFrame{}, "", false
+	}
+	keyLen := int(binary.BigEndian.Uint16(body[:2]))
+	if keyLen > maxKeyLen || 2+keyLen+4+chainSize > len(body) {
+		return parsedFrame{}, "", false
+	}
+	key := string(body[2 : 2+keyLen])
+	valLen := int(binary.BigEndian.Uint32(body[2+keyLen : 2+keyLen+4]))
+	if valLen > maxValueLen || 2+keyLen+4+valLen+chainSize != len(body) {
+		return parsedFrame{}, "", false
+	}
+	value := body[2+keyLen+4 : 2+keyLen+4+valLen]
+	var chain [chainSize]byte
+	copy(chain[:], body[2+keyLen+4+valLen:])
+	want := chainDigest(prev, key, value)
+	p := parsedFrame{key: key, value: value, chain: chain, chainOK: chain == want}
+	return p, key, true
+}
+
+// chainDigest extends the running digest by one (key, value) record.
+func chainDigest(prev [chainSize]byte, key string, value []byte) [chainSize]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(key)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(key))
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(value)))
+	h.Write(lenBuf[:])
+	h.Write(value)
+	var out [chainSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// writeHeader writes and syncs the magic header and positions the
+// write offset just past it (WriteAt does not move the offset, and
+// appends write at the offset).
+func (l *Ledger) writeHeader() error {
+	if _, err := l.f.WriteAt([]byte(magic), 0); err != nil {
+		return fmt.Errorf("ledger: write header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: sync header: %w", err)
+	}
+	if _, err := l.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+		return fmt.Errorf("ledger: seek past header: %w", err)
+	}
+	l.size = int64(len(magic))
+	return nil
+}
+
+// truncateTo cuts the file to size and repositions the write offset.
+func (l *Ledger) truncateTo(size int64) error {
+	if err := l.f.Truncate(size); err != nil {
+		return fmt.Errorf("ledger: truncate %s to %d: %w", l.path, size, err)
+	}
+	if _, err := l.f.Seek(size, io.SeekStart); err != nil {
+		return fmt.Errorf("ledger: seek %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Append durably records value under key: one buffered frame write,
+// then fsync — when Append returns nil the record survives any later
+// crash. Appending an already-present key is a no-op (records are
+// content-addressed: same key, same bytes). A failed append restores
+// the committed tail by truncation so one I/O error does not poison
+// the file; if even that fails the ledger is Broken and refuses
+// further appends while continuing to serve committed records.
+func (l *Ledger) Append(key string, value []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen || len(value) > maxValueLen {
+		return ErrTooLarge
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.broken:
+		return ErrBroken
+	}
+	if _, ok := l.index[key]; ok {
+		return nil
+	}
+	if err := fault.Hit("ledger.append"); err != nil {
+		return err
+	}
+
+	chain := chainDigest(l.chain, key, value)
+	frameLen := 2 + len(key) + 4 + len(value) + chainSize + 4
+	buf := make([]byte, 0, 4+frameLen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameLen))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(value)))
+	buf = append(buf, value...)
+	buf = append(buf, chain[:]...)
+	crc := crc32.Checksum(buf[4:], castagnoli)
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+
+	w := fault.WrapWriter("ledger.write", l.f)
+	if _, err := w.Write(buf); err != nil {
+		l.restoreTail()
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	if err := fault.Hit("ledger.sync"); err != nil {
+		l.restoreTail()
+		return fmt.Errorf("ledger: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.restoreTail()
+		return fmt.Errorf("ledger: sync: %w", err)
+	}
+	l.index[key] = ref{frameOff: l.size, frameLen: frameLen, keyLen: len(key)}
+	l.chain = chain
+	l.size += int64(4 + frameLen)
+	l.records++
+	l.appends++
+	return nil
+}
+
+// restoreTail rolls a failed append's partial bytes back; on failure
+// the ledger goes Broken for appends (reads stay valid: they only
+// touch the committed prefix).
+func (l *Ledger) restoreTail() {
+	if err := l.truncateTo(l.size); err != nil {
+		l.broken = true
+	}
+}
+
+// Get returns a copy of the value committed under key. Every read
+// re-verifies the record's CRC and key before returning bytes, so a
+// medium fault after open cannot surface as a silently corrupt
+// envelope — it surfaces as an error.
+func (l *Ledger) Get(key string) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	r, ok := l.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if err := fault.Hit("ledger.get"); err != nil {
+		return nil, err
+	}
+	frame := make([]byte, r.frameLen)
+	if _, err := l.f.ReadAt(frame, r.frameOff+4); err != nil {
+		return nil, fmt.Errorf("ledger: read %s: %w", key, err)
+	}
+	body := frame[:len(frame)-4]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(frame[len(frame)-4:]) {
+		return nil, fmt.Errorf("ledger: record %s failed CRC on read: %w", key, ErrChainBroken)
+	}
+	keyLen := int(binary.BigEndian.Uint16(body[:2]))
+	if keyLen != r.keyLen || string(body[2:2+keyLen]) != key {
+		return nil, fmt.Errorf("ledger: record %s key mismatch on read: %w", key, ErrChainBroken)
+	}
+	valLen := int(binary.BigEndian.Uint32(body[2+keyLen : 2+keyLen+4]))
+	value := make([]byte, valLen)
+	copy(value, body[2+keyLen+4:2+keyLen+4+valLen])
+	return value, nil
+}
+
+// Has reports whether key is committed, without touching the file.
+func (l *Ledger) Has(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.index[key]
+	return ok && !l.closed
+}
+
+// Len reports the number of committed records.
+func (l *Ledger) Len() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Stats snapshots the operator view.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Path:      l.path,
+		Records:   l.records,
+		Bytes:     l.size,
+		ChainHead: hex.EncodeToString(l.chain[:]),
+		Appends:   l.appends,
+		Broken:    l.broken,
+	}
+}
+
+// Sync flushes the file to stable storage. Appends already sync
+// individually; Sync exists for the drain path's belt-and-braces
+// flush before exit.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := fault.Hit("ledger.sync"); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the file. Further method calls return
+// ErrClosed.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// VerifyReport is the outcome of a full read-only integrity scan.
+type VerifyReport struct {
+	Records   int64  `json:"records"`
+	Bytes     int64  `json:"bytes"`
+	TornBytes int64  `json:"torn_bytes"` // unverifiable tail (crash artefact)
+	ChainHead string `json:"chain_head"`
+	OK        bool   `json:"ok"` // every byte accounted for: no torn tail
+}
+
+// Verify scans path read-only and proves the committed prefix: every
+// record's CRC and chain digest verify in order. A torn tail is
+// reported, not an error (it is what a crash leaves); a broken chain
+// is ErrChainBroken.
+func Verify(path string) (VerifyReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return VerifyReport{}, fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	fileSize := fi.Size()
+	rep := VerifyReport{}
+	hdr := make([]byte, len(magic))
+	if n, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != magic {
+		if err != nil && !errors.Is(err, io.EOF) {
+			return VerifyReport{}, err
+		}
+		if string(hdr[:n]) == magic[:n] { // torn header
+			rep.TornBytes = fileSize
+			return rep, nil
+		}
+		return VerifyReport{}, fmt.Errorf("ledger: %s: bad magic", path)
+	}
+	scan := &Ledger{f: f, path: path, index: map[string]ref{}}
+	off := int64(len(magic))
+	for off < fileSize {
+		rec, _, ok, err := scan.readRecord(off, fileSize)
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			rep.TornBytes = fileSize - off
+			break
+		}
+		scan.chain = rec.chain
+		rep.Records++
+		off += 4 + int64(rec.ref.frameLen)
+	}
+	rep.Bytes = off
+	rep.ChainHead = hex.EncodeToString(scan.chain[:])
+	rep.OK = rep.TornBytes == 0
+	return rep, nil
+}

@@ -21,6 +21,11 @@ type entry struct {
 	// histogram. Zero for entries that were never enqueued.
 	enqueuedAt time.Time
 
+	// timeout is the job's wall-clock budget, fixed by the request that
+	// created the entry (later coalescers share its fate — the work is
+	// shared, so the budget is too). Zero means no deadline.
+	timeout time.Duration
+
 	done chan struct{} // closed exactly once, after data/err are set
 	data []byte        // the cliquebench/v1 envelope, verbatim
 	err  error

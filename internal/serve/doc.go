@@ -9,6 +9,7 @@
 //   - POST /v1/experiments/{id}:run   — run a registered experiment
 //   - GET  /v1/algorithms             — the ad-hoc algorithm catalogue
 //   - POST /v1/run                    — ad-hoc run (algorithm, n, backend, seed)
+//   - GET  /v1/ledger/stats           — durable tier integrity view (404 without -ledger)
 //   - GET  /healthz                   — liveness
 //   - GET  /metrics                   — expvar counters (jobs, cache, rounds/sec)
 //
@@ -32,5 +33,22 @@
 // `Accept: text/event-stream` (or `?stream=sse`) get queued/progress
 // events while the job runs and the envelope as the final event.
 // Shutdown is graceful: the queue stops accepting, running jobs drain
-// (or are cancelled at the drain deadline), and waiters are notified.
+// (or are cancelled at the drain deadline), pending ledger appends are
+// fsync'd, and waiters are notified.
+//
+// # Failure semantics
+//
+// Failures map to a typed taxonomy so retry policy never parses error
+// text: a full queue sheds with 503 plus a Retry-After estimate from
+// the recent-jobs wall-time window (jobs_shed); a job exceeding its
+// wall budget — Config.JobTimeout, optionally shrunk per-request via
+// timeout_ms — answers 504 (errJobTimeout); a contained worker panic
+// or any other run failure answers 500; shutdown answers 503. With
+// Config.Ledger set, computed untraced envelopes are appended to the
+// crash-safe store (internal/ledger) before the response is released
+// — a 200 implies durable — and memory-cache misses consult the
+// ledger before simulating, so results survive restarts byte for
+// byte. Ledger failures degrade durability (ledger_errors), never
+// availability. internal/fault's injection sites (job.run, ledger.*)
+// let the chaos suite drive all of this deterministically.
 package serve

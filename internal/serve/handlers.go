@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/workload"
@@ -53,11 +54,17 @@ func (s *Server) handleListAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"algorithms": Algorithms(), "max_n": maxAdhocN})
 }
 
-// runExperimentBody is the optional POST body of {id}:run.
+// runExperimentBody is the optional POST body of {id}:run. TimeoutMS
+// asks for a wall-clock budget; the server caps it at its own
+// JobTimeout, and a job exceeding the effective budget answers 504.
+// The budget is execution policy, not work identity, so it is not part
+// of the cache key: coalesced requests share the creating request's
+// budget.
 type runExperimentBody struct {
-	Backend string `json:"backend,omitempty"`
-	Quick   bool   `json:"quick,omitempty"`
-	Trace   bool   `json:"trace,omitempty"`
+	Backend   string `json:"backend,omitempty"`
+	Quick     bool   `json:"quick,omitempty"`
+	Trace     bool   `json:"trace,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // handleRunExperiment serves POST /v1/experiments/{id}:run. The mux
@@ -76,10 +83,11 @@ func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	req := exp.Request{Kind: exp.KindExperiment, Experiment: id,
 		Backend: body.Backend, Quick: body.Quick, Trace: body.Trace}
-	s.scheduleAndRespond(w, r, req)
+	s.scheduleAndRespond(w, r, req, body.TimeoutMS)
 }
 
-// adhocRunBody is the POST /v1/run body.
+// adhocRunBody is the POST /v1/run body. TimeoutMS follows the same
+// budget rules as runExperimentBody's.
 type adhocRunBody struct {
 	Algorithm    string `json:"algorithm"`
 	N            int    `json:"n"`
@@ -88,6 +96,7 @@ type adhocRunBody struct {
 	Backend      string `json:"backend,omitempty"`
 	Quick        bool   `json:"quick,omitempty"`
 	Trace        bool   `json:"trace,omitempty"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
 }
 
 func (s *Server) handleAdhocRun(w http.ResponseWriter, r *http.Request) {
@@ -112,7 +121,7 @@ func (s *Server) handleAdhocRun(w http.ResponseWriter, r *http.Request) {
 	req := exp.Request{Kind: exp.KindAdhoc, Algorithm: body.Algorithm,
 		N: body.N, WordsPerPair: body.WordsPerPair, Seed: body.Seed,
 		Backend: body.Backend, Quick: body.Quick, Trace: body.Trace}
-	s.scheduleAndRespond(w, r, req)
+	s.scheduleAndRespond(w, r, req, body.TimeoutMS)
 }
 
 // decodeBody parses an optional JSON request body strictly. An empty
@@ -132,7 +141,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // is the query-string spelling of the body's trace field; traced
 // requests hash to their own cache slot, since a traced envelope is a
 // different (wall-clock-carrying) artefact.
-func (s *Server) scheduleAndRespond(w http.ResponseWriter, r *http.Request, req exp.Request) {
+func (s *Server) scheduleAndRespond(w http.ResponseWriter, r *http.Request, req exp.Request, timeoutMS int64) {
 	if r.URL.Query().Get("trace") == "1" {
 		req.Trace = true
 	}
@@ -144,8 +153,17 @@ func (s *Server) scheduleAndRespond(w http.ResponseWriter, r *http.Request, req 
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := s.schedule(req)
+	if timeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "timeout_ms = %d, need >= 0", timeoutMS)
+		return
+	}
+	e, err := s.schedule(req, s.effectiveTimeout(timeoutMS))
 	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			// Shed responses tell the client when capacity should be
+			// back, so retries pace themselves instead of hammering.
+			w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -168,13 +186,63 @@ func (s *Server) scheduleAndRespond(w http.ResponseWriter, r *http.Request, req 
 	}
 }
 
-// runErrorStatus maps a job error to an HTTP status: shutdown and
-// cancellation are unavailability, anything else is a server-side run
-// failure.
+// runErrorStatus maps a job error to an HTTP status — the error
+// taxonomy's wire form. Shed and shutdown are 503 (retry elsewhere or
+// later), a blown job deadline is 504 (retry with a bigger budget, or
+// don't), and everything else — including a contained worker panic —
+// is a 500 run failure.
 func runErrorStatus(err error) int {
-	if errors.Is(err, errShuttingDown) || errors.Is(err, errQueueFull) ||
-		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, errJobTimeout) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errShuttingDown) || errors.Is(err, errQueueFull) ||
+		errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
+}
+
+// effectiveTimeout resolves a request's timeout_ms against the
+// server's JobTimeout cap: the request may shrink its budget, never
+// grow past the cap; 0 asks for the server default.
+func (s *Server) effectiveTimeout(timeoutMS int64) time.Duration {
+	t := time.Duration(timeoutMS) * time.Millisecond
+	if t <= 0 {
+		return s.cfg.JobTimeout
+	}
+	if s.cfg.JobTimeout > 0 && t > s.cfg.JobTimeout {
+		return s.cfg.JobTimeout
+	}
+	return t
+}
+
+// retryAfterSeconds estimates when shed load should retry: the queue
+// is full, so the backlog is QueueDepth jobs spread over Workers
+// workers, each taking about the windowed average job wall time. No
+// history yet (a cold daemon being stampeded) falls back to 1s.
+func (s *Server) retryAfterSeconds() int64 {
+	avg := s.metrics.window.avgJobWallNS()
+	if avg <= 0 {
+		return 1
+	}
+	backlogNS := avg * int64(s.cfg.QueueDepth) / int64(s.cfg.Workers)
+	secs := (backlogNS + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// handleLedgerStats serves the durable tier's integrity view: record
+// and byte counts plus the chain head an auditor can compare across
+// replicas or against an offline `cliqued -verify-ledger` scan.
+func (s *Server) handleLedgerStats(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Ledger == nil {
+		writeError(w, http.StatusNotFound, "no ledger configured (start cliqued with -ledger)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Ledger.Stats())
 }

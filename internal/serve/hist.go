@@ -143,6 +143,24 @@ func (w *throughputWindow) record(rounds, wallNS int64) {
 	w.mu.Unlock()
 }
 
+// avgJobWallNS returns the mean wall-clock of the windowed jobs in
+// nanoseconds, 0 before any job has been timed. It is the Retry-After
+// estimator's input: the same recent-jobs window that backs the
+// rounds/sec gauge, read as seconds-per-job instead of rounds-per-
+// second.
+func (w *throughputWindow) avgJobWallNS() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.filled == 0 {
+		return 0
+	}
+	var wall int64
+	for i := 0; i < w.filled; i++ {
+		wall += w.wallNS[i]
+	}
+	return wall / int64(w.filled)
+}
+
 // rate returns the windowed throughput: total rounds over total wall
 // across the recorded jobs, 0 before any job has been timed.
 func (w *throughputWindow) rate() float64 {

@@ -2,31 +2,60 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/clique"
 	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/ledger"
 )
 
+// The serving error taxonomy. Each sentinel maps to one HTTP status so
+// clients can tell load shedding (retry with backoff), a deadline
+// (retry with a bigger budget or not at all) and a genuine run failure
+// apart without parsing text: errQueueFull and errShuttingDown are
+// 503, errJobTimeout is 504, anything else is 500.
 var (
 	errQueueFull    = errors.New("job queue full")
 	errShuttingDown = errors.New("server shutting down")
+	errJobTimeout   = errors.New("job deadline exceeded")
 )
 
-// schedule resolves a request against the cache: it either coalesces
-// onto an existing entry (in-flight or completed — both count as cache
-// hits: nothing new is simulated) or creates the entry and enqueues its
-// job. The caller then waits on the returned entry.
-func (s *Server) schedule(req exp.Request) (*entry, error) {
+// schedule resolves a request against the two cache tiers: it either
+// coalesces onto an existing in-memory entry (in-flight or completed —
+// both count as cache hits: nothing new is simulated), serves the
+// durable ledger's committed envelope from a previous process life, or
+// creates the entry and enqueues its job. The caller then waits on the
+// returned entry. timeout is the job's wall-clock budget (0 = none),
+// fixed by whichever request created the entry.
+func (s *Server) schedule(req exp.Request, timeout time.Duration) (*entry, error) {
 	hash := req.Hash()
 	e, created := s.cache.lookupOrCreate(hash, req)
 	if !created {
 		s.metrics.cacheHits.Add(1)
 		return e, nil
 	}
+	e.timeout = timeout
 	s.metrics.cacheMisses.Add(1)
+	// Traced envelopes carry wall-clock span data, so only untraced
+	// requests — the reproducible artefacts — are ledger-addressable.
+	if s.cfg.Ledger != nil && !req.Trace {
+		data, err := s.cfg.Ledger.Get(hash)
+		switch {
+		case err == nil:
+			s.metrics.ledgerHits.Add(1)
+			s.cache.markCompleted(e, false)
+			e.complete(data, nil)
+			return e, nil
+		case !errors.Is(err, ledger.ErrNotFound):
+			// A read failure degrades to recomputation, never to serving
+			// unverified bytes.
+			s.metrics.ledgerErrors.Add(1)
+		}
+	}
 	if err := s.enqueue(e); err != nil {
 		// The entry never ran; remove it so a retry can schedule anew,
 		// and fail any concurrent waiters that already coalesced on it.
@@ -52,6 +81,7 @@ func (s *Server) enqueue(e *entry) error {
 		s.metrics.jobsQueued.Add(1)
 		return nil
 	default:
+		s.metrics.jobsShed.Add(1)
 		return errQueueFull
 	}
 }
@@ -168,28 +198,44 @@ func (s *Server) runJob(e *entry) {
 	s.metrics.runWall.observe(jobLabel(e.req), time.Since(start).Nanoseconds())
 	if err != nil {
 		s.metrics.jobsFailed.Add(1)
+	} else {
+		s.persist(e.req, e.hash, data)
 	}
 	s.cache.markCompleted(e, err != nil)
 	e.complete(data, err)
 }
 
 // executeJob is runJob's fallible body, with panics converted to
-// errors so completion bookkeeping always runs exactly once.
+// errors so completion bookkeeping always runs exactly once, and the
+// job's wall-clock budget (entry.timeout) enforced: a budget overrun
+// surfaces as the typed errJobTimeout — provided the server itself is
+// not shutting down, which keeps its own 503 classification.
 func (s *Server) executeJob(e *entry) (data []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			data, err = nil, fmt.Errorf("job %s panicked: %v", e.req.Kind, r)
 		}
 	}()
+	// Chaos-suite injection point: worker stalls and synthetic worker
+	// panics land here, inside the panic containment and the deadline.
+	ctx := s.baseCtx
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(s.baseCtx, e.timeout)
+		defer cancel()
+	}
+	if ferr := fault.Hit("job.run"); ferr != nil {
+		return nil, ferr
+	}
 	experiment, err := s.experimentFor(e.req)
 	if err != nil {
 		return nil, err
 	}
 	opts := exp.Options{Backend: e.req.Backend, Quick: e.req.Quick,
 		Trace: e.req.Trace, Progress: e.publishProgress}
-	res, tim, err := exp.RunExperiment(s.baseCtx, experiment, opts)
+	res, tim, err := exp.RunExperiment(ctx, experiment, opts)
 	if err != nil {
-		return nil, err
+		return nil, s.classifyDeadline(ctx, e.timeout, err)
 	}
 	s.metrics.simRounds.Add(tim.Rounds)
 	if tim.SimWall > 0 {
@@ -198,6 +244,32 @@ func (s *Server) executeJob(e *entry) (data []byte, err error) {
 	}
 	s.metrics.window.record(tim.Rounds, tim.SimWall.Nanoseconds())
 	return marshalEnvelope(e.req.Backend, opts, res)
+}
+
+// classifyDeadline rewrites a run failure caused by the job's own
+// deadline into the typed errJobTimeout. A cancellation caused by
+// server shutdown (baseCtx) is left alone: that is unavailability, not
+// a deadline.
+func (s *Server) classifyDeadline(ctx context.Context, budget time.Duration, err error) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) && s.baseCtx.Err() == nil {
+		return fmt.Errorf("%w (budget %v): %v", errJobTimeout, budget, err)
+	}
+	return err
+}
+
+// persist write-throughs a freshly computed envelope to the durable
+// ledger tier before the entry completes, so a 200 response implies
+// the result survives a crash. Traced envelopes are skipped (they
+// embed wall-clock data and are not reproducible artefacts); an
+// append failure degrades durability, never availability — the
+// response is still served, and the failure is counted.
+func (s *Server) persist(req exp.Request, hash string, data []byte) {
+	if s.cfg.Ledger == nil || req.Trace || data == nil {
+		return
+	}
+	if err := s.cfg.Ledger.Append(hash, data); err != nil {
+		s.metrics.ledgerErrors.Add(1)
+	}
 }
 
 // runJobBatch executes a coalesced group of same-shape ad-hoc jobs as
@@ -218,6 +290,8 @@ func (s *Server) runJobBatch(group []*entry) {
 		s.metrics.runWall.observe(jobLabel(e.req), wall)
 		if errs[i] != nil {
 			s.metrics.jobsFailed.Add(1)
+		} else {
+			s.persist(e.req, e.hash, data[i])
 		}
 		s.cache.markCompleted(e, errs[i] != nil)
 		e.complete(data[i], errs[i])
@@ -240,6 +314,14 @@ func (s *Server) executeBatch(group []*entry) (data [][]byte, errs []error) {
 			}
 		}
 	}()
+	// The batch path shares the serial path's chaos injection point, so
+	// the fault suite exercises batched workers too.
+	if ferr := fault.Hit("job.run"); ferr != nil {
+		for i := range errs {
+			errs[i] = ferr
+		}
+		return data, errs
+	}
 	// The group shares one shape, so validation is decided once for all.
 	alg, wpp, err := adhocParams(group[0].req)
 	if err != nil {

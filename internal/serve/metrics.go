@@ -19,8 +19,11 @@ type metrics struct {
 	jobsDone     expvar.Int // completed, success or failure
 	jobsFailed   expvar.Int // completed with an error
 	jobsRejected expvar.Int // refused: queue full or shutting down
+	jobsShed     expvar.Int // refused by load shedding alone (queue full)
 	cacheHits    expvar.Int // answered from cache or coalesced
 	cacheMisses  expvar.Int // scheduled a fresh run
+	ledgerHits   expvar.Int // answered from the durable ledger tier
+	ledgerErrors expvar.Int // ledger reads/appends that failed (degraded durability)
 	simRounds    expvar.Int // total simulated rounds served
 	batches      expvar.Int // batched engine executions (BatchWidth > 1)
 	jobsBatched  expvar.Int // jobs that ran inside a batched execution
@@ -46,8 +49,11 @@ func newMetrics() *metrics {
 	m.vars.Set("jobs_done", &m.jobsDone)
 	m.vars.Set("jobs_failed", &m.jobsFailed)
 	m.vars.Set("jobs_rejected", &m.jobsRejected)
+	m.vars.Set("jobs_shed", &m.jobsShed)
 	m.vars.Set("cache_hits", &m.cacheHits)
 	m.vars.Set("cache_misses", &m.cacheMisses)
+	m.vars.Set("ledger_hits", &m.ledgerHits)
+	m.vars.Set("ledger_errors", &m.ledgerErrors)
 	m.vars.Set("sim_rounds", &m.simRounds)
 	m.vars.Set("batches", &m.batches)
 	m.vars.Set("jobs_batched", &m.jobsBatched)

@@ -2,11 +2,14 @@ package serve
 
 import (
 	"context"
+	"expvar"
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/clique"
+	"repro/internal/ledger"
 )
 
 // Config sizes the service. The zero value is usable: every field has a
@@ -34,6 +37,21 @@ type Config struct {
 	// Each coalesced job still produces the envelope a serial execution
 	// would, byte for byte. Default: 1, i.e. batching off.
 	BatchWidth int
+	// JobTimeout caps every job's wall-clock execution budget; a job
+	// that exceeds it fails with the typed deadline error (HTTP 504 —
+	// distinct from 503 shed and 500 panic). Requests may ask for a
+	// shorter budget via timeout_ms but can never exceed this cap.
+	// 0 (the default) means no server-side cap: only per-request
+	// budgets apply. Cancellation takes effect at the next
+	// simulated-run boundary, the same grain as Shutdown's abort.
+	JobTimeout time.Duration
+	// Ledger, when non-nil, is the durable second cache tier: every
+	// successfully computed untraced envelope is appended (write-
+	// through, fsync'd before the response is released) and memory-
+	// cache misses consult it before simulating, so computed results
+	// survive daemon restarts. The server does not close it; the
+	// owner does, after Shutdown returns.
+	Ledger *ledger.Ledger
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +103,9 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		abort:   cancel,
 	}
+	if cfg.Ledger != nil {
+		s.metrics.vars.Set("ledger", expvar.Func(func() any { return cfg.Ledger.Stats() }))
+	}
 	s.routes()
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -96,6 +117,7 @@ func New(cfg Config) *Server {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/ledger/stats", s.handleLedgerStats)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleGetExperiment)
 	s.mux.HandleFunc("POST /v1/experiments/{idop}", s.handleRunExperiment)
@@ -130,10 +152,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.flushLedger()
 		return nil
 	case <-ctx.Done():
 		s.abort() // cancel running jobs, then wait for the unwind
 		<-done
+		s.flushLedger()
 		return ctx.Err()
+	}
+}
+
+// flushLedger makes the drain's durability promise explicit: every
+// append the workers performed is fsync'd before Shutdown returns, so
+// a clean SIGTERM exit never leaves a torn tail (appends sync
+// individually; this is the belt-and-braces flush for the exit path).
+func (s *Server) flushLedger() {
+	if s.cfg.Ledger != nil {
+		_ = s.cfg.Ledger.Sync()
 	}
 }

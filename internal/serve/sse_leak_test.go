@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSSEClientDisconnectLeaksNothing pins the disconnect contract: a
+// client that opens a progress stream and walks away mid-run cancels
+// nothing shared — the job keeps running and a coalesced waiter still
+// gets its 200 — and the server's goroutine count returns to baseline
+// (no stream writer, no per-job goroutine left behind).
+func TestSSEClientDisconnectLeaksNothing(t *testing.T) {
+	installFaults(t, "stall@job.run:ms=400")
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	before := runtime.NumGoroutine()
+
+	body := `{"algorithm":"exchange","n":8,"seed":77}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/run?stream=sse", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("open SSE stream: %v", err)
+	}
+	// Read up to the queued event so the job is definitely scheduled,
+	// then hang up mid-run (the worker is inside the injected stall).
+	sc := bufio.NewScanner(resp.Body)
+	sawQueued := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: queued") {
+			sawQueued = true
+			break
+		}
+	}
+	if !sawQueued {
+		t.Fatal("never saw the queued event")
+	}
+	cancel()
+	resp.Body.Close()
+
+	// A second client coalesces onto the same in-flight job. The first
+	// client's disconnect must not have cancelled it.
+	resp2, err := client.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("coalesced request: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("coalesced waiter after disconnect: status %d, want 200", resp2.StatusCode)
+	}
+
+	// Goroutine accounting, goleak-style: poll until the count settles
+	// back to (near) baseline. A leaked stream writer or job goroutine
+	// keeps the count elevated past any settle time.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSSEDisconnectedJobStillPersists pins that the disconnected job's
+// result also reaches the ledger: durability does not depend on anyone
+// listening.
+func TestSSEDisconnectedJobStillPersists(t *testing.T) {
+	installFaults(t, "stall@job.run:ms=200")
+	l := openLedger(t, t.TempDir()+"/ledger.clq")
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Ledger: l})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"algorithm":"exchange","n":8,"seed":78}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/run?stream=sse", strings.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("open SSE stream: %v", err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: queued") {
+			break
+		}
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned job's envelope never reached the ledger")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("ledger has %d records, want 1", l.Len())
+	}
+}
